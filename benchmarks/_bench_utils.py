@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness (imported by every
+bench file; kept separate from conftest.py so running benchmarks
+together with the unit-test tree never collides on the ``conftest``
+module name)."""
+
+import os
+
+FULL = os.environ.get("ZNN_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def full_run() -> bool:
+    return FULL
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a fixed-width table to stdout."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+              for i, h in enumerate(header)] if rows else [len(str(h)) + 2
+                                                           for h in header]
+    print()
+    print(f"== {title} ==")
+    print("".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    print("-" * sum(widths))
+    for row in rows:
+        print("".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value, digits=3):
+    if value is None:
+        return "OOM"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)

@@ -1,0 +1,68 @@
+"""Section VII-C ablation — pooled power-of-two allocator vs fresh
+numpy allocation.
+
+Replays a training-loop-like allocation trace (alternate allocate and
+free of image-sized buffers) through the pooled allocator and through
+plain ``np.empty``, and reports the pool hit rate and memory overhead
+(bounded by 2x, 'memory usage peaks after a few rounds').
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.memory import PoolAllocator
+
+SHAPES = [(24, 24, 24), (12, 12, 12), (24, 24, 24), (6, 6, 6)]
+ROUNDS = 50
+
+
+def pooled_trace(alloc, rounds=ROUNDS):
+    for _ in range(rounds):
+        live = [alloc.allocate_array(s) for s in SHAPES]
+        for a in live:
+            a[0, 0, 0] = 1.0
+        for a in live:
+            alloc.deallocate_array(a)
+
+
+def fresh_trace(rounds=ROUNDS):
+    for _ in range(rounds):
+        live = [np.empty(s) for s in SHAPES]
+        for a in live:
+            a[0, 0, 0] = 1.0
+
+
+def test_memory_usage_peaks_after_first_round():
+    alloc = PoolAllocator(alignment=64)
+    pooled_trace(alloc, rounds=1)
+    peak = alloc.held_bytes()
+    pooled_trace(alloc, rounds=ROUNDS)
+    assert alloc.held_bytes() == peak  # never grows again
+
+
+def test_hit_rate_and_overhead():
+    alloc = PoolAllocator(alignment=64)
+    pooled_trace(alloc)
+    stats = alloc.stats
+    print_table("pooled allocator statistics",
+                ["requests", "hit rate", "bytes from system",
+                 "overhead ratio"],
+                [[stats.requests, fmt(stats.hit_rate, 4),
+                  stats.bytes_from_system,
+                  fmt(stats.overhead_ratio * ROUNDS, 3)]])
+    # After warm-up every allocation is a pool hit.
+    assert stats.hit_rate > 0.95
+    # Worst-case 2x overhead per live byte (pow-2 rounding).
+    live_bytes = sum(int(np.prod(s)) * 8 for s in SHAPES)
+    assert alloc.held_bytes() <= 2 * live_bytes
+
+
+def test_bench_pooled(benchmark):
+    alloc = PoolAllocator(alignment=64)
+    pooled_trace(alloc, rounds=2)  # warm the pools
+    benchmark(pooled_trace, alloc, 5)
+
+
+def test_bench_fresh_numpy(benchmark):
+    benchmark(fresh_trace, 5)

@@ -1,0 +1,51 @@
+"""Section IV — the FFT/direct crossover, measured and modelled.
+
+The paper's claim: the crossover occurs at *smaller* kernel sizes for a
+ConvNet layer than for a single convolution, because image and kernel
+FFTs are shared across the layer's f*f' edges.  We print the layer-level
+model crossover for several widths (it must be non-increasing in width)
+and measure the single-conv wall-clock crossover on this host.
+"""
+
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.core import (
+    autotune_layer,
+    crossover_kernel_size,
+    layer_crossover_kernel_size,
+)
+
+IMAGE = (32, 32, 32)
+KS = tuple(range(2, 12))
+
+
+def test_model_crossover_shrinks_with_width():
+    rows = []
+    crossovers = []
+    for f in (1, 2, 4, 8, 16, 64):
+        k = layer_crossover_kernel_size(IMAGE, KS, f, f)
+        crossovers.append(k if k is not None else max(KS) + 1)
+        rows.append([f, k if k is not None else f"> {max(KS)}"])
+    print_table(f"layer-level FFT/direct crossover kernel (image {IMAGE})",
+                ["width f=f'", "crossover k"], rows)
+    assert all(crossovers[i] >= crossovers[i + 1]
+               for i in range(len(crossovers) - 1))
+    assert crossovers[-1] < crossovers[0] or crossovers[0] == max(KS) + 1
+
+
+def test_measured_single_conv_crossover():
+    k = crossover_kernel_size(IMAGE, (2, 3, 5, 7), repeats=2)
+    rows = []
+    for kk in (2, 3, 5, 7):
+        mode, t_d, t_f = autotune_layer(IMAGE, kk, repeats=2)
+        rows.append([f"{kk}^3", fmt(t_d, 3), fmt(t_f, 3), mode])
+    print_table("measured single-convolution times on this host",
+                ["kernel", "direct s", "fft s", "chosen"], rows)
+    # numpy's strided direct conv loses to FFT quickly; the crossover
+    # must exist within the sweep on any host.
+    assert k is not None
+
+
+def test_bench_autotune_layer(benchmark):
+    benchmark(autotune_layer, (16, 16, 16), 3, 1, 1)

@@ -1,0 +1,108 @@
+"""Live-engine utilization (instrumented traces).
+
+Runs traced training rounds and reports per-family time split (forward/
+backward/update/FFT work) and worker utilization — the live-engine
+counterpart of the DES utilization numbers behind Figs 5–7.  Also
+benchmarks the two future-work features: thread-local allocation and
+automatic strategy selection.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.core import Network, SGD
+from repro.graph import build_layered_network
+from repro.memory import PoolAllocator, ThreadLocalAllocator
+from repro.scheduler import TraceRecorder, select_strategy
+
+
+def traced_training(num_workers=2, rounds=2):
+    rec = TraceRecorder()
+    graph = build_layered_network("CTMCT", width=3, kernel=3, window=2,
+                                  transfer="tanh")
+    net = Network(graph, input_shape=(18, 18, 18), conv_mode="fft",
+                  seed=0, num_workers=num_workers, recorder=rec,
+                  optimizer=SGD(learning_rate=1e-3))
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((18, 18, 18))
+    targets = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+    for _ in range(rounds):
+        net.train_step(x, targets)
+    net.synchronize()
+    net.close()
+    return rec
+
+
+def test_print_family_breakdown():
+    rec = traced_training()
+    summary = rec.summary()
+    total = sum(summary.time_per_family.values())
+    rows = [[family, fmt(seconds, 3), fmt(seconds / total, 3)]
+            for family, seconds in sorted(summary.time_per_family.items(),
+                                          key=lambda kv: -kv[1])]
+    print_table("traced training: time per task family",
+                ["family", "seconds", "fraction"], rows)
+    assert {"provider", "fwd", "bwd", "lossgrad"} <= set(
+        summary.time_per_family)
+    # forward+backward convolution work dominates a conv net
+    heavy = (summary.time_per_family.get("fwd", 0)
+             + summary.time_per_family.get("bwd", 0)
+             + summary.time_per_family.get("upd", 0))
+    assert heavy > 0.5 * total
+
+
+def test_print_worker_utilization():
+    rec = traced_training(num_workers=2)
+    s = rec.summary()
+    rows = [[w, fmt(b, 3)] for w, b in sorted(s.busy_per_worker.items())]
+    print_table(f"worker busy time over span {s.span:.3f}s "
+                f"(utilization {s.utilization:.0%})",
+                ["worker", "busy s"], rows)
+    assert 0 < s.utilization <= 1.0
+
+
+def test_autoselect_report():
+    graph = build_layered_network("CTMCT", width=4, kernel=3, window=2)
+    graph.propagate_shapes(16)
+    choice = select_strategy(graph, num_workers=4)
+    rows = [[p, fmt(m / 1e6, 4)] for p, m in
+            sorted(choice.policy_makespans.items(), key=lambda kv: kv[1])]
+    print_table(f"strategy autoselect (chosen: {choice.scheduler})",
+                ["policy", "makespan (MFLOP-units)"], rows)
+    assert choice.scheduler in ("priority", "fifo", "lifo",
+                                "work-stealing")
+
+
+def test_thread_local_allocator_report():
+    shared = PoolAllocator(alignment=64)
+    tl = ThreadLocalAllocator(backing=shared, local_capacity=4)
+    for _ in range(100):
+        a = tl.allocate_array((16, 16, 16))
+        tl.deallocate_array(a)
+    print_table("thread-local allocator after 100 alloc/free cycles",
+                ["local hit rate", "global requests"],
+                [[fmt(tl.local_hit_rate, 3), tl.global_requests]])
+    assert tl.local_hit_rate > 0.9
+
+
+def test_bench_traced_round(benchmark):
+    benchmark(traced_training, 1, 1)
+
+
+def test_bench_autoselect(benchmark):
+    graph = build_layered_network("CTC", width=3, kernel=2)
+    graph.propagate_shapes(12)
+    benchmark(select_strategy, graph, 4)
+
+
+def test_bench_thread_local_cycle(benchmark):
+    tl = ThreadLocalAllocator(local_capacity=4)
+    a = tl.allocate_array((16, 16, 16))
+    tl.deallocate_array(a)
+
+    def cycle():
+        arr = tl.allocate_array((16, 16, 16))
+        tl.deallocate_array(arr)
+
+    benchmark(cycle)

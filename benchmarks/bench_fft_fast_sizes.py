@@ -1,0 +1,85 @@
+"""Ablation — 5-smooth FFT transform padding.
+
+ZNN leans on MKL, which pads transforms to fast lengths internally; our
+numpy path exposes the same trick as ``FftConvPlan(fast_sizes=True)``.
+Awkward (prime-ish) image sizes show the win; already-smooth sizes are
+untouched.  Results are identical either way (property-tested in
+``tests/tensor/test_fourier.py``); this bench measures the time and
+verifies numerical agreement once more end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.tensor.conv_fft import FftConvPlan
+from repro.tensor.fourier import next_fast_len
+
+SIZES = (31, 37, 41, 53)  # awkward transform lengths
+KERNEL = 5
+
+
+def triple_pass(plan, img, ker, grad):
+    fi = plan.image_spectrum(img)
+    fk = plan.kernel_spectrum(ker)
+    fg = plan.grad_spectrum(grad)
+    plan.forward(fi, fk)
+    plan.backward(fg, fk)
+    plan.kernel_gradient(fi, fg)
+
+
+def timed(plan, n, repeats=3):
+    import time
+
+    rng = np.random.default_rng(0)
+    img = rng.standard_normal((n, n, n))
+    ker = rng.standard_normal((KERNEL,) * 3)
+    grad = rng.standard_normal(plan.output_shape)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        triple_pass(plan, img, ker, grad)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_print_fast_size_table():
+    rows = []
+    for n in SIZES:
+        plain = FftConvPlan((n,) * 3, KERNEL)
+        fast = FftConvPlan((n,) * 3, KERNEL, fast_sizes=True)
+        t_plain = timed(plain, n)
+        t_fast = timed(fast, n)
+        rows.append([f"{n}^3", f"{next_fast_len(n)}^3", fmt(t_plain, 3),
+                     fmt(t_fast, 3), fmt(t_plain / t_fast, 3)])
+    print_table("FFT transform padding to 5-smooth sizes "
+                "(fwd+bwd+update triple)",
+                ["image", "padded to", "plain s", "fast s", "speedup"],
+                rows)
+
+
+def test_results_identical():
+    rng = np.random.default_rng(1)
+    n = 41
+    img = rng.standard_normal((n, n, n))
+    ker = rng.standard_normal((KERNEL,) * 3)
+    plain = FftConvPlan((n,) * 3, KERNEL)
+    fast = FftConvPlan((n,) * 3, KERNEL, fast_sizes=True)
+    a = plain.forward(plain.image_spectrum(img), plain.kernel_spectrum(ker))
+    b = fast.forward(fast.image_spectrum(img), fast.kernel_spectrum(ker))
+    np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+def test_smooth_sizes_not_padded():
+    plan = FftConvPlan((32, 32, 32), KERNEL, fast_sizes=True)
+    assert plan.transform_shape == (32, 32, 32)
+
+
+def test_bench_plain_41(benchmark):
+    plan = FftConvPlan((41, 41, 41), KERNEL)
+    benchmark(timed, plan, 41, 1)
+
+
+def test_bench_fast_41(benchmark):
+    plan = FftConvPlan((41, 41, 41), KERNEL, fast_sizes=True)
+    benchmark(timed, plan, 41, 1)

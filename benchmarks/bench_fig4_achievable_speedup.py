@@ -1,0 +1,66 @@
+"""Fig 4 — theoretically achievable speedup (Brent bound, Eq. 2).
+
+Regenerates both panels: (a) direct convolution, (b) FFT-based with
+memoization; kernel 5^3, C = 5, P in {8, 18, 40, 60, 120}, depths 4–40.
+Prints the speedup-vs-width series and asserts the paper's qualitative
+claims: S_P -> P for wide networks, and the width needed to reach 75 %
+of P grows with P.
+"""
+
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.pram import (
+    FIG4_PROCESSORS,
+    achievable_speedup,
+    achievable_speedup_curve,
+    fig4_series,
+)
+
+WIDTHS = (5, 10, 20, 30, 40, 60, 80, 100, 120)
+DEPTH = 8
+
+
+@pytest.mark.parametrize("mode,panel", [("direct", "a"), ("fft-memo", "b")])
+def test_print_fig4_panel(mode, panel):
+    rows = []
+    for p in FIG4_PROCESSORS:
+        curve = achievable_speedup_curve(p, WIDTHS, depth=DEPTH, mode=mode)
+        rows.append([f"P={p}"] + [fmt(s, 3) for s in curve])
+    print_table(f"Fig 4({panel}) achievable speedup, {mode}, depth={DEPTH}",
+                ["procs"] + [f"w={w}" for w in WIDTHS], rows)
+    # S_P approaches P in the wide limit for every processor count.
+    for p in FIG4_PROCESSORS:
+        assert achievable_speedup(p, 120, DEPTH, mode=mode) > 0.9 * p
+
+
+@pytest.mark.parametrize("mode", ["direct", "fft-memo"])
+def test_width_for_75pct_grows_with_p(mode):
+    def width75(p):
+        for w in range(1, 400):
+            if achievable_speedup(p, w, DEPTH, mode=mode) >= 0.75 * p:
+                return w
+        return 400
+
+    widths = [width75(p) for p in (8, 40, 120)]
+    print_table(f"width reaching 75% of P ({mode})",
+                ["P", "width@75%"],
+                [[p, w] for p, w in zip((8, 40, 120), widths)])
+    assert widths[0] <= widths[1] <= widths[2]
+    assert widths[2] > widths[0]
+
+
+def test_depth_lines_cluster():
+    """Fig 4 draws depths 4–40 as near-coincident lines per colour."""
+    depths = (4, 16, 40) if not full_run() else tuple(range(4, 44, 4))
+    series = fig4_series(widths=[60], depths=depths, processors=(40,))
+    values = [series[40][d][0] for d in depths]
+    spread = (max(values) - min(values)) / max(values)
+    print_table("Fig 4 depth spread at width 60, P=40",
+                ["depth", "speedup"],
+                [[d, fmt(v, 4)] for d, v in zip(depths, values)])
+    assert spread < 0.25
+
+
+def test_bench_fig4_curve(benchmark):
+    benchmark(achievable_speedup_curve, 60, WIDTHS, DEPTH)

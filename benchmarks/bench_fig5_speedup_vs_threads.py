@@ -1,0 +1,76 @@
+"""Fig 5 — achieved speedup vs worker threads, 2D and 3D networks, on
+the four Table V machines (discrete-event simulation; see DESIGN.md).
+
+Prints one panel per (machine, dims): speedup against thread count for
+several widths, and asserts the Section VIII shape claims:
+
+* near-linear ramp while threads <= cores,
+* continued but slower gains through the hardware-thread range,
+* wider networks closer to the ceiling.
+
+Default grid is trimmed (2 machines x 3 widths); ``ZNN_BENCH_FULL=1``
+sweeps all four machines and the paper's twelve widths.
+"""
+
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.simulate import (
+    MACHINES,
+    PAPER_WIDTHS,
+    default_thread_counts,
+    get_machine,
+    paper_task_graph,
+    simulate_schedule,
+)
+
+if full_run():
+    MACHINE_KEYS = tuple(MACHINES)
+    WIDTHS = PAPER_WIDTHS
+    DIMS = (2, 3)
+else:
+    MACHINE_KEYS = ("xeon-18", "xeon-phi")
+    WIDTHS = (5, 20, 60)
+    DIMS = (3,)
+
+# Table V accompanies Fig 5 in the paper's evaluation.
+
+
+def test_print_table5():
+    rows = [[key, m.name, m.cores, m.threads, f"{m.ghz} GHz"]
+            for key, m in MACHINES.items()]
+    print_table("Table V — machines", ["key", "name", "cores",
+                                       "threads", "freq"], rows)
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize("machine_key", MACHINE_KEYS)
+@pytest.mark.parametrize("dims", DIMS)
+def test_fig5_panel(machine_key, dims):
+    machine = get_machine(machine_key)
+    threads = default_thread_counts(machine)
+    rows = []
+    curves = {}
+    for width in WIDTHS:
+        tg = paper_task_graph(dims, width)
+        curve = [simulate_schedule(tg, machine, w).speedup for w in threads]
+        curves[width] = dict(zip(threads, curve))
+        rows.append([width] + [fmt(s, 3) for s in curve])
+    print_table(f"Fig 5 — {dims}D on {machine.name}",
+                ["width"] + [f"W={w}" for w in threads], rows)
+
+    wide = curves[max(WIDTHS)]
+    # Near-linear ramp to the core count for wide networks.
+    assert wide[machine.cores] > 0.8 * machine.cores
+    # Slower but positive gains through the hardware-thread range.
+    assert wide[machine.threads] > wide[machine.cores]
+    gain = wide[machine.threads] - wide[machine.cores]
+    assert gain < machine.threads - machine.cores
+    # Wider networks do at least as well as narrow ones at full threads.
+    assert wide[machine.threads] >= curves[min(WIDTHS)][machine.threads]
+
+
+def test_bench_simulate_one_round(benchmark):
+    tg = paper_task_graph(3, 20)
+    machine = get_machine("xeon-18")
+    benchmark(simulate_schedule, tg, machine, machine.threads)

@@ -1,0 +1,43 @@
+"""Fig 6 — maximal achieved speedup vs network width, 2D networks
+(FFT convolution), all four machines.
+
+The paper's observations: multicore CPUs need width >= 30 to approach
+their ceiling, the manycore Xeon Phi needs width >= 80, and the ceiling
+equals the core count or a bit more.
+"""
+
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.simulate import MACHINES, get_machine, max_speedup_vs_width
+
+WIDTHS = (5, 10, 20, 30, 40, 60, 80) if not full_run() else \
+    (5, 10, 15, 20, 25, 30, 40, 50, 60, 80, 100, 120)
+MACHINE_KEYS = ("xeon-8", "xeon-phi") if not full_run() else tuple(MACHINES)
+
+
+@pytest.mark.parametrize("machine_key", MACHINE_KEYS)
+def test_fig6_curve(machine_key):
+    machine = get_machine(machine_key)
+    curve = max_speedup_vs_width(2, WIDTHS, machine)
+    print_table(f"Fig 6 — 2D max speedup vs width on {machine.name}",
+                ["width", "speedup"],
+                [[w, fmt(s, 4)] for w, s in curve])
+    speedups = dict(curve)
+    # Monotone non-decreasing in width (within simulator determinism).
+    values = [speedups[w] for w in WIDTHS]
+    assert all(values[i] <= values[i + 1] * 1.02 for i in range(len(values) - 1))
+    # Ceiling near the modelled maximum for the widest network.
+    assert values[-1] > 0.75 * machine.max_speedup()
+    assert values[-1] <= machine.max_speedup() * 1.001
+
+
+def test_multicore_saturates_by_width_30():
+    machine = get_machine("xeon-8")
+    speedups = dict(max_speedup_vs_width(2, (5, 30), machine))
+    assert speedups[30] > 0.85 * machine.max_speedup()
+
+
+def test_bench_fig6_point(benchmark):
+    machine = get_machine("xeon-8")
+    benchmark(max_speedup_vs_width, 2, (10,), machine)

@@ -1,0 +1,51 @@
+"""Fig 7 — maximal achieved speedup vs network width, 3D networks
+(direct convolution), all four machines.
+
+Shape claims as Fig 6; additionally the abstract's headline — over 90x
+speedup on the Xeon Phi — must hold for wide networks.
+"""
+
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.simulate import MACHINES, get_machine, max_speedup_vs_width
+
+WIDTHS = (5, 10, 20, 40, 80) if not full_run() else \
+    (5, 10, 15, 20, 25, 30, 40, 50, 60, 80, 100, 120)
+MACHINE_KEYS = ("xeon-18", "xeon-phi") if not full_run() else tuple(MACHINES)
+
+
+@pytest.mark.parametrize("machine_key", MACHINE_KEYS)
+def test_fig7_curve(machine_key):
+    machine = get_machine(machine_key)
+    curve = max_speedup_vs_width(3, WIDTHS, machine)
+    print_table(f"Fig 7 — 3D max speedup vs width on {machine.name}",
+                ["width", "speedup"],
+                [[w, fmt(s, 4)] for w, s in curve])
+    speedups = dict(curve)
+    assert speedups[max(WIDTHS)] > 0.75 * machine.max_speedup()
+    assert speedups[max(WIDTHS)] >= speedups[min(WIDTHS)]
+
+
+def test_phi_over_90x_headline():
+    """Abstract: 'ZNN can attain over 90x speedup on a many-core CPU
+    (Xeon Phi Knights Corner)' — for sufficiently wide networks."""
+    machine = get_machine("xeon-phi")
+    speedups = dict(max_speedup_vs_width(3, (80,), machine))
+    print_table("Headline check — Xeon Phi, 3D width 80",
+                ["width", "speedup"], [[80, fmt(speedups[80], 4)]])
+    assert speedups[80] > 90.0
+
+
+def test_multicore_speedup_roughly_core_count():
+    """Abstract: 'speedup roughly equal to the number of physical
+    cores' on multicore Xeons."""
+    for key in ("xeon-8", "xeon-18", "xeon-40"):
+        machine = get_machine(key)
+        s = dict(max_speedup_vs_width(3, (40,), machine))[40]
+        assert machine.cores * 0.85 < s < machine.cores * 1.6
+
+
+def test_bench_fig7_point(benchmark):
+    machine = get_machine("xeon-18")
+    benchmark(max_speedup_vs_width, 3, (20,), machine)

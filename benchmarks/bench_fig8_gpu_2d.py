@@ -1,0 +1,96 @@
+"""Fig 8 — ZNN (18-core CPU, FFT) vs Caffe / Caffe-cuDNN / Theano
+(Titan X, direct) on 2D networks.
+
+Kernels {10, 20, 30, 40}^2, output patches {1 … 64}^2, width 40,
+sparse training.  Prints the seconds/update table (OOM = the paper's
+missing bars) and asserts the regime structure: GPUs win for small
+kernels, ZNN wins from 30^2 up, plain Caffe runs out of Titan X memory
+at 30^2.
+"""
+
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.baselines import (
+    FIG8_KERNELS,
+    FIG8_OUTPUTS,
+    comparison_layers,
+    fig8_comparison,
+    gpu_seconds_per_update,
+    GPU_FRAMEWORKS,
+    znn_seconds_per_update,
+)
+
+OUTPUTS = FIG8_OUTPUTS if full_run() else (1, 4, 16, 64)
+SYSTEMS = ("znn", "caffe", "caffe-cudnn", "theano")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig8_comparison(kernels=FIG8_KERNELS, outputs=OUTPUTS)
+
+
+def test_print_fig8(rows):
+    table = []
+    for r in rows:
+        table.append([f"{r.kernel_size}^2", f"{r.output_size}^2"]
+                     + [fmt(r.seconds.get(s), 3) for s in SYSTEMS]
+                     + [r.winner()])
+    print_table("Fig 8 — seconds/update, 2D, width 40 (sparse training)",
+                ["kernel", "output"] + list(SYSTEMS) + ["winner"], table)
+    assert len(rows) == len(FIG8_KERNELS) * len(OUTPUTS)
+
+
+def test_regime_small_kernels_gpu_wins(rows):
+    assert all(r.winner() != "znn" for r in rows if r.kernel_size == 10)
+
+
+def test_regime_large_kernels_znn_wins(rows):
+    assert all(r.winner() == "znn" for r in rows if r.kernel_size >= 30)
+
+
+def test_caffe_and_theano_oom_at_30(rows):
+    for r in rows:
+        if r.kernel_size >= 30:
+            assert r.seconds["caffe"] is None
+            assert r.seconds["theano"] is None
+        else:
+            assert r.seconds["caffe"] is not None
+
+
+def test_times_grow_with_output_patch(rows):
+    for system in SYSTEMS:
+        for k in FIG8_KERNELS:
+            series = [r.seconds[system] for r in rows
+                      if r.kernel_size == k and r.seconds[system] is not None]
+            assert series == sorted(series)
+
+
+def test_bench_znn_model(benchmark):
+    layers = comparison_layers(2, 20, 16)
+    benchmark(znn_seconds_per_update, layers)
+
+
+def test_bench_gpu_model(benchmark):
+    layers = comparison_layers(2, 20, 16)
+    benchmark(gpu_seconds_per_update, GPU_FRAMEWORKS["caffe-cudnn"], layers)
+
+
+def test_dense_training_no_contest():
+    """Section IX: requiring the GPU frameworks to produce dense output
+    (16 offsets in 2D, 64 in 3D) 'would have been no contest with
+    ZNN'."""
+    from repro.baselines import (dense_offset_count, gpu_dense_seconds,
+                                 znn_dense_seconds)
+
+    rows = []
+    for dims, kernel, out, fw in ((2, 20, 8, "theano"),
+                                  (3, 5, 4, "theano-3d")):
+        gpu = gpu_dense_seconds(GPU_FRAMEWORKS[fw], dims, kernel, out)
+        znn = znn_dense_seconds(dims, kernel, out)
+        rows.append([f"{dims}D k={kernel}", dense_offset_count(dims),
+                     fmt(gpu, 3), fmt(znn, 3), fmt(gpu / znn, 3)])
+        assert znn < gpu
+    print_table("dense training: GPU (offset replay) vs ZNN (max-filter)",
+                ["config", "offsets", "gpu dense s", "znn dense s",
+                 "znn advantage"], rows)

@@ -1,0 +1,58 @@
+"""Fig 9 — ZNN vs Theano on 3D networks.
+
+Kernels {3, 5, 7}^3, output patches {1 … 8}^3, width 40.  (Caffe's
+official release had no 3D support, so Theano is the only GPU
+baseline, as in the paper.)  Asserts the paper's regimes: comparable at
+5^3, ZNN ahead at 7^3, and Theano blocked above 7^3 by GPU memory.
+"""
+
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.baselines import (
+    FIG9_KERNELS,
+    FIG9_OUTPUTS,
+    GPU_FRAMEWORKS,
+    comparison_layers,
+    fig9_comparison,
+    gpu_fits_in_memory,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig9_comparison(kernels=FIG9_KERNELS, outputs=FIG9_OUTPUTS)
+
+
+def test_print_fig9(rows):
+    table = [[f"{r.kernel_size}^3", f"{r.output_size}^3",
+              fmt(r.seconds["theano"], 3), fmt(r.seconds["znn"], 3),
+              r.winner()] for r in rows]
+    print_table("Fig 9 — seconds/update, 3D, width 40",
+                ["kernel", "output", "theano", "znn", "winner"], table)
+    assert len(rows) == len(FIG9_KERNELS) * len(FIG9_OUTPUTS)
+
+
+def test_theano_wins_3cubed(rows):
+    assert all(r.winner() == "theano" for r in rows if r.kernel_size == 3)
+
+
+def test_comparable_at_5cubed(rows):
+    for r in rows:
+        if r.kernel_size == 5 and r.seconds["theano"] is not None:
+            assert 0.5 < r.seconds["znn"] / r.seconds["theano"] < 2.0
+
+
+def test_znn_wins_7cubed(rows):
+    assert all(r.winner() == "znn" for r in rows if r.kernel_size == 7)
+
+
+def test_theano_cannot_go_beyond_7cubed():
+    """'We were unable to use Theano to train 3D networks with kernel
+    sizes larger than 7x7x7' (Section IX-B)."""
+    fw = GPU_FRAMEWORKS["theano-3d"]
+    assert not gpu_fits_in_memory(fw, comparison_layers(3, 9, 1))
+
+
+def test_bench_fig9_row(benchmark):
+    benchmark(fig9_comparison, (5,), (4,))

@@ -1,0 +1,71 @@
+"""Model ablation — sensitivity of simulated speedup to scheduling
+overhead.
+
+The paper's design effort (heap-of-lists queue, pointer-only critical
+sections) exists to keep per-task synchronisation cost negligible
+against task bodies.  This ablation turns that knob in the machine
+model: sweeping the per-task overhead shows when scheduling cost starts
+eating the speedup — and why it bites *narrow* networks (smaller layer
+fan-out means less work to amortise each queue operation, and the same
+reasoning explains why ZNN needs 'sufficiently wide networks').
+"""
+
+import dataclasses
+
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.simulate import get_machine, paper_task_graph, simulate_schedule
+
+OVERHEADS = (0.0, 2e3, 2e4, 2e5, 2e6)
+
+
+def machine_with_overhead(overhead):
+    return dataclasses.replace(get_machine("xeon-18"),
+                               sync_overhead=overhead)
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    out = {}
+    for width in (5, 40):
+        tg = paper_task_graph(3, width)
+        for overhead in OVERHEADS:
+            machine = machine_with_overhead(overhead)
+            out[(width, overhead)] = simulate_schedule(
+                tg, machine, machine.threads).speedup
+    return out
+
+
+def test_print_sensitivity(speedups):
+    rows = []
+    for width in (5, 40):
+        rows.append([width] + [fmt(speedups[(width, o)], 4)
+                               for o in OVERHEADS])
+    print_table("speedup vs per-task sync overhead (FLOP-equivalents), "
+                "xeon-18 model, 3D net",
+                ["width"] + [fmt(o, 3) for o in OVERHEADS], rows)
+
+
+def test_speedup_monotone_in_overhead(speedups):
+    for width in (5, 40):
+        series = [speedups[(width, o)] for o in OVERHEADS]
+        assert all(series[i] >= series[i + 1] - 1e-9
+                   for i in range(len(series) - 1))
+
+
+def test_moderate_overhead_harmless(speedups):
+    """The design target: realistic overhead (~2k FLOP-equivalents per
+    task) costs almost nothing against convolution-sized tasks."""
+    for width in (5, 40):
+        assert speedups[(width, 2e3)] > 0.95 * speedups[(width, 0.0)]
+
+
+def test_extreme_overhead_kills_scaling(speedups):
+    assert speedups[(40, 2e6)] < 0.7 * speedups[(40, 0.0)]
+
+
+def test_bench_sensitivity_point(benchmark):
+    tg = paper_task_graph(3, 5)
+    machine = machine_with_overhead(2e4)
+    benchmark(simulate_schedule, tg, machine, machine.threads)

@@ -1,0 +1,64 @@
+"""Section X — priority scheduling vs FIFO / LIFO / random order.
+
+"The alternative scheduling strategies achieve noticeably lower
+scalability than the one proposed in the paper for most networks."
+We schedule the paper's 3D task graph on simulated machines under each
+ready-queue policy and compare speedups, and also run a real training
+round through the live engine with each strategy to confirm identical
+results (correctness is policy-independent; only performance differs).
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.core import Network, SGD
+from repro.graph import build_layered_network
+from repro.simulate import get_machine, paper_task_graph, simulate_schedule
+
+POLICIES = ("priority", "fifo", "lifo", "random")
+WIDTHS = (5, 20, 60) if not full_run() else (5, 10, 20, 40, 80, 120)
+
+
+def test_policy_speedups():
+    machine = get_machine("xeon-phi")
+    rows = []
+    results = {}
+    for width in WIDTHS:
+        tg = paper_task_graph(3, width)
+        speedups = {p: simulate_schedule(tg, machine, machine.threads,
+                                         policy=p).speedup
+                    for p in POLICIES}
+        results[width] = speedups
+        rows.append([width] + [fmt(speedups[p], 4) for p in POLICIES])
+    print_table(f"scheduling policies on {machine.name} (3D net)",
+                ["width"] + list(POLICIES), rows)
+    # The priority policy is never (meaningfully) beaten.
+    for width, speedups in results.items():
+        best_alt = max(speedups[p] for p in POLICIES if p != "priority")
+        assert speedups["priority"] >= best_alt * 0.97
+
+
+def test_all_policies_same_training_result(rng=np.random.default_rng(0)):
+    x = rng.standard_normal((12, 12, 12))
+
+    def run(scheduler):
+        graph = build_layered_network("CTMCT", width=2, kernel=2, window=2)
+        net = Network(graph, input_shape=(12, 12, 12), seed=3,
+                      num_workers=2, scheduler=scheduler,
+                      optimizer=SGD(learning_rate=0.01))
+        targets = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+        losses = [net.train_step(x, targets) for _ in range(2)]
+        net.close()
+        return losses
+
+    ref = run("priority")
+    for sched in ("fifo", "lifo", "work-stealing"):
+        np.testing.assert_allclose(run(sched), ref, atol=1e-8)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_bench_policy(benchmark, policy):
+    tg = paper_task_graph(3, 10)
+    machine = get_machine("xeon-18")
+    benchmark(simulate_schedule, tg, machine, machine.threads, policy)

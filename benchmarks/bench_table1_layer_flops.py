@@ -1,0 +1,74 @@
+"""Table I — FLOPs of pooling / filtering / transfer layers.
+
+Prints the model's per-pass FLOP counts for a layer of ``f`` nodes on
+``n^3`` images, and times the real numpy implementations to confirm the
+*relative* costs the table predicts (filtering's log-k factor makes it
+the most expensive forward op; the backwards are all ~n^3).
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.pram import (
+    filtering_layer_costs,
+    pooling_layer_costs,
+    transfer_layer_costs,
+)
+from repro.tensor import (
+    RELU,
+    max_filter_backward,
+    max_filter_forward,
+    max_pool_backward,
+    max_pool_forward,
+)
+
+N = 32
+F = 4
+WINDOW = 4
+
+
+def test_print_table1():
+    rows = []
+    pool = pooling_layer_costs(F, N)
+    filt = filtering_layer_costs(F, N, WINDOW)
+    xfer = transfer_layer_costs(F, N)
+    for name, costs in (("pooling", pool), ("filtering", filt),
+                        ("transfer", xfer)):
+        rows.append([name, fmt(costs.forward), fmt(costs.backward),
+                     fmt(costs.update)])
+    print_table(f"Table I (f={F}, n={N}^3, k=p={WINDOW})",
+                ["layer", "forward", "backward", "update"], rows)
+    # Table I structure: filtering forward carries the 6 log k factor.
+    assert filt.forward == pytest.approx(6 * np.log2(WINDOW)
+                                         * pool.forward)
+    assert filt.backward == pool.backward == xfer.backward
+
+
+@pytest.fixture(scope="module")
+def image(request):
+    return np.random.default_rng(0).standard_normal((N, N, N))
+
+
+def test_bench_pool_forward(benchmark, image):
+    benchmark(max_pool_forward, image, WINDOW)
+
+
+def test_bench_filter_forward(benchmark, image):
+    benchmark(max_filter_forward, image, WINDOW)
+
+
+def test_bench_transfer_forward(benchmark, image):
+    benchmark(RELU.apply, image, 0.1)
+
+
+def test_bench_pool_backward(benchmark, image):
+    pooled, argmax = max_pool_forward(image, WINDOW)
+    grad = np.random.default_rng(1).standard_normal(pooled.shape)
+    benchmark(max_pool_backward, grad, argmax, WINDOW)
+
+
+def test_bench_filter_backward(benchmark, image):
+    out, argmax = max_filter_forward(image, WINDOW)
+    grad = np.random.default_rng(1).standard_normal(out.shape)
+    benchmark(max_filter_backward, grad, argmax, image.shape)

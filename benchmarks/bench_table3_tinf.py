@@ -1,0 +1,68 @@
+"""Tables III & IV — per-layer times with infinitely many processors.
+
+Prints the T_inf rows for a fully connected conv layer in all three
+modes and the non-conv layers, and cross-checks the model against the
+*structural* T_inf of the generated task graph (critical path of one
+layer's task DAG), which the DES relies on.
+"""
+
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.graph import build_layered_network, build_task_graph
+from repro.pram import conv_layer_tinf, nonconv_layer_tinf
+
+N = 16
+F = 8
+K = 5
+
+
+def test_print_table3():
+    rows = []
+    for mode in ("direct", "fft", "fft-memo"):
+        t = conv_layer_tinf(F, F, N, K, mode=mode)
+        rows.append([mode, fmt(t.forward), fmt(t.backward), fmt(t.update)])
+    print_table(f"Table III (conv layer, f=f'={F}, n={N}^3, k={K}^3)",
+                ["mode", "T_fwd_inf", "T_bwd_inf", "T_upd_inf"], rows)
+
+    rows4 = []
+    for kind in ("pool", "filter", "transfer"):
+        t = nonconv_layer_tinf(kind, N, 2)
+        rows4.append([kind, fmt(t.forward), fmt(t.backward), fmt(t.update)])
+    print_table(f"Table IV (n={N}^3)",
+                ["layer", "T_fwd_inf", "T_bwd_inf", "T_upd_inf"], rows4)
+
+
+def test_taskgraph_critical_path_close_to_model():
+    """The unrolled task graph's critical path should approximate the
+    summed layer T_inf values of the analysis (same asymptotics; the
+    task graph serialises convergent sums inside tasks rather than as a
+    binary collapse, so we allow a generous band)."""
+    g = build_layered_network("CTCT", width=F, kernel=K)
+    g.propagate_shapes(N + 2 * (K - 1))
+    tg = build_task_graph(g, conv_mode="direct")
+    structural = tg.critical_path_cost()
+
+    model = 0.0
+    shapes = [(N + 2 * (K - 1),), (N + K - 1,)]
+    f_in = 1
+    for (n,) in shapes:
+        t = conv_layer_tinf(f_in, F, n, K, mode="direct")
+        x = nonconv_layer_tinf("transfer", n - K + 1)
+        model += (t.forward + t.backward + x.forward + x.backward)
+        f_in = F
+    assert 0.3 < structural / model < 3.0
+
+
+def test_bench_critical_path(benchmark):
+    g = build_layered_network("CTCT", width=F, kernel=K)
+    g.propagate_shapes(30)
+    tg = build_task_graph(g, conv_mode="direct")
+    benchmark(tg.critical_path_cost)
+
+
+def test_bench_taskgraph_build(benchmark):
+    g = build_layered_network("CTMCTMCTCT", width=10, kernel=3, window=2,
+                              skip_kernels=True)
+    g.propagate_shapes(37)
+    benchmark(build_task_graph, g, "direct")

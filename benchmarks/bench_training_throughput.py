@@ -1,0 +1,79 @@
+"""Live-engine training throughput (Section VIII measurement protocol
+on this host).
+
+Measures real seconds/update of the paper's 3D architecture at small
+widths with the serial engine and the threaded engine, using the
+paper's warm-up-then-average protocol.  On a single-core container the
+threaded engine cannot beat serial — the point here is the measurement
+machinery and the per-configuration scaling (wall time ~ width^2 for
+fully connected layers).
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.core import Network, SGD, Trainer, measure_seconds_per_update
+from repro.data import RandomProvider
+from repro.graph import build_layered_network
+
+WIDTHS = (2, 4) if not full_run() else (2, 4, 8)
+INPUT = (24, 24, 24)
+
+
+def build(width, num_workers=1):
+    graph = build_layered_network("CTMCTCT", width=width, kernel=3,
+                                  window=2, skip_kernels=True,
+                                  transfer="tanh", output_nodes=1)
+    return Network(graph, input_shape=INPUT, conv_mode="auto", seed=0,
+                   num_workers=num_workers,
+                   optimizer=SGD(learning_rate=1e-4))
+
+
+def seconds_per_update(width, num_workers=1, rounds=3):
+    net = build(width, num_workers)
+    provider = RandomProvider(INPUT, net.output_nodes[0].shape, seed=1)
+    s = measure_seconds_per_update(net, provider, warmup=1, rounds=rounds)
+    net.close()
+    return s
+
+
+def test_print_throughput():
+    rows = []
+    for width in WIDTHS:
+        serial = seconds_per_update(width, 1)
+        threaded = seconds_per_update(width, 2)
+        rows.append([width, fmt(serial, 3), fmt(threaded, 3)])
+    print_table(f"seconds/update, 3D CTMCTCT on {INPUT} (this host)",
+                ["width", "serial", "2 workers"], rows)
+    assert all(float(r[1]) > 0 for r in rows)
+
+
+def test_cost_scales_superlinearly_with_width():
+    """Fully connected layers: work ~ width^2; wall time must grow
+    clearly faster than linearly from width 2 to 4."""
+    t2 = seconds_per_update(2)
+    t4 = seconds_per_update(4)
+    assert t4 > 1.5 * t2
+
+
+def test_bench_train_step_width2(benchmark):
+    net = build(2)
+    provider = RandomProvider(INPUT, net.output_nodes[0].shape, seed=1)
+    x, t = provider.sample()
+    net.train_step(x, t)  # warm pools and caches
+
+    def step():
+        net.train_step(x, t)
+
+    benchmark(step)
+    net.close()
+
+
+def test_bench_forward_width2(benchmark):
+    net = build(2)
+    provider = RandomProvider(INPUT, net.output_nodes[0].shape, seed=1)
+    x, _ = provider.sample()
+    net.forward(x)
+    benchmark(net.forward, x)
+    net.close()

@@ -1,0 +1,142 @@
+"""Section VII-B ablation — wait-free concurrent summation vs the
+naive locked sum.
+
+The wait-free method does the O(n^3) additions outside the critical
+section; the naive method holds the lock for the whole addition, so its
+critical-section time scales with the image size.  We measure wall time
+for T threads accumulating into one node under both schemes, plus
+single-thread overhead of each.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import fmt, print_table
+from repro.sync import ConcurrentSum, NaiveLockedSum
+
+SHAPE = (48, 48, 48)
+THREADS = 4
+PER_THREAD = 4
+
+
+def accumulate(impl_cls, threads=THREADS, per_thread=PER_THREAD,
+               shape=SHAPE):
+    rng = np.random.default_rng(0)
+    arrays = [[rng.standard_normal(shape) for _ in range(per_thread)]
+              for _ in range(threads)]
+    s = impl_cls(threads * per_thread)
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(mine):
+        barrier.wait()
+        for a in mine:
+            s.add(a)
+
+    ts = [threading.Thread(target=worker, args=(arrays[i],))
+          for i in range(threads)]
+    for t in ts:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in ts:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    return elapsed, s.get()
+
+
+def test_both_schemes_agree():
+    _, wait_free = accumulate(ConcurrentSum)
+    _, naive = accumulate(NaiveLockedSum)
+    np.testing.assert_allclose(wait_free, naive, atol=1e-9)
+
+
+def test_print_comparison():
+    rows = []
+    for name, cls in (("wait-free", ConcurrentSum),
+                      ("naive-locked", NaiveLockedSum)):
+        times = [accumulate(cls)[0] for _ in range(3)]
+        rows.append([name, fmt(min(times), 3), fmt(np.mean(times), 3)])
+    print_table(f"concurrent summation, {THREADS} threads x "
+                f"{PER_THREAD} images of {SHAPE}",
+                ["scheme", "best s", "mean s"], rows)
+    # No hard time assertion: with 1 host core the GIL serialises the
+    # additions either way; the structural property is tested below.
+
+
+def test_critical_section_is_pointer_only():
+    """Instrument the lock: under the wait-free scheme the lock is
+    never held during an array addition (we verify by timing lock hold
+    durations — they must not scale with the image size)."""
+    holds = {}
+    for shape in ((16, 16, 16), (64, 64, 64)):
+        s = ConcurrentSum(8)
+        durations = []
+        original_acquire = s._lock.acquire
+        original_release = s._lock.release
+        t_acquired = [0.0]
+
+        def acquire(*a, _oa=original_acquire, **k):
+            result = _oa(*a, **k)
+            t_acquired[0] = time.perf_counter()
+            return result
+
+        def release(_or=original_release):
+            durations.append(time.perf_counter() - t_acquired[0])
+            return _or()
+
+        s._lock = type("L", (), {"acquire": staticmethod(acquire),
+                                 "release": staticmethod(release),
+                                 "__enter__": lambda self: acquire(),
+                                 "__exit__": lambda self, *a: release(),
+                                 })()
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            s.add(rng.standard_normal(shape))
+        holds[shape] = max(durations)
+    # 64x more voxels must NOT mean a correspondingly longer critical
+    # section (allow 10x for timing noise).
+    assert holds[(64, 64, 64)] < holds[(16, 16, 16)] * 10 + 1e-4
+
+
+def test_bench_waitfree(benchmark):
+    benchmark(accumulate, ConcurrentSum, 2, 2, (32, 32, 32))
+
+
+def test_bench_naive(benchmark):
+    benchmark(accumulate, NaiveLockedSum, 2, 2, (32, 32, 32))
+
+
+def test_ordered_sum_costs_little_extra():
+    """The deterministic OrderedSum (bitwise reproducibility across
+    schedules) versus the paper's wait-free scheme: both correct; the
+    ordered reduction concentrates all additions on the completing
+    thread."""
+    from repro.sync import OrderedSum
+
+    class IndexedAdapter:
+        """Give OrderedSum the ConcurrentSum add() signature by
+        assigning arrival indices (determinism is not exercised here,
+        only cost)."""
+
+        def __init__(self, required):
+            self._inner = OrderedSum(required)
+            self._next = iter(range(required))
+            self._lock = threading.Lock()
+
+        def add(self, value):
+            with self._lock:
+                index = next(self._next)
+            return self._inner.add(value, index)
+
+        def get(self):
+            return self._inner.get()
+
+    t_wait, total_wait = accumulate(ConcurrentSum)
+    t_ord, total_ord = accumulate(IndexedAdapter)
+    np.testing.assert_allclose(total_wait, total_ord, atol=1e-9)
+    rows = [["wait-free", fmt(t_wait, 3)], ["ordered", fmt(t_ord, 3)]]
+    print_table("wait-free vs deterministic ordered summation "
+                f"({THREADS} threads)", ["scheme", "seconds"], rows)

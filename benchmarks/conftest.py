@@ -1,0 +1,23 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one table or figure of the paper and
+*prints* the rows it produces (run with ``-s`` to see them), in
+addition to timing a representative kernel with pytest-benchmark.
+
+Set ``ZNN_BENCH_FULL=1`` to sweep the paper's full parameter grids
+(minutes); the default grids keep ``pytest benchmarks/`` fast.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _bench_utils import FULL  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def full():
+    return FULL

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Engine introspection: traced training, automatic strategy selection,
+and checkpointing.
+
+Demonstrates the infrastructure around the core trainer:
+
+1. attach a TraceRecorder and see where one round of gradient learning
+   spends its time (forward / backward / update / loss tasks);
+2. let the Section X future-work selector pick a scheduling strategy
+   for this network by simulating its task graph under every policy;
+3. checkpoint the trained network and restore it into a fresh instance.
+
+Run:  python examples/profiling_and_strategies.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import Network, RandomProvider, SGD, Trainer, build_layered_network
+from repro.core import load_network, save_network
+from repro.scheduler import TraceRecorder, select_strategy
+
+
+def main() -> None:
+    graph = build_layered_network("CTMCTCT", width=4, kernel=3, window=2,
+                                  skip_kernels=True, transfer="tanh",
+                                  final_transfer="linear", output_nodes=1)
+    graph.propagate_shapes((26, 26, 26))
+
+    # -- 2. pick a scheduling strategy by simulation -------------------
+    choice = select_strategy(graph, num_workers=2)
+    print("strategy selection (simulated makespans, FLOP-units):")
+    for policy, makespan in sorted(choice.policy_makespans.items(),
+                                   key=lambda kv: kv[1]):
+        print(f"  {policy:>10}: {makespan:.3g}")
+    print(f"  -> chosen scheduler: {choice.scheduler}\n")
+
+    # -- 1. traced training --------------------------------------------
+    recorder = TraceRecorder()
+    net = Network(graph, input_shape=(26, 26, 26), conv_mode="auto",
+                  seed=0, num_workers=2, scheduler=choice.scheduler,
+                  recorder=recorder,
+                  optimizer=SGD(learning_rate=1e-4, momentum=0.9))
+    provider = RandomProvider((26, 26, 26), net.output_nodes[0].shape,
+                              seed=1)
+    Trainer(net, provider).run(rounds=5)
+    net.synchronize()
+
+    summary = recorder.summary()
+    total = sum(summary.time_per_family.values())
+    print(f"traced {summary.tasks} tasks over {summary.span:.3f}s "
+          f"({summary.workers} workers, "
+          f"utilization {summary.utilization:.0%}):")
+    for family, seconds in sorted(summary.time_per_family.items(),
+                                  key=lambda kv: -kv[1]):
+        print(f"  {family:>10}: {seconds:7.3f}s ({seconds / total:5.1%})")
+
+    # -- 3. checkpoint round-trip ---------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "model.npz")
+        save_network(net, path)
+        restored = Network(graph, input_shape=(26, 26, 26),
+                           conv_mode="direct", seed=999)
+        rounds = load_network(restored, path)
+        x, _ = provider.sample()
+        a = net.forward(x)
+        b = restored.forward(x)
+        name = net.output_nodes[0].name
+        print(f"\ncheckpoint: {rounds} rounds restored; "
+              f"max |output difference| = "
+              f"{np.abs(a[name] - b[name]).max():.2e}")
+        restored.close()
+    net.close()
+
+
+if __name__ == "__main__":
+    main()

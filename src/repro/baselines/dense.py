@@ -1,0 +1,116 @@
+"""Dense-training cost comparison (Section IX).
+
+"ZNN can also perform 'dense training' … Requiring Caffe or Theano to
+perform dense training could have been accomplished by computing 16
+sparse outputs in 2D and 64 in 3D to assemble a dense output.  This
+method is very inefficient and would have been no contest with ZNN."
+
+The comparison net has two 2x pooling stages, so its outputs live on a
+period-4 lattice: a dense map needs 4^d offset evaluations from a
+pooling-based SIMD framework, while ZNN's max-filtering network
+computes all offsets in one pass whose cost (Table II on the
+*unpooled* image pyramid) is far below 4^d sparse passes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.gpu_model import ConvLayerShape, GpuFramework
+from repro.baselines.gpu_model import gpu_seconds_per_update
+from repro.baselines.znn_model import comparison_layers, znn_seconds_per_update
+from repro.utils.shapes import as_shape3, input_shape_for_output
+
+__all__ = [
+    "dense_offset_count",
+    "gpu_dense_seconds",
+    "znn_dense_layers",
+    "znn_dense_seconds",
+]
+
+
+def dense_offset_count(dims: int, pooling_stages: int = 2,
+                       pool: int = 2) -> int:
+    """Sparse evaluations needed per dense output: (pool^stages)^dims —
+    the paper's 16 (2D) and 64 (3D)."""
+    if dims not in (2, 3):
+        raise ValueError(f"dims must be 2 or 3, got {dims}")
+    return (pool ** pooling_stages) ** dims
+
+
+def gpu_dense_seconds(framework: GpuFramework, dims: int, kernel_size: int,
+                      output_size: int, width: int = 40) -> float:
+    """Modelled GPU seconds for one *dense* update: the sparse update
+    repeated at every pooling offset."""
+    layers = comparison_layers(dims, kernel_size, output_size, width=width)
+    return (dense_offset_count(dims)
+            * gpu_seconds_per_update(framework, layers))
+
+
+def znn_dense_layers(dims: int, kernel_size: int, output_size: int,
+                     width: int = 40) -> List[ConvLayerShape]:
+    """Layer shapes of ZNN's dense (max-filtering, skip-kernel)
+    equivalent of the comparison net.
+
+    Resolution is never reduced: every layer sees the full input-sized
+    image (minus valid-convolution trims), with convolutions dilated by
+    the accumulated pooling factor.  ``output_size`` is the *sparse*
+    patch size, so the dense output spans ``(output_size-1)*4 + 1``
+    voxels per pooled dimension.
+    """
+    from repro.baselines.znn_model import COMPARISON_SPEC
+
+    if dims == 2:
+        kernel = (1, kernel_size, kernel_size)
+        window = (1, 2, 2)
+        out = (1, output_size, output_size)
+    elif dims == 3:
+        kernel = (kernel_size,) * 3
+        window = (2, 2, 2)
+        out = (output_size,) * 3
+    else:
+        raise ValueError(f"dims must be 2 or 3, got {dims}")
+
+    # Same input extent as the pooled net (identical field of view).
+    pooled_layers = []
+    for c in COMPARISON_SPEC:
+        if c == "C":
+            pooled_layers.append(("conv", kernel, 1))
+        elif c == "P":
+            pooled_layers.append(("pool", window, 1))
+        else:
+            pooled_layers.append(("transfer", 1, 1))
+    in_size = input_shape_for_output(out, pooled_layers)
+
+    shapes: List[ConvLayerShape] = []
+    current = as_shape3(in_size)
+    sparsity = (1, 1, 1)
+    f_in = 1
+    for c in COMPARISON_SPEC:
+        if c == "C":
+            eff = tuple((k - 1) * s + 1 for k, s in zip(as_shape3(kernel),
+                                                        sparsity))
+            out_shape = tuple(n - e + 1 for n, e in zip(current, eff))
+            shapes.append(ConvLayerShape(
+                f_in=f_in, f_out=width, input_shape=current,
+                output_shape=out_shape,  # type: ignore[arg-type]
+                kernel_shape=as_shape3(kernel)))
+            current = out_shape  # type: ignore[assignment]
+            f_in = width
+        elif c == "P":
+            # max-filtering instead of pooling: valid trim, no decimation
+            eff = tuple((w - 1) * s + 1 for w, s in zip(as_shape3(window),
+                                                        sparsity))
+            current = tuple(n - e + 1 for n, e in zip(current, eff))
+            sparsity = tuple(s * w for s, w in zip(sparsity,
+                                                   as_shape3(window)))
+    return shapes
+
+
+def znn_dense_seconds(dims: int, kernel_size: int, output_size: int,
+                      width: int = 40, machine="xeon-18") -> float:
+    """Modelled ZNN seconds for one dense update (one pass of the
+    max-filter net over full-resolution images)."""
+    return znn_seconds_per_update(znn_dense_layers(dims, kernel_size,
+                                                   output_size, width),
+                                  machine=machine)

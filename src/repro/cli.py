@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Version, subsystem inventory and the Table V machine catalog.
+``figure {4,5,6,7,8,9}``
+    Regenerate a paper figure as a text table (simulated machines /
+    calibrated GPU models; see DESIGN.md).
+``simulate``
+    One discrete-event scheduling run: machine, dims, width, threads,
+    policy.
+``autotune``
+    Measure the direct-vs-FFT crossover on this host for a range of
+    kernel sizes.
+``train``
+    Train a network from a spec file (or the built-in 3D benchmark) on
+    synthetic boundary-detection data, with optional checkpointing.
+``gradcheck``
+    Finite-difference verification of a spec-file network's gradients
+    (use after adding custom ops).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import reporting
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZNN reproduction: task-parallel 3D ConvNet training")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version, inventory, machine catalog")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", choices=["4", "5", "6", "7", "8", "9"])
+    fig.add_argument("--machine", default="xeon-18",
+                     help="Table V machine key (figure 5)")
+    fig.add_argument("--dims", type=int, default=3, choices=(2, 3),
+                     help="2D or 3D networks (figure 5)")
+    fig.add_argument("--mode", default="direct",
+                     choices=("direct", "fft-memo"),
+                     help="convolution cost model (figure 4 panels a/b)")
+    fig.add_argument("--chart", action="store_true",
+                     help="also draw an ASCII chart (figures 4, 6, 7)")
+
+    sim = sub.add_parser("simulate", help="one scheduling simulation")
+    sim.add_argument("--machine", default="xeon-18")
+    sim.add_argument("--dims", type=int, default=3, choices=(2, 3))
+    sim.add_argument("--width", type=int, default=20)
+    sim.add_argument("--threads", type=int, default=None,
+                     help="worker threads (default: machine hw threads)")
+    sim.add_argument("--policy", default="priority",
+                     choices=("priority", "fifo", "lifo", "random"))
+
+    tune = sub.add_parser("autotune", help="measure FFT/direct crossover")
+    tune.add_argument("--image", type=int, default=32)
+    tune.add_argument("--kernels", default="2,3,5,7",
+                      help="comma-separated kernel sizes")
+    tune.add_argument("--repeats", type=int, default=2)
+
+    train = sub.add_parser("train",
+                           help="train on synthetic boundary data")
+    train.add_argument("--spec", default=None,
+                       help="network spec file (default: small 3D net)")
+    train.add_argument("--rounds", type=int, default=20)
+    train.add_argument("--workers", type=int, default=1)
+    train.add_argument("--input-size", type=int, default=24)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--momentum", type=float, default=0.9)
+    train.add_argument("--conv-mode", default="auto",
+                       choices=("auto", "direct", "fft"))
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", default=None,
+                       help="write a .npz checkpoint here when done")
+    train.add_argument("--volume-size", type=int, default=48)
+
+    gc = sub.add_parser("gradcheck",
+                        help="finite-difference check of a spec file's "
+                             "gradients")
+    gc.add_argument("--spec", required=True)
+    gc.add_argument("--input-size", type=int, default=12)
+    gc.add_argument("--conv-mode", default="direct",
+                    choices=("direct", "fft"))
+    gc.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — ZNN reproduction "
+          f"(Zlateski, Lee & Seung, IPDPS 2016)")
+    print("subsystems: core tensor graph scheduler sync memory pram "
+          "simulate baselines data")
+    header, rows = reporting.table5()
+    print(reporting.render_table("Table V — machine models", header, rows))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.number == "4":
+        header, rows = reporting.figure4(mode=args.mode)
+        title = f"Fig 4 — achievable speedup ({args.mode})"
+    elif args.number == "5":
+        header, rows = reporting.figure5(args.machine, args.dims)
+        title = f"Fig 5 — {args.dims}D speedup vs threads on {args.machine}"
+    elif args.number in ("6", "7"):
+        dims = 2 if args.number == "6" else 3
+        header, rows = reporting.figure6_7(dims)
+        title = f"Fig {args.number} — {dims}D max speedup vs width"
+    elif args.number == "8":
+        header, rows = reporting.figure8()
+        title = "Fig 8 — ZNN vs GPU frameworks (2D, seconds/update)"
+    else:
+        header, rows = reporting.figure9()
+        title = "Fig 9 — ZNN vs Theano (3D, seconds/update)"
+    print(reporting.render_table(title, header, rows))
+    if getattr(args, "chart", False) and args.number in ("4", "6", "7"):
+        xs = [int(h.split("=")[1]) for h in header[1:]]
+        series = {row[0]: [(x, float(v)) for x, v in zip(xs, row[1:])
+                           if v != "OOM"]
+                  for row in rows}
+        print()
+        print(reporting.ascii_chart(series, x_label="network width",
+                                    y_label="speedup"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.simulate import get_machine, paper_task_graph, simulate_schedule
+
+    machine = get_machine(args.machine)
+    threads = args.threads if args.threads else machine.threads
+    tg = paper_task_graph(args.dims, args.width)
+    result = simulate_schedule(tg, machine, threads, policy=args.policy)
+    print(f"machine   {machine.name}")
+    print(f"network   {args.dims}D width {args.width} "
+          f"({result.tasks} tasks/round)")
+    print(f"threads   {threads}  policy {args.policy}")
+    print(f"speedup   {result.speedup:.2f}  "
+          f"utilization {result.utilization:.2%}")
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from repro.core import autotune_layer
+
+    kernels = [int(k) for k in args.kernels.split(",") if k]
+    rows = []
+    for k in kernels:
+        mode, t_d, t_f = autotune_layer((args.image,) * 3, k,
+                                        repeats=args.repeats)
+        rows.append([f"{k}^3", f"{t_d:.4f}", f"{t_f:.4f}", mode])
+    print(reporting.render_table(
+        f"direct vs FFT on {args.image}^3 images (this host)",
+        ["kernel", "direct s", "fft s", "chosen"], rows))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    import numpy as np
+
+    from repro.core import Network, SGD, Trainer
+    from repro.core.serialization import save_network
+    from repro.data import PatchProvider, make_cell_volume
+    from repro.graph import build_layered_network, load_spec
+
+    if args.spec:
+        graph = load_spec(args.spec)
+    else:
+        graph = build_layered_network("CTMCTCT", width=6, kernel=3,
+                                      window=2, transfer="tanh",
+                                      final_transfer="linear",
+                                      skip_kernels=True, output_nodes=1)
+    net = Network(graph, input_shape=(args.input_size,) * 3,
+                  conv_mode=args.conv_mode, loss="binary-logistic",
+                  num_workers=args.workers, seed=args.seed,
+                  optimizer=SGD(learning_rate=args.learning_rate,
+                                momentum=args.momentum))
+    out_shape = net.output_nodes[0].shape
+    print(f"network: {len(net.nodes)} nodes, {len(net.edges)} edges; "
+          f"input {(args.input_size,) * 3} -> output {out_shape}")
+
+    volume = make_cell_volume(shape=args.volume_size, num_cells=16,
+                              noise=0.08, seed=args.seed + 1)
+    volume.image[:] = ((volume.image - volume.image.mean())
+                       / volume.image.std())
+    provider = PatchProvider(volume, (args.input_size,) * 3, out_shape,
+                             seed=args.seed + 2)
+    voxels = float(np.prod(out_shape))
+    report = Trainer(net, provider).run(
+        rounds=args.rounds,
+        callback=lambda i, l: print(f"round {i:4d}  loss/voxel "
+                                    f"{l / voxels:.4f}")
+        if i % max(args.rounds // 10, 1) == 0 else None)
+    print(f"mean seconds/update: {report.mean_seconds_per_update:.4f}")
+    print(f"final loss/voxel: {report.losses[-1] / voxels:.4f}")
+    if args.checkpoint:
+        save_network(net, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    net.close()
+    return 0
+
+
+def _cmd_gradcheck(args) -> int:
+    import numpy as np
+
+    from repro.core import Network, check_gradients
+    from repro.graph import load_spec
+
+    graph = load_spec(args.spec)
+    net = Network(graph, input_shape=(args.input_size,) * 3,
+                  conv_mode=args.conv_mode, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    x = rng.standard_normal((args.input_size,) * 3)
+    targets = {n.name: rng.standard_normal(n.shape)
+               for n in net.output_nodes}
+    report = check_gradients(net, x, targets)
+    print(f"checked {report.checked} gradients; "
+          f"max relative error {report.max_relative_error:.2e}")
+    if report.ok:
+        print("OK — all gradients match finite differences")
+        return 0
+    for failure in report.failures:
+        print(f"FAIL  {failure}")
+    return 1
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "figure": _cmd_figure,
+    "simulate": _cmd_simulate,
+    "autotune": _cmd_autotune,
+    "train": _cmd_train,
+    "gradcheck": _cmd_gradcheck,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Layerwise direct-vs-FFT autotuning (Section IV).
+
+"ZNN performs layerwise auto-tuning to choose between FFT-based or
+direct convolution for each layer."  A *layer* here is a group of conv
+edges sharing (input shape, kernel shape, sparsity): they all cost the
+same, so one measurement decides the whole group.
+
+The tuner times both methods on synthetic data — one forward, one
+backward-input and one kernel-gradient transform, which is the per-edge
+work mix of a training round — and picks the faster.  Because timing
+noise on loaded machines can flip marginal cases, ties within
+``tolerance`` prefer the direct method (no memoization bookkeeping).
+
+:func:`crossover_kernel_size` sweeps kernel sizes to locate the
+FFT/direct crossover for a given image size — the quantity the paper
+argues falls at *smaller* kernels for ConvNet layers than for single
+convolutions because image FFTs are shared between a layer's edges
+(Table II); :func:`layer_crossover_kernel_size` measures the layer-level
+crossover using the amortised cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.computation_graph import ComputationGraph
+from repro.pram.costs import (
+    DEFAULT_FFT_CONSTANT,
+    conv_layer_costs_direct,
+    conv_layer_costs_fft,
+)
+from repro.tensor.conv_direct import (
+    conv_backward_input,
+    conv_kernel_gradient,
+    correlate_valid,
+)
+from repro.tensor.conv_fft import FftConvPlan
+from repro.utils.shapes import as_shape3, valid_conv_shape
+
+__all__ = [
+    "time_direct",
+    "time_fft",
+    "autotune_layer",
+    "autotune_graph",
+    "crossover_kernel_size",
+    "layer_crossover_kernel_size",
+]
+
+
+def _bench(fn, repeats: int) -> float:
+    """Best-of-*repeats* wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def time_direct(image_shape, kernel_shape, sparsity=1, repeats: int = 3
+                ) -> float:
+    """Wall time of one direct fwd + bwd + kernel-grad on random data."""
+    rng = np.random.default_rng(0)
+    img = rng.standard_normal(as_shape3(image_shape))
+    ker = rng.standard_normal(as_shape3(kernel_shape))
+    out_shape = valid_conv_shape(image_shape, kernel_shape, sparsity)
+    grad = rng.standard_normal(out_shape)
+
+    def work() -> None:
+        correlate_valid(img, ker, sparsity)
+        conv_backward_input(grad, ker, sparsity)
+        conv_kernel_gradient(img, grad, sparsity)
+
+    return _bench(work, repeats)
+
+
+def time_fft(image_shape, kernel_shape, sparsity=1, repeats: int = 3
+             ) -> float:
+    """Wall time of the memoized FFT equivalent: spectra computed once,
+    three products + three inverse transforms."""
+    rng = np.random.default_rng(0)
+    plan = FftConvPlan(image_shape, kernel_shape, sparsity)
+    img = rng.standard_normal(plan.image_shape)
+    ker = rng.standard_normal(plan.kernel_shape)
+    grad = rng.standard_normal(plan.output_shape)
+
+    def work() -> None:
+        fi = plan.image_spectrum(img)
+        fk = plan.kernel_spectrum(ker)
+        fg = plan.grad_spectrum(grad)
+        plan.forward(fi, fk)
+        plan.backward(fg, fk)
+        plan.kernel_gradient(fi, fg)
+
+    return _bench(work, repeats)
+
+
+def autotune_layer(image_shape, kernel_shape, sparsity=1,
+                   repeats: int = 3, tolerance: float = 0.05
+                   ) -> Tuple[str, float, float]:
+    """Measure both methods; return ``(mode, t_direct, t_fft)``."""
+    t_direct = time_direct(image_shape, kernel_shape, sparsity, repeats)
+    t_fft = time_fft(image_shape, kernel_shape, sparsity, repeats)
+    mode = "fft" if t_fft < t_direct * (1.0 - tolerance) else "direct"
+    return mode, t_direct, t_fft
+
+
+def autotune_graph(graph: ComputationGraph, repeats: int = 3
+                   ) -> Dict[str, str]:
+    """Choose a conv mode per edge, one measurement per distinct
+    (input shape, kernel, sparsity) layer group.
+
+    Shapes must be propagated on *graph* beforehand (Network does this
+    before calling).
+    """
+    modes: Dict[str, str] = {}
+    group_mode: Dict[tuple, str] = {}
+    for edge in graph.edges.values():
+        if edge.kind != "conv":
+            continue
+        src = graph.nodes[edge.src]
+        if src.shape is None:
+            raise ValueError("propagate_shapes() before autotune_graph()")
+        key = (src.shape, edge.kernel, edge.sparsity)
+        if key not in group_mode:
+            group_mode[key], _, _ = autotune_layer(
+                src.shape, edge.kernel, edge.sparsity, repeats)
+        modes[edge.name] = group_mode[key]
+    return modes
+
+
+def crossover_kernel_size(image_shape, kernel_sizes: Sequence[int],
+                          sparsity=1, repeats: int = 3) -> Optional[int]:
+    """Smallest kernel size at which FFT beats direct for a *single*
+    convolution triple, or None if direct wins throughout."""
+    for k in sorted(kernel_sizes):
+        mode, _, _ = autotune_layer(image_shape, k, sparsity, repeats)
+        if mode == "fft":
+            return k
+    return None
+
+
+def layer_crossover_kernel_size(image_shape, kernel_sizes: Sequence[int],
+                                f_in: int, f_out: int,
+                                constant: float = DEFAULT_FFT_CONSTANT,
+                                flops_ratio: float = 1.0) -> Optional[int]:
+    """Smallest kernel size at which the *layer-level* FFT cost model
+    (Table II, memoized — image/kernel FFTs amortised over ``f*f'``
+    edges) beats the direct model.
+
+    ``flops_ratio`` rescales direct FLOPs to account for direct
+    convolution's better constant factor on real hardware (>1 favours
+    direct).  With ``f_in = f_out = 1`` this reduces to the
+    single-convolution crossover, demonstrating the paper's claim that
+    layers cross over at smaller kernels.
+    """
+    for k in sorted(kernel_sizes):
+        try:
+            direct = conv_layer_costs_direct(f_in, f_out, image_shape, k).total
+        except ValueError:  # kernel no longer fits the image
+            return None
+        fft = conv_layer_costs_fft(f_in, f_out, image_shape,
+                                   memoized=True, constant=constant).total
+        if fft < direct * flops_ratio:
+            return k
+    return None

@@ -1,0 +1,144 @@
+"""Loss functions and their gradients (Section III, step 3).
+
+ZNN "implements several possibilities for the loss function, such as
+the Euclidean distance between the actual and desired outputs".  We
+provide:
+
+* :class:`EuclideanLoss` — ``0.5 * sum((o - t)^2)``, the paper's default;
+* :class:`BinaryLogisticLoss` — per-voxel sigmoid cross-entropy on
+  linear outputs (the standard choice for boundary detection, the
+  paper's motivating connectomics application);
+* :class:`SoftmaxCrossEntropyLoss` — softmax across the output *nodes*
+  per voxel (multi-class labelling).
+
+A loss is evaluated over the network's output nodes.  ``per_node``
+losses decompose over nodes, so the network can spawn one loss-gradient
+task per output node as soon as that node's forward sum completes (the
+dark-red tasks of Fig 3); cross-node losses (softmax) need every output
+first and produce a single joined task.
+
+All gradients are with respect to the network outputs (the images the
+backward pass is seeded with).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "EuclideanLoss",
+    "BinaryLogisticLoss",
+    "SoftmaxCrossEntropyLoss",
+    "get_loss",
+]
+
+
+class Loss:
+    """Base class.  Subclasses either implement
+    :meth:`node_value_and_gradient` (``per_node = True``) or
+    :meth:`joint_value_and_gradient` (``per_node = False``)."""
+
+    per_node: bool = True
+
+    def node_value_and_gradient(self, output: np.ndarray, target: np.ndarray
+                                ) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def joint_value_and_gradient(self, outputs: Mapping[str, np.ndarray],
+                                 targets: Mapping[str, np.ndarray]
+                                 ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Default joint evaluation: sum of per-node losses."""
+        total = 0.0
+        grads: Dict[str, np.ndarray] = {}
+        for name, output in outputs.items():
+            value, grad = self.node_value_and_gradient(output, targets[name])
+            total += value
+            grads[name] = grad
+        return total, grads
+
+    @staticmethod
+    def _check(output: np.ndarray, target: np.ndarray) -> None:
+        if output.shape != target.shape:
+            raise ValueError(
+                f"output shape {output.shape} != target shape {target.shape}")
+
+
+class EuclideanLoss(Loss):
+    """Squared Euclidean distance: ``0.5 * sum((o - t)^2)``."""
+
+    per_node = True
+
+    def node_value_and_gradient(self, output, target):
+        self._check(output, target)
+        diff = output - target
+        return 0.5 * float(np.sum(diff * diff)), diff
+
+
+class BinaryLogisticLoss(Loss):
+    """Per-voxel sigmoid cross-entropy on *linear* outputs.
+
+    ``loss = sum(softplus(o) - t * o)`` with gradient
+    ``sigmoid(o) - t``; numerically stable for large ``|o|``.
+    Targets must lie in [0, 1].
+    """
+
+    per_node = True
+
+    def node_value_and_gradient(self, output, target):
+        self._check(output, target)
+        # softplus(o) = log(1 + exp(o)) = max(o, 0) + log1p(exp(-|o|))
+        softplus = np.maximum(output, 0.0) + np.log1p(np.exp(-np.abs(output)))
+        value = float(np.sum(softplus - target * output))
+        sigmoid = np.empty_like(output)
+        pos = output >= 0
+        sigmoid[pos] = 1.0 / (1.0 + np.exp(-output[pos]))
+        ex = np.exp(output[~pos])
+        sigmoid[~pos] = ex / (1.0 + ex)
+        return value, sigmoid - target
+
+
+class SoftmaxCrossEntropyLoss(Loss):
+    """Per-voxel softmax over the output nodes, cross-entropy against
+    one-hot (or soft) targets given per node.
+
+    Needs all outputs jointly, so ``per_node`` is False and the network
+    spawns a single loss-gradient task once the last output completes.
+    """
+
+    per_node = False
+
+    def joint_value_and_gradient(self, outputs, targets):
+        names = sorted(outputs)
+        if sorted(targets) != names:
+            raise ValueError(
+                f"targets {sorted(targets)} do not match outputs {names}")
+        stack = np.stack([outputs[n] for n in names], axis=0)
+        tstack = np.stack([targets[n] for n in names], axis=0)
+        stack = stack - np.max(stack, axis=0, keepdims=True)
+        exp = np.exp(stack)
+        probs = exp / np.sum(exp, axis=0, keepdims=True)
+        value = -float(np.sum(tstack * np.log(np.clip(probs, 1e-300, None))))
+        grads = probs - tstack
+        return value, {n: np.ascontiguousarray(grads[i])
+                       for i, n in enumerate(names)}
+
+
+_LOSSES = {
+    "euclidean": EuclideanLoss,
+    "binary-logistic": BinaryLogisticLoss,
+    "softmax": SoftmaxCrossEntropyLoss,
+}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Look up a loss by name (or pass an instance through)."""
+    if isinstance(name, Loss):
+        return name
+    try:
+        return _LOSSES[name]()
+    except KeyError:
+        raise ValueError(f"unknown loss {name!r}; "
+                         f"available: {sorted(_LOSSES)}") from None

@@ -1,0 +1,130 @@
+"""Multi-scale and scale-invariant networks (Sections II-A and XI).
+
+ZNN's sparsity control enables two extensions the paper highlights:
+
+* **multi-scale** networks [14], [16] — parallel convolution paths at
+  different sparsities whose outputs are summed at a common node,
+  combining features of several receptive-field scales *without*
+  up/down-sampling (max-filtering preserves resolution);
+* **scale-invariant** convolution [15] — the same *shared* kernel
+  applied at each scale (weight sharing across the parallel edges).
+
+:func:`build_multiscale_graph` constructs the graph: an input trunk,
+``len(scales)`` parallel sparse-conv branches converging on a sum node,
+and an output head.  :func:`make_scale_invariant` ties the parallel
+kernels of a built network together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.network import Network
+from repro.graph.computation_graph import ComputationGraph
+from repro.utils.shapes import as_shape3, effective_kernel_shape
+
+__all__ = ["build_multiscale_graph", "branch_edge_names",
+           "make_scale_invariant"]
+
+
+def build_multiscale_graph(kernel: int | Sequence[int] = 3,
+                           scales: Sequence[int] = (1, 2, 4),
+                           width: int = 4,
+                           transfer: str = "relu") -> ComputationGraph:
+    """A three-stage multi-scale graph.
+
+    Structure per width-channel ``j``::
+
+        input → conv(k, s=1) → T →  conv(k, sparsity=s_i)  ┐
+                                      … one per scale …     ├→ (sum) → T → conv → output
+                                                            ┘
+
+    The parallel branches all produce the same output shape, which
+    requires *trimming*: branch ``i`` is padded to the slowest branch's
+    shrinkage with an extra valid convolution of kernel 1 — instead we
+    simply require all scales to shrink equally by choosing per-branch
+    kernels.  Concretely each branch uses the same kernel size ``k``
+    but sparsity ``s_i``, so the shrinkage differs; we equalise by
+    giving faster branches an extra max-filter of the right window.
+    """
+    k = as_shape3(kernel, name="kernel")
+    scales = [int(s) for s in scales]
+    if any(s < 1 for s in scales):
+        raise ValueError(f"scales must be >= 1, got {scales}")
+
+    g = ComputationGraph()
+    g.add_node("input", layer=0)
+
+    # Shared trunk.
+    trunk: List[str] = []
+    for j in range(width):
+        g.add_node(f"trunk_{j}", layer=1)
+        g.add_edge(f"conv_trunk_{j}", "input", f"trunk_{j}", "conv", kernel=k)
+        g.add_node(f"trunkT_{j}", layer=2)
+        g.add_edge(f"xfer_trunk_{j}", f"trunk_{j}", f"trunkT_{j}", "transfer",
+                   transfer=transfer)
+        trunk.append(f"trunkT_{j}")
+
+    # Parallel scale branches, equalised to the largest footprint.
+    eff = [effective_kernel_shape(k, s) for s in scales]
+    max_eff = tuple(max(e[d] for e in eff) for d in range(3))
+    merged: List[str] = []
+    for j in range(width):
+        g.add_node(f"merge_{j}", layer=4)
+        for i, s in enumerate(scales):
+            pad = tuple(me - e + 1 for me, e in zip(max_eff, eff[i]))
+            if pad == (1, 1, 1):
+                # Shrinks exactly like the largest scale: direct edge.
+                for src in trunk:
+                    g.add_edge(f"conv_s{s}_{src}_to_{j}", src, f"merge_{j}",
+                               "conv", kernel=k, sparsity=s)
+            else:
+                # Equalise with a max-filter of the residual window.
+                mid = f"branch_s{s}_{j}"
+                g.add_node(mid, layer=3)
+                for src in trunk:
+                    g.add_edge(f"conv_s{s}_{src}_to_{j}", src, mid,
+                               "conv", kernel=k, sparsity=s)
+                g.add_edge(f"filt_s{s}_{j}", mid, f"merge_{j}", "filter",
+                           window=pad)
+        merged.append(f"merge_{j}")
+
+    # Output head.
+    g.add_node("head", layer=6)
+    for j, src in enumerate(merged):
+        mid = f"mergeT_{j}"
+        g.add_node(mid, layer=5)
+        g.add_edge(f"xfer_merge_{j}", src, mid, "transfer", transfer=transfer)
+        g.add_edge(f"conv_head_{j}", mid, "head", "conv", kernel=1)
+    g.add_node("output", layer=7)
+    g.add_edge("xfer_out", "head", "output", "transfer", transfer="linear")
+
+    g.validate()
+    return g
+
+
+def branch_edge_names(graph: ComputationGraph, src: str, dst_channel: int
+                      ) -> Dict[int, str]:
+    """The parallel conv edges from trunk node *src* into merge channel
+    *dst_channel*, keyed by scale."""
+    out: Dict[int, str] = {}
+    prefix = "conv_s"
+    for name in graph.edges:
+        if name.startswith(prefix) and f"_{src}_to_{dst_channel}" in name:
+            scale = int(name[len(prefix):name.index("_", len(prefix))])
+            out[scale] = name
+    return out
+
+
+def make_scale_invariant(network: Network, graph: ComputationGraph,
+                         trunk_width: int, merge_width: int) -> int:
+    """Tie the kernels of each (trunk node → merge channel) group of
+    parallel scale edges together.  Returns the number of tied groups."""
+    tied = 0
+    for j in range(merge_width):
+        for t in range(trunk_width):
+            names = branch_edge_names(graph, f"trunkT_{t}", j)
+            if len(names) >= 2:
+                network.share_kernels([names[s] for s in sorted(names)])
+                tied += 1
+    return tied

@@ -1,0 +1,137 @@
+"""Runtime node state (the images living at computation-graph nodes).
+
+Each node owns a forward and a backward accumulator (the paper's
+``fwd_sum``/``bwd_sum``, instances of the wait-free
+:class:`repro.sync.ConcurrentSum`), the finalized forward/backward
+images, and — in FFT mode — the spectral-vs-spatial *domain* in which
+each accumulator operates:
+
+ZNN accumulates the convergent convolutions of an FFT layer in the
+Fourier domain and performs a single inverse transform per node (this
+is where the ``f'`` inverse-FFT term of Table II comes from), so when
+*all* edges entering (resp. leaving) a node are FFT-mode convolutions
+with a common transform size, the node's forward (resp. backward) sum
+holds half-spectra and ``finalize`` applies the inverse transform +
+crop.  Otherwise contributions are summed spatially.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.graph.computation_graph import NodeSpec
+from repro.sync.summation import ConcurrentSum, OrderedSum
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.edges import RuntimeEdge
+
+__all__ = ["RuntimeNode"]
+
+
+class RuntimeNode:
+    """Mutable per-round state for one computation-graph node."""
+
+    __slots__ = ("spec", "shape", "in_edges", "out_edges",
+                 "fwd_sum", "bwd_sum", "fwd_image", "bwd_image",
+                 "forward_domain", "backward_domain",
+                 "_in_index", "_out_index")
+
+    def __init__(self, spec: NodeSpec) -> None:
+        if spec.shape is None:
+            raise ValueError(f"node {spec.name!r} has no shape; "
+                             "propagate_shapes() first")
+        self.spec = spec
+        self.shape = spec.shape
+        self.in_edges: List["RuntimeEdge"] = []
+        self.out_edges: List["RuntimeEdge"] = []
+        self.fwd_sum: Optional[ConcurrentSum] = None
+        self.bwd_sum: Optional[ConcurrentSum] = None
+        self.fwd_image: Optional[np.ndarray] = None
+        self.bwd_image: Optional[np.ndarray] = None
+        self.forward_domain = "spatial"
+        self.backward_domain = "spatial"
+        self._in_index = {}
+        self._out_index = {}
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def is_input(self) -> bool:
+        return not self.in_edges
+
+    @property
+    def is_output(self) -> bool:
+        return not self.out_edges
+
+    def wire(self, deterministic: bool = False) -> None:
+        """Create the accumulators and decide sum domains.  Called once
+        after all runtime edges are attached.
+
+        ``deterministic=True`` uses :class:`repro.sync.OrderedSum` —
+        contributions are reduced in fixed edge order, making results
+        bitwise identical across thread counts and schedules (at the
+        cost of holding all contributions until the node completes).
+        """
+        sum_cls = OrderedSum if deterministic else ConcurrentSum
+        self._in_index = {id(e): i for i, e in enumerate(self.in_edges)}
+        self._out_index = {id(e): i for i, e in enumerate(self.out_edges)}
+        if self.in_edges:
+            self.fwd_sum = sum_cls(len(self.in_edges))
+            plans = [e.plan for e in self.in_edges
+                     if getattr(e, "mode", None) == "fft"]
+            if (len(plans) == len(self.in_edges)
+                    and len({p.transform_shape for p in plans}) == 1):
+                self.forward_domain = "spectral"
+        if self.out_edges:
+            self.bwd_sum = sum_cls(len(self.out_edges))
+            plans = [e.plan for e in self.out_edges
+                     if getattr(e, "mode", None) == "fft"]
+            if (len(plans) == len(self.out_edges)
+                    and len({p.transform_shape for p in plans}) == 1):
+                self.backward_domain = "spectral"
+
+    def reset_round(self) -> None:
+        """Prepare the accumulators for the next training round."""
+        if self.fwd_sum is not None:
+            self.fwd_sum.reset()
+        if self.bwd_sum is not None:
+            self.bwd_sum.reset()
+
+    def add_forward(self, edge, contribution: np.ndarray) -> bool:
+        """Contribute *edge*'s forward output; True when complete."""
+        assert self.fwd_sum is not None
+        if isinstance(self.fwd_sum, OrderedSum):
+            return self.fwd_sum.add(contribution, self._in_index[id(edge)])
+        return self.fwd_sum.add(contribution)
+
+    def add_backward(self, edge, contribution: np.ndarray) -> bool:
+        """Contribute *edge*'s backward output; True when complete."""
+        assert self.bwd_sum is not None
+        if isinstance(self.bwd_sum, OrderedSum):
+            return self.bwd_sum.add(contribution, self._out_index[id(edge)])
+        return self.bwd_sum.add(contribution)
+
+    def finalize_forward(self) -> np.ndarray:
+        """Fix the node's forward image from its completed sum."""
+        assert self.fwd_sum is not None
+        total = self.fwd_sum.get()
+        if self.forward_domain == "spectral":
+            total = self.in_edges[0].plan.finalize_forward(total)
+        self.fwd_image = total
+        return total
+
+    def finalize_backward(self) -> np.ndarray:
+        """Fix the node's backward image from its completed sum."""
+        assert self.bwd_sum is not None
+        total = self.bwd_sum.get()
+        if self.backward_domain == "spectral":
+            total = self.out_edges[0].plan.finalize_backward(total)
+        self.bwd_image = total
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RuntimeNode({self.name!r}, shape={self.shape})"

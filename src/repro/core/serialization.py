@@ -1,0 +1,86 @@
+"""Network checkpointing.
+
+Saves/restores every trainable parameter (conv kernels and transfer
+biases) plus momentum velocities and the round counter to a compressed
+``.npz``, keyed by edge name so checkpoints survive as long as the
+architecture (edge names and kernel shapes) does.  The ZNN release
+persisted networks the same way — parameters by edge, architecture from
+the spec file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.network import Network
+
+__all__ = ["save_network", "load_network", "network_state"]
+
+_KERNEL = "kernel::"
+_BIAS = "bias::"
+_VELOCITY = "velocity::"
+_META = "__meta__"
+
+
+def network_state(network: Network) -> Dict[str, np.ndarray]:
+    """Flat name->array mapping of every persistent quantity."""
+    state: Dict[str, np.ndarray] = {}
+    seen_kernels = set()
+    for name, edge in network.edges.items():
+        if hasattr(edge, "kernel"):
+            state[_KERNEL + name] = np.array(edge.kernel.array)
+            if (id(edge.kernel) not in seen_kernels
+                    and edge.kernel.state.velocity is not None):
+                state[_VELOCITY + name] = np.array(
+                    edge.kernel.state.velocity)
+            seen_kernels.add(id(edge.kernel))
+        if hasattr(edge, "bias"):
+            state[_BIAS + name] = np.array(edge.bias)
+            if isinstance(edge.state.velocity, float):
+                state[_VELOCITY + name] = np.array(edge.state.velocity)
+    state[_META] = np.array([network.rounds], dtype=np.int64)
+    return state
+
+
+def save_network(network: Network, path) -> None:
+    """Write a checkpoint; pending updates are drained first so the
+    snapshot is consistent."""
+    network.synchronize()
+    np.savez_compressed(path, **network_state(network))
+
+
+def load_network(network: Network, path) -> int:
+    """Restore parameters into an architecture-compatible *network*.
+
+    Returns the stored round counter.  Raises ``KeyError`` if the
+    checkpoint misses a trainable edge of the network and ``ValueError``
+    on shape mismatches.
+    """
+    with np.load(path) as data:
+        for name, edge in network.edges.items():
+            if hasattr(edge, "kernel"):
+                key = _KERNEL + name
+                if key not in data:
+                    raise KeyError(f"checkpoint missing kernel for {name!r}")
+                kernel = data[key]
+                if kernel.shape != edge.kernel.array.shape:
+                    raise ValueError(
+                        f"kernel {name!r}: checkpoint shape {kernel.shape} "
+                        f"!= network {edge.kernel.array.shape}")
+                edge.kernel.array[...] = kernel
+                vkey = _VELOCITY + name
+                if vkey in data:
+                    edge.kernel.state.velocity = np.array(data[vkey])
+            if hasattr(edge, "bias"):
+                key = _BIAS + name
+                if key not in data:
+                    raise KeyError(f"checkpoint missing bias for {name!r}")
+                edge.bias = float(data[key])
+                vkey = _VELOCITY + name
+                if vkey in data:
+                    edge.state.velocity = float(data[vkey])
+        rounds = int(data[_META][0]) if _META in data else 0
+    network.rounds = rounds
+    return rounds

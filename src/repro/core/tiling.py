@@ -1,0 +1,102 @@
+"""Tiled dense inference over large volumes.
+
+The connectomics deployments of ZNN ([21], [23]) run trained networks
+over volumes far larger than one forward pass can hold.  The standard
+technique tiles the volume into overlapping input blocks — each block
+extends the output tile by the network's field of view minus one, so
+adjacent tiles produce *identical* values on their shared boundary (the
+networks are translation covariant) and the dense outputs concatenate
+seamlessly.
+
+:func:`tiled_forward` handles the block arithmetic, ragged edge tiles,
+and stitching, for any single-input/single-output dense network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.utils.shapes import Shape3, as_shape3
+from repro.utils.validation import check_array3
+
+__all__ = ["field_of_view_of", "tile_plan", "tiled_forward"]
+
+
+def field_of_view_of(network: Network) -> Shape3:
+    """The network's field of view: input size − output size + 1."""
+    if len(network.input_nodes) != 1 or len(network.output_nodes) != 1:
+        raise ValueError("tiled inference needs exactly one input and "
+                         "one output node")
+    in_shape = network.input_nodes[0].shape
+    out_shape = network.output_nodes[0].shape
+    fov = tuple(i - o + 1 for i, o in zip(in_shape, out_shape))
+    if any(f < 1 for f in fov):
+        raise ValueError(f"invalid field of view {fov}")
+    return fov  # type: ignore[return-value]
+
+
+def tile_plan(volume_shape: Sequence[int], input_shape: Sequence[int],
+              output_shape: Sequence[int]
+              ) -> Iterator[Tuple[Tuple[int, int, int],
+                                  Tuple[int, int, int]]]:
+    """Yield ``(input_corner, output_corner)`` pairs covering the
+    volume's dense output region.
+
+    The dense output of the whole volume has shape
+    ``volume − fov + 1``.  Interior tiles step by the network's output
+    size; the final tile per axis is shifted back so it ends exactly at
+    the volume boundary (re-computing a few voxels rather than running
+    a ragged partial tile).
+    """
+    v = as_shape3(volume_shape, name="volume_shape")
+    i = as_shape3(input_shape, name="input_shape")
+    o = as_shape3(output_shape, name="output_shape")
+    if any(vd < id_ for vd, id_ in zip(v, i)):
+        raise ValueError(f"volume {v} smaller than network input {i}")
+
+    starts_per_axis = []
+    for vd, id_, od in zip(v, i, o):
+        last = vd - id_  # last valid input corner
+        starts = list(range(0, last + 1, od))
+        if starts[-1] != last:
+            starts.append(last)
+        starts_per_axis.append(starts)
+
+    for z in starts_per_axis[0]:
+        for y in starts_per_axis[1]:
+            for x in starts_per_axis[2]:
+                yield (z, y, x), (z, y, x)
+
+
+def tiled_forward(network: Network, volume: np.ndarray,
+                  progress: Optional[callable] = None) -> np.ndarray:
+    """Dense inference over *volume* by overlapping tiles.
+
+    Returns the full dense output of shape ``volume − fov + 1`` per
+    axis; every voxel equals what a (hypothetical) single forward pass
+    over the whole volume would produce.  ``progress(done, total)`` is
+    called after each tile.
+    """
+    vol = check_array3(volume, "volume")
+    in_shape = network.input_nodes[0].shape
+    out_shape = network.output_nodes[0].shape
+    fov = field_of_view_of(network)
+    dense_shape = tuple(v - f + 1 for v, f in zip(vol.shape, fov))
+    out_name = network.output_nodes[0].name
+
+    plan = list(tile_plan(vol.shape, in_shape, out_shape))
+    dense = np.empty(dense_shape, dtype=np.float64)
+    for index, (ic, oc) in enumerate(plan):
+        block = vol[ic[0]:ic[0] + in_shape[0],
+                    ic[1]:ic[1] + in_shape[1],
+                    ic[2]:ic[2] + in_shape[2]]
+        tile = network.forward(block)[out_name]
+        dense[oc[0]:oc[0] + out_shape[0],
+              oc[1]:oc[1] + out_shape[1],
+              oc[2]:oc[2] + out_shape[2]] = tile
+        if progress is not None:
+            progress(index + 1, len(plan))
+    return dense

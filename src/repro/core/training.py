@@ -1,0 +1,132 @@
+"""Training loop driver (Section III, the outer iteration).
+
+Couples a :class:`repro.core.Network` with a data provider (the orange
+task of Fig 3) and runs rounds of gradient learning, recording losses
+and timing in the same style as the paper's measurements ("first
+running the gradient learning algorithm for 5 warm-up rounds and then
+averaging the time required for the next 50 rounds").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.core.network import Network
+
+__all__ = ["Sample", "DataProvider", "Trainer", "TrainingReport",
+           "measure_seconds_per_update"]
+
+#: One training example: (inputs, targets) in the formats Network accepts.
+Sample = Tuple[object, object]
+
+
+class DataProvider(Protocol):
+    """The data-provider interface: yields one (inputs, targets) pair
+    per call — the paper's task that 'obtains a training sample used
+    for a single round of training'."""
+
+    def sample(self) -> Sample:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class TrainingReport:
+    """Losses and timing gathered by :class:`Trainer.run`."""
+
+    losses: List[float] = field(default_factory=list)
+    round_seconds: List[float] = field(default_factory=list)
+    #: (round index, validation loss) pairs when validation is enabled.
+    validations: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.losses)
+
+    @property
+    def mean_seconds_per_update(self) -> float:
+        return float(np.mean(self.round_seconds)) if self.round_seconds else 0.0
+
+    def smoothed_losses(self, window: int = 10) -> List[float]:
+        """Running mean of the loss curve (for monitoring convergence)."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        out: List[float] = []
+        for i in range(len(self.losses)):
+            lo = max(0, i - window + 1)
+            out.append(float(np.mean(self.losses[lo:i + 1])))
+        return out
+
+
+class Trainer:
+    """Runs gradient-learning rounds on a network."""
+
+    def __init__(self, network: Network, provider: DataProvider) -> None:
+        self.network = network
+        self.provider = provider
+
+    def run(self, rounds: int, warmup: int = 0,
+            callback=None, lr_schedule=None,
+            val_provider=None, validate_every: int = 0,
+            val_samples: int = 4) -> TrainingReport:
+        """Train for *rounds* recorded rounds after *warmup* unrecorded
+        ones.
+
+        *callback(round_index, loss)* is invoked per recorded round;
+        *lr_schedule(round_index) -> float*, if given, sets the
+        network's learning rate before each recorded round (e.g. step
+        decay ``lambda i: 1e-3 * 0.5 ** (i // 100)``).
+
+        With *val_provider* and ``validate_every > 0``, the network is
+        evaluated (forward passes only — no weight updates) on
+        *val_samples* held-out samples every *validate_every* rounds;
+        results land in ``report.validations``.
+        """
+        if rounds < 0 or warmup < 0:
+            raise ValueError("rounds and warmup must be >= 0")
+        if validate_every and val_provider is None:
+            raise ValueError("validate_every needs a val_provider")
+        for _ in range(warmup):
+            inputs, targets = self.provider.sample()
+            self.network.train_step(inputs, targets)
+        report = TrainingReport()
+        for i in range(rounds):
+            if lr_schedule is not None:
+                self.network.set_learning_rate(float(lr_schedule(i)))
+            inputs, targets = self.provider.sample()
+            t0 = time.perf_counter()
+            loss = self.network.train_step(inputs, targets)
+            report.round_seconds.append(time.perf_counter() - t0)
+            report.losses.append(loss)
+            if callback is not None:
+                callback(i, loss)
+            if validate_every and (i + 1) % validate_every == 0:
+                report.validations.append(
+                    (i, self.validate(val_provider, val_samples)))
+        return report
+
+    def validate(self, provider: DataProvider, samples: int = 4) -> float:
+        """Mean loss over *samples* held-out samples, without training
+        (forward passes only; weights untouched)."""
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        net = self.network
+        total = 0.0
+        for _ in range(samples):
+            inputs, targets = provider.sample()
+            outputs = net.forward(inputs)
+            targets = net._normalize_targets(targets)
+            value, _ = net.loss.joint_value_and_gradient(outputs, targets)
+            total += value
+        return total / samples
+
+
+def measure_seconds_per_update(network: Network, provider: DataProvider,
+                               warmup: int = 5, rounds: int = 50) -> float:
+    """The paper's timing protocol: warm up, then average wall time per
+    update over the measured rounds."""
+    report = Trainer(network, provider).run(rounds=rounds, warmup=warmup)
+    return report.mean_seconds_per_update

@@ -1,0 +1,32 @@
+"""Data substrate: synthetic connectomics-style volumes, data
+providers, boundary metrics."""
+
+from repro.data.augment import (
+    AugmentedProvider,
+    apply_transform,
+    random_rigid_transform,
+)
+from repro.data.metrics import BoundaryScores, boundary_scores, pixel_error
+from repro.data.multi import MultiVolumeProvider
+from repro.data.provider import FixedProvider, PatchProvider, RandomProvider
+from repro.data.synthetic import (
+    CellVolume,
+    boundary_map_from_labels,
+    make_cell_volume,
+)
+
+__all__ = [
+    "AugmentedProvider",
+    "apply_transform",
+    "random_rigid_transform",
+    "BoundaryScores",
+    "boundary_scores",
+    "pixel_error",
+    "MultiVolumeProvider",
+    "FixedProvider",
+    "PatchProvider",
+    "RandomProvider",
+    "CellVolume",
+    "boundary_map_from_labels",
+    "make_cell_volume",
+]

@@ -1,0 +1,75 @@
+"""Data augmentation for volumetric training.
+
+The connectomics pipelines built on ZNN ([13], [23]) train with the
+standard volumetric augmentations — axis flips and, for isotropic
+patches, in-plane transpositions.  :class:`AugmentedProvider` wraps any
+provider and applies the *same* random rigid transform to the input
+patch and its target, so spatial correspondence is preserved (required:
+a dense target the same orientation as the input — lattice targets
+transform consistently because the lattice is axis-aligned).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["AugmentedProvider", "random_rigid_transform", "apply_transform"]
+
+#: A transform is (flips, transpose_yx): three booleans + one boolean.
+Transform = Tuple[Tuple[bool, bool, bool], bool]
+
+
+def random_rigid_transform(rng: np.random.Generator,
+                           allow_transpose: bool = True) -> Transform:
+    """Sample a random axis-flip/transpose combination."""
+    flips = tuple(bool(rng.integers(0, 2)) for _ in range(3))
+    transpose = bool(rng.integers(0, 2)) if allow_transpose else False
+    return flips, transpose  # type: ignore[return-value]
+
+
+def apply_transform(image: np.ndarray, transform: Transform) -> np.ndarray:
+    """Apply a rigid transform to a 3D array."""
+    flips, transpose = transform
+    out = image
+    for axis, flip in enumerate(flips):
+        if flip:
+            out = np.flip(out, axis=axis)
+    if transpose:
+        if out.shape[1] != out.shape[2]:
+            raise ValueError(
+                f"transpose requires square y/x, got {out.shape}")
+        out = np.swapaxes(out, 1, 2)
+    return np.ascontiguousarray(out)
+
+
+class AugmentedProvider:
+    """Wrap a provider with random flips (and optional y/x transposes).
+
+    Both members of each sample receive the identical transform.  The
+    transpose is only legal when input and target are square in the
+    (y, x) plane; it is disabled automatically otherwise at sample time.
+    """
+
+    def __init__(self, provider, allow_transpose: bool = True,
+                 seed: SeedLike = None) -> None:
+        self.provider = provider
+        self.allow_transpose = bool(allow_transpose)
+        self.rng = as_generator(seed)
+
+    def sample(self):
+        inputs, targets = self.provider.sample()
+        if not isinstance(inputs, np.ndarray) or not isinstance(
+                targets, np.ndarray):
+            raise TypeError(
+                "AugmentedProvider requires array samples (single input, "
+                "single target)")
+        transposable = (self.allow_transpose
+                        and inputs.shape[1] == inputs.shape[2]
+                        and targets.shape[1] == targets.shape[2])
+        transform = random_rigid_transform(self.rng, transposable)
+        return (apply_transform(inputs, transform),
+                apply_transform(targets, transform))

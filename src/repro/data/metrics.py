@@ -1,0 +1,60 @@
+"""Evaluation metrics for boundary detection.
+
+The connectomics papers the ZNN system served ([13], [23]) evaluate
+boundary maps with pixel error and precision/recall of the membrane
+class; we provide those so the examples can report learning progress
+quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundaryScores", "boundary_scores", "pixel_error"]
+
+
+@dataclass(frozen=True)
+class BoundaryScores:
+    """Confusion-matrix summary of a thresholded boundary prediction."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+
+    def as_dict(self) -> dict:
+        return {"precision": self.precision, "recall": self.recall,
+                "f1": self.f1, "accuracy": self.accuracy}
+
+
+def pixel_error(prediction: np.ndarray, target: np.ndarray,
+                threshold: float = 0.5) -> float:
+    """Fraction of voxels misclassified after thresholding."""
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: {prediction.shape} vs {target.shape}")
+    pred = prediction >= threshold
+    truth = target >= 0.5
+    return float(np.mean(pred != truth))
+
+
+def boundary_scores(prediction: np.ndarray, target: np.ndarray,
+                    threshold: float = 0.5) -> BoundaryScores:
+    """Precision/recall/F1 of the membrane (positive) class."""
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: {prediction.shape} vs {target.shape}")
+    pred = prediction >= threshold
+    truth = target >= 0.5
+    tp = float(np.sum(pred & truth))
+    fp = float(np.sum(pred & ~truth))
+    fn = float(np.sum(~pred & truth))
+    tn = float(np.sum(~pred & ~truth))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    accuracy = (tp + tn) / max(tp + tn + fp + fn, 1.0)
+    return BoundaryScores(precision, recall, f1, accuracy)

@@ -1,0 +1,61 @@
+"""Multi-volume sampling.
+
+Connectomics training sets span several labelled volumes; each round
+draws a patch from one of them.  :class:`MultiVolumeProvider` composes
+any per-volume providers with (optionally weighted) random selection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["MultiVolumeProvider"]
+
+
+class MultiVolumeProvider:
+    """Draw each sample from one of several providers.
+
+    Parameters
+    ----------
+    providers:
+        Per-volume providers (anything with ``sample()``).
+    weights:
+        Optional selection weights (normalised internally); defaults to
+        uniform.  Weighting lets scarce-but-valuable volumes be
+        oversampled.
+    """
+
+    def __init__(self, providers: Sequence, weights: Optional[Sequence[float]] = None,
+                 seed: SeedLike = None) -> None:
+        self.providers = list(providers)
+        if not self.providers:
+            raise ValueError("providers must be non-empty")
+        if weights is None:
+            self.weights = np.full(len(self.providers),
+                                   1.0 / len(self.providers))
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (len(self.providers),):
+                raise ValueError(
+                    f"need one weight per provider, got {w.shape}")
+            if np.any(w < 0) or w.sum() <= 0:
+                raise ValueError("weights must be non-negative, not all 0")
+            self.weights = w / w.sum()
+        self.rng = as_generator(seed)
+        self.draws = np.zeros(len(self.providers), dtype=np.int64)
+
+    def sample(self):
+        index = int(self.rng.choice(len(self.providers), p=self.weights))
+        self.draws[index] += 1
+        return self.providers[index].sample()
+
+    def draw_fractions(self) -> np.ndarray:
+        """Empirical selection frequencies so far."""
+        total = self.draws.sum()
+        if total == 0:
+            return np.zeros(len(self.providers))
+        return self.draws / total

@@ -1,0 +1,125 @@
+"""Data providers — the orange task of Fig 3.
+
+A provider "obtains a training sample used for a single round of
+training".  Three implementations:
+
+* :class:`RandomProvider` — random inputs and targets of fixed shapes;
+  what the paper's *timing* benchmarks need (the measured quantity is
+  seconds/update, not accuracy).
+* :class:`PatchProvider` — samples aligned (input patch, boundary
+  target) pairs from a :class:`repro.data.CellVolume`, handling the
+  field-of-view offset so output voxel ``x`` is supervised by the label
+  under the *centre* of its input window.  Supports *dense* targets
+  (every output voxel) and *sparse* lattice targets with a period
+  (the paper's "sparse training", predictions on a period-4 lattice).
+* :class:`FixedProvider` — cycles through a fixed list of samples
+  (deterministic tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import CellVolume
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.shapes import Shape3, as_shape3
+
+__all__ = ["RandomProvider", "PatchProvider", "FixedProvider"]
+
+
+class RandomProvider:
+    """Gaussian inputs, Gaussian (or binary) targets, fixed shapes."""
+
+    def __init__(self, input_shape, output_shape,
+                 binary_targets: bool = False, seed: SeedLike = None) -> None:
+        self.input_shape: Shape3 = as_shape3(input_shape, name="input_shape")
+        self.output_shape: Shape3 = as_shape3(output_shape, name="output_shape")
+        self.binary_targets = bool(binary_targets)
+        self.rng = as_generator(seed)
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
+        x = self.rng.standard_normal(self.input_shape)
+        if self.binary_targets:
+            t = (self.rng.random(self.output_shape) < 0.5).astype(np.float64)
+        else:
+            t = self.rng.standard_normal(self.output_shape)
+        return x, t
+
+
+class FixedProvider:
+    """Cycles deterministically through a list of (inputs, targets)."""
+
+    def __init__(self, samples: Sequence[Tuple[object, object]]) -> None:
+        if not samples:
+            raise ValueError("samples must be non-empty")
+        self._samples: List[Tuple[object, object]] = list(samples)
+        self._index = 0
+
+    def sample(self) -> Tuple[object, object]:
+        s = self._samples[self._index % len(self._samples)]
+        self._index += 1
+        return s
+
+
+class PatchProvider:
+    """Aligned (image patch, boundary target) pairs from a cell volume.
+
+    Parameters
+    ----------
+    volume:
+        Source :class:`CellVolume`.
+    input_shape:
+        Patch size fed to the network.
+    output_shape:
+        The network's output size for that input (dense nets:
+        ``input - fov + 1``).
+    lattice_period:
+        If given, the target is the dense window's boundary subsampled
+        on this lattice — matching a max-pooling network trained
+        sparsely (output voxels on a period-``s`` grid).
+    """
+
+    def __init__(self, volume: CellVolume, input_shape, output_shape,
+                 lattice_period: Optional[int | Sequence[int]] = None,
+                 seed: SeedLike = None) -> None:
+        self.volume = volume
+        self.input_shape = as_shape3(input_shape, name="input_shape")
+        self.output_shape = as_shape3(output_shape, name="output_shape")
+        self.period = (as_shape3(lattice_period, name="lattice_period")
+                       if lattice_period is not None else None)
+        self.rng = as_generator(seed)
+
+        vshape = volume.shape
+        if any(i > v for i, v in zip(self.input_shape, vshape)):
+            raise ValueError(
+                f"patch {self.input_shape} larger than volume {vshape}")
+        # Dense span covered by the output lattice within the window.
+        if self.period is None:
+            span = self.output_shape
+        else:
+            span = tuple((o - 1) * p + 1
+                         for o, p in zip(self.output_shape, self.period))
+        if any(s > i for s, i in zip(span, self.input_shape)):
+            raise ValueError(
+                f"output span {span} exceeds input patch {self.input_shape}")
+        # Field-of-view margin: centre the supervised region.
+        self._offset = tuple((i - s) // 2
+                             for i, s in zip(self.input_shape, span))
+        self._span = span
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
+        vshape = self.volume.shape
+        corner = tuple(
+            int(self.rng.integers(0, v - i + 1))
+            for v, i in zip(vshape, self.input_shape))
+        sl = tuple(slice(c, c + i) for c, i in zip(corner, self.input_shape))
+        patch = self.volume.image[sl]
+        tstart = tuple(c + o for c, o in zip(corner, self._offset))
+        tsl = tuple(slice(s, s + sp) for s, sp in zip(tstart, self._span))
+        target = self.volume.boundary[tsl]
+        if self.period is not None:
+            target = target[:: self.period[0], :: self.period[1],
+                            :: self.period[2]]
+        return np.ascontiguousarray(patch), np.ascontiguousarray(target)

@@ -1,0 +1,50 @@
+"""Graph substrate: computation graph, layered builders, orderings,
+task dependency graph."""
+
+from repro.graph.builders import (
+    LayeredSpec,
+    build_layered_network,
+    pool_to_filter_spec,
+)
+from repro.graph.computation_graph import (
+    ComputationGraph,
+    EdgeKind,
+    EdgeSpec,
+    NodeSpec,
+)
+from repro.graph.ordering import (
+    backward_priorities,
+    forward_priorities,
+    input_distance_ordering,
+    longest_distance_to_inputs,
+    longest_distance_to_outputs,
+    output_distance_ordering,
+)
+from repro.graph.specfile import dump_layered_spec, load_spec, parse_spec
+from repro.graph.taskgraph import (
+    LOWEST_TASK_PRIORITY,
+    TaskGraph,
+    build_task_graph,
+)
+
+__all__ = [
+    "LayeredSpec",
+    "build_layered_network",
+    "pool_to_filter_spec",
+    "ComputationGraph",
+    "EdgeKind",
+    "EdgeSpec",
+    "NodeSpec",
+    "backward_priorities",
+    "forward_priorities",
+    "input_distance_ordering",
+    "longest_distance_to_inputs",
+    "longest_distance_to_outputs",
+    "output_distance_ordering",
+    "dump_layered_spec",
+    "load_spec",
+    "parse_spec",
+    "LOWEST_TASK_PRIORITY",
+    "TaskGraph",
+    "build_task_graph",
+]

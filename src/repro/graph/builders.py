@@ -1,0 +1,243 @@
+"""Layered-network builders (Sections II, VIII).
+
+The paper's benchmark architectures are given as layer-type strings —
+e.g. ``CTMCTMCTCT`` for the 3D net (four fully-connected convolutional
+layers C with 3x3x3 kernels, each followed by a transfer layer T, and
+two 2x2x2 max-filtering layers M) and ``CTPCTPCTCTCTCT`` for the GPU
+comparison (P = max-pooling).  This module turns such strings into
+:class:`repro.graph.ComputationGraph` instances.
+
+Layer characters:
+
+* ``C`` — fully connected convolutional layer (every node of the
+  previous image layer connects to every node of the new layer).
+* ``T`` — transfer-function layer (one-to-one edges).
+* ``M`` — max-filtering layer (one-to-one).
+* ``P`` — max-pooling layer (one-to-one).
+* ``D`` — dropout layer (one-to-one; an extension shipped with ZNN).
+
+With ``skip_kernels=True`` (Fig 2) each max-filtering layer multiplies
+the *sparsity* of all subsequent convolutions and max-filterings by its
+window size, turning the net into the sparse dense-output equivalent of
+a sliding-window max-pooling ConvNet.  ZNN is more general — sparsity
+"need not increase in lock step with max-filtering" — so an explicit
+``sparsity_schedule`` can override the automatic rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.computation_graph import ComputationGraph
+from repro.utils.shapes import Shape3, as_shape3
+
+__all__ = ["LayeredSpec", "build_layered_network", "pool_to_filter_spec"]
+
+WidthLike = Union[int, Sequence[int]]
+ShapeLike = Union[int, Sequence[int]]
+
+
+class LayeredSpec:
+    """Parsed layered-network specification.
+
+    Attributes mirror the builder arguments after normalisation; the
+    spec can be inspected (e.g. by the cost model) without building a
+    graph.
+    """
+
+    def __init__(self, spec: str, width: WidthLike, kernel: ShapeLike | Sequence,
+                 window: ShapeLike | Sequence = 2, transfer: str = "relu",
+                 input_nodes: int = 1, output_nodes: Optional[int] = None,
+                 skip_kernels: bool = False, dropout_rate: float = 0.5,
+                 final_transfer: Optional[str] = None) -> None:
+        spec = spec.upper()
+        if not spec or any(c not in "CTMPD" for c in spec):
+            raise ValueError(
+                f"spec must be a non-empty string over C/T/M/P/D, got {spec!r}")
+        self.spec = spec
+        self.transfer = transfer
+        self.final_transfer = final_transfer if final_transfer is not None \
+            else transfer
+        self.input_nodes = int(input_nodes)
+        if self.input_nodes < 1:
+            raise ValueError("input_nodes must be >= 1")
+        self.skip_kernels = bool(skip_kernels)
+        self.dropout_rate = float(dropout_rate)
+
+        n_conv = spec.count("C")
+        n_window = sum(spec.count(c) for c in "MP")
+        if n_conv == 0:
+            raise ValueError("spec must contain at least one C layer")
+
+        self.widths: List[int] = self._per_layer(width, n_conv, "width")
+        if output_nodes is not None:
+            self.widths[-1] = int(output_nodes)
+        self.kernels: List[Shape3] = [
+            as_shape3(k, name="kernel")
+            for k in self._per_layer_shapes(kernel, n_conv, "kernel")]
+        self.windows: List[Shape3] = [
+            as_shape3(w, name="window")
+            for w in self._per_layer_shapes(window, max(n_window, 1), "window")]
+
+    @staticmethod
+    def _per_layer(value: WidthLike, n: int, name: str) -> List[int]:
+        if isinstance(value, int):
+            values = [value] * n
+        else:
+            values = [int(v) for v in value]
+        if len(values) != n:
+            raise ValueError(f"{name} list must have {n} entries, got {len(values)}")
+        if any(v < 1 for v in values):
+            raise ValueError(f"{name} entries must be >= 1, got {values}")
+        return values
+
+    @staticmethod
+    def _per_layer_shapes(value, n: int, name: str) -> List:
+        """A scalar or a *tuple* is one shape applied to every layer; a
+        *list* gives one entry (scalar or shape tuple) per layer."""
+        if isinstance(value, int):
+            return [value] * n
+        if isinstance(value, tuple):
+            return [value] * n
+        seq = list(value)
+        if len(seq) != n:
+            raise ValueError(f"{name} list must have {n} entries, got {len(seq)}")
+        return seq
+
+    def conv_layer_sizes(self) -> List[Tuple[int, int]]:
+        """(f, f') pairs for every C layer, in order."""
+        sizes = []
+        prev = self.input_nodes
+        ci = 0
+        for c in self.spec:
+            if c == "C":
+                sizes.append((prev, self.widths[ci]))
+                prev = self.widths[ci]
+                ci += 1
+        return sizes
+
+
+def build_layered_network(spec: str, width: WidthLike,
+                          kernel: ShapeLike | Sequence = 3,
+                          window: ShapeLike | Sequence = 2,
+                          transfer: str = "relu",
+                          input_nodes: int = 1,
+                          output_nodes: Optional[int] = None,
+                          skip_kernels: bool = False,
+                          sparsity_schedule: Optional[Sequence[ShapeLike]] = None,
+                          dropout_rate: float = 0.5,
+                          final_transfer: Optional[str] = None) -> ComputationGraph:
+    """Build a layered ConvNet computation graph from a type string.
+
+    Parameters
+    ----------
+    spec:
+        Layer-type string over ``C``/``T``/``M``/``P``/``D``.
+    width:
+        Nodes per C layer (int, or one int per C layer).
+    kernel:
+        Kernel size per C layer (scalar, shape tuple, or list of either).
+    window:
+        Window size per M/P layer.
+    transfer:
+        Transfer-function name for T layers.
+    input_nodes:
+        Number of input image nodes.
+    output_nodes:
+        Override the width of the final C layer (e.g. 1 for a boundary
+        map).
+    skip_kernels:
+        Automatically dilate convolutions/filters after each
+        max-filtering layer (Fig 2).
+    sparsity_schedule:
+        Explicit per-C-layer sparsities, overriding ``skip_kernels`` —
+        ZNN's independent sparsity control.
+    dropout_rate:
+        Rate for any ``D`` layers.
+    final_transfer:
+        Transfer-function name for the *last* T layer (e.g. ``"linear"``
+        so the network emits unbounded logits for a logistic loss);
+        defaults to ``transfer``.
+    """
+    parsed = LayeredSpec(spec, width, kernel, window, transfer,
+                         input_nodes, output_nodes, skip_kernels,
+                         dropout_rate, final_transfer)
+    graph = ComputationGraph()
+
+    prev_names: List[str] = []
+    for i in range(parsed.input_nodes):
+        node = graph.add_node(f"L0_{i}", layer=0)
+        prev_names.append(node.name)
+
+    explicit = None
+    if sparsity_schedule is not None:
+        explicit = [as_shape3(s, name="sparsity") for s in sparsity_schedule]
+        if len(explicit) != parsed.spec.count("C"):
+            raise ValueError(
+                "sparsity_schedule must have one entry per C layer")
+
+    sparsity: Shape3 = (1, 1, 1)
+    ci = wi = 0
+    for li, c in enumerate(parsed.spec, start=1):
+        new_names: List[str] = []
+        if c == "C":
+            conv_sparsity = (explicit[ci] if explicit is not None
+                             else (sparsity if parsed.skip_kernels else (1, 1, 1)))
+            f_out = parsed.widths[ci]
+            for j in range(f_out):
+                node = graph.add_node(f"L{li}_{j}", layer=li)
+                new_names.append(node.name)
+            for j, dst in enumerate(new_names):
+                for ii, src in enumerate(prev_names):
+                    graph.add_edge(f"conv_L{li}_{ii}_{j}", src, dst, "conv",
+                                   kernel=parsed.kernels[ci],
+                                   sparsity=conv_sparsity)
+            ci += 1
+        elif c == "T":
+            is_last_t = li - 1 == parsed.spec.rfind("T")
+            t_name = parsed.final_transfer if is_last_t else parsed.transfer
+            for j, src in enumerate(prev_names):
+                node = graph.add_node(f"L{li}_{j}", layer=li)
+                new_names.append(node.name)
+                graph.add_edge(f"xfer_L{li}_{j}", src, node.name, "transfer",
+                               transfer=t_name)
+        elif c == "M":
+            w = parsed.windows[wi]
+            filt_sparsity = sparsity if parsed.skip_kernels else (1, 1, 1)
+            for j, src in enumerate(prev_names):
+                node = graph.add_node(f"L{li}_{j}", layer=li)
+                new_names.append(node.name)
+                graph.add_edge(f"filt_L{li}_{j}", src, node.name, "filter",
+                               window=w, sparsity=filt_sparsity)
+            if parsed.skip_kernels:
+                sparsity = tuple(s * wd for s, wd in zip(sparsity, w))  # type: ignore[assignment]
+            wi += 1
+        elif c == "P":
+            w = parsed.windows[wi]
+            for j, src in enumerate(prev_names):
+                node = graph.add_node(f"L{li}_{j}", layer=li)
+                new_names.append(node.name)
+                graph.add_edge(f"pool_L{li}_{j}", src, node.name, "pool",
+                               window=w)
+            wi += 1
+        elif c == "D":
+            for j, src in enumerate(prev_names):
+                node = graph.add_node(f"L{li}_{j}", layer=li)
+                new_names.append(node.name)
+                graph.add_edge(f"drop_L{li}_{j}", src, node.name, "dropout",
+                               rate=parsed.dropout_rate)
+        prev_names = new_names
+
+    graph.validate()
+    return graph
+
+
+def pool_to_filter_spec(spec: str) -> str:
+    """Convert a max-pooling layer string to its max-filtering
+    dense-output equivalent (Fig 2): every ``P`` becomes ``M``.
+
+    Build the result with ``skip_kernels=True`` to obtain the sparse
+    convolutions that make the two networks compute identical values on
+    the overlapping output lattice.
+    """
+    return spec.upper().replace("P", "M")

@@ -1,0 +1,21 @@
+"""Memory substrate: pooled power-of-two allocators (Section VII-C)."""
+
+from repro.memory.pools import (
+    AllocatorStats,
+    PoolAllocator,
+    PooledArray,
+    image_allocator,
+    reset_global_allocators,
+    small_object_allocator,
+)
+from repro.memory.thread_local import ThreadLocalAllocator
+
+__all__ = [
+    "AllocatorStats",
+    "PoolAllocator",
+    "PooledArray",
+    "image_allocator",
+    "reset_global_allocators",
+    "small_object_allocator",
+    "ThreadLocalAllocator",
+]

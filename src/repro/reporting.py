@@ -1,0 +1,182 @@
+"""Experiment reporting: table rendering and figure drivers.
+
+Shared by the CLI (``python -m repro``) and the benchmark harness: each
+``figure_*`` function regenerates one of the paper's tables/figures and
+returns it as (header, rows) ready for :func:`render_table`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "render_table",
+    "ascii_chart",
+    "figure4",
+    "figure5",
+    "figure6_7",
+    "figure8",
+    "figure9",
+    "table5",
+]
+
+Table = Tuple[List[str], List[List[str]]]
+
+
+def render_table(title: str, header: Sequence, rows: Sequence[Sequence],
+                 ) -> str:
+    """Fixed-width text table."""
+    header = [str(h) for h in header]
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "OOM"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def figure4(mode: str = "direct",
+            widths: Sequence[int] = (5, 10, 20, 40, 60, 80, 100, 120),
+            depth: int = 8) -> Table:
+    """Fig 4: theoretically achievable speedup vs width."""
+    from repro.pram import FIG4_PROCESSORS, achievable_speedup_curve
+
+    header = ["P"] + [f"w={w}" for w in widths]
+    rows = []
+    for p in FIG4_PROCESSORS:
+        curve = achievable_speedup_curve(p, widths, depth=depth, mode=mode)
+        rows.append([str(p)] + [_fmt(s) for s in curve])
+    return header, rows
+
+
+def figure5(machine_key: str = "xeon-18", dims: int = 3,
+            widths: Sequence[int] = (5, 20, 60)) -> Table:
+    """Fig 5: simulated speedup vs worker threads."""
+    from repro.simulate import (default_thread_counts, get_machine,
+                                paper_task_graph, simulate_schedule)
+
+    machine = get_machine(machine_key)
+    threads = default_thread_counts(machine)
+    header = ["width"] + [f"W={t}" for t in threads]
+    rows = []
+    for width in widths:
+        tg = paper_task_graph(dims, width)
+        rows.append([str(width)] + [
+            _fmt(simulate_schedule(tg, machine, t).speedup)
+            for t in threads])
+    return header, rows
+
+
+def figure6_7(dims: int,
+              widths: Sequence[int] = (5, 10, 20, 40, 80),
+              machine_keys: Sequence[str] = ("xeon-8", "xeon-18",
+                                             "xeon-40", "xeon-phi")
+              ) -> Table:
+    """Fig 6 (dims=2) / Fig 7 (dims=3): max speedup vs width."""
+    from repro.simulate import get_machine, max_speedup_vs_width
+
+    header = ["machine"] + [f"w={w}" for w in widths]
+    rows = []
+    for key in machine_keys:
+        machine = get_machine(key)
+        curve = dict(max_speedup_vs_width(dims, widths, machine))
+        rows.append([key] + [_fmt(curve[w]) for w in widths])
+    return header, rows
+
+
+def figure8(outputs: Sequence[int] = (1, 8, 64)) -> Table:
+    """Fig 8: ZNN vs GPU frameworks, 2D."""
+    from repro.baselines import fig8_comparison
+
+    systems = ["znn", "caffe", "caffe-cudnn", "theano"]
+    header = ["kernel", "output"] + systems + ["winner"]
+    rows = []
+    for r in fig8_comparison(outputs=outputs):
+        rows.append([f"{r.kernel_size}^2", f"{r.output_size}^2"]
+                    + [_fmt(r.seconds.get(s)) for s in systems]
+                    + [r.winner()])
+    return header, rows
+
+
+def figure9() -> Table:
+    """Fig 9: ZNN vs Theano, 3D."""
+    from repro.baselines import fig9_comparison
+
+    header = ["kernel", "output", "theano", "znn", "winner"]
+    rows = []
+    for r in fig9_comparison():
+        rows.append([f"{r.kernel_size}^3", f"{r.output_size}^3",
+                     _fmt(r.seconds["theano"]), _fmt(r.seconds["znn"]),
+                     r.winner()])
+    return header, rows
+
+
+def table5() -> Table:
+    """Table V: benchmark machine catalog."""
+    from repro.simulate import MACHINES
+
+    header = ["key", "name", "cores", "threads", "GHz", "max speedup"]
+    rows = [[key, m.name, str(m.cores), str(m.threads), str(m.ghz),
+             _fmt(m.max_speedup())]
+            for key, m in MACHINES.items()]
+    return header, rows
+
+
+def ascii_chart(series: dict, width: int = 64, height: int = 16,
+                x_label: str = "", y_label: str = "") -> str:
+    """Plot named (x, y) series as an ASCII chart.
+
+    *series* maps a label to a list of ``(x, y)`` pairs.  Each series
+    gets a distinct marker; axes are linearly scaled to the data.  Used
+    by the CLI to sketch the paper's figures without a plotting stack.
+    """
+    markers = "*o+x#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_hi:>8.4g} |"
+        elif i == height - 1:
+            prefix = f"{y_lo:>8.4g} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<10.4g}{x_label:^{max(width - 20, 0)}}"
+                 f"{x_hi:>10.4g}")
+    legend = "   ".join(f"{markers[i % len(markers)]} {label}"
+                        for i, label in enumerate(series))
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.insert(0, f"  [{y_label}]")
+    return "\n".join(lines)

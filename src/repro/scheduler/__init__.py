@@ -1,0 +1,38 @@
+"""Task scheduling and execution: priority engine, serial baseline,
+FORCE protocol, alternative strategies."""
+
+from repro.scheduler.autoselect import StrategyChoice, select_strategy
+from repro.scheduler.engine import LOWEST_PRIORITY, TaskEngine
+from repro.scheduler.instrumentation import (
+    TaskRecord,
+    TraceRecorder,
+    TraceSummary,
+)
+from repro.scheduler.serial import SerialEngine
+from repro.scheduler.strategies import (
+    SCHEDULER_FACTORIES,
+    FifoScheduler,
+    LifoScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+from repro.scheduler.task import Task, TaskState, force
+
+__all__ = [
+    "StrategyChoice",
+    "select_strategy",
+    "LOWEST_PRIORITY",
+    "TaskRecord",
+    "TraceRecorder",
+    "TraceSummary",
+    "TaskEngine",
+    "SerialEngine",
+    "SCHEDULER_FACTORIES",
+    "FifoScheduler",
+    "LifoScheduler",
+    "WorkStealingScheduler",
+    "make_scheduler",
+    "Task",
+    "TaskState",
+    "force",
+]

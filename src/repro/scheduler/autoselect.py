@@ -1,0 +1,92 @@
+"""Automatic scheduling-strategy selection — the Section X future work.
+
+"Some very specific networks might benefit from alternative scheduling
+algorithms.  Future work can include automatic detection of the best
+scheduling strategy."
+
+We implement exactly that: given a computation graph and a worker
+count, the selector unrolls one training round into its task dependency
+graph, schedules it under every candidate policy with the discrete-
+event simulator (cheap — no tensors move), and returns the policy with
+the smallest simulated makespan.  Ties inside ``tolerance`` prefer the
+paper's priority scheduler.
+
+The simulator's ``random`` policy stands in for work-stealing's
+arbitrary execution order; when it wins, the live-engine recommendation
+is ``"work-stealing"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+from repro.graph.computation_graph import ComputationGraph
+from repro.graph.taskgraph import build_task_graph
+from repro.simulate.des import simulate_schedule
+from repro.simulate.machine import MachineSpec
+
+__all__ = ["StrategyChoice", "select_strategy"]
+
+#: DES policy -> live-engine scheduler name.
+_POLICY_TO_SCHEDULER = {
+    "priority": "priority",
+    "fifo": "fifo",
+    "lifo": "lifo",
+    "random": "work-stealing",
+}
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """Outcome of one selection run."""
+
+    scheduler: str
+    policy_makespans: Dict[str, float]
+
+    @property
+    def best_makespan(self) -> float:
+        return min(self.policy_makespans.values())
+
+    def speedup_over(self, policy: str) -> float:
+        """How much faster the chosen policy is than *policy*."""
+        return (self.policy_makespans[policy]
+                / self.policy_makespans[_scheduler_to_policy(self.scheduler)])
+
+
+def _scheduler_to_policy(name: str) -> str:
+    for policy, sched in _POLICY_TO_SCHEDULER.items():
+        if sched == name:
+            return policy
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def select_strategy(graph: ComputationGraph,
+                    num_workers: int,
+                    conv_mode: Union[str, Dict[str, str]] = "direct",
+                    machine: Optional[MachineSpec] = None,
+                    policies: Sequence[str] = ("priority", "fifo", "lifo",
+                                               "random"),
+                    tolerance: float = 0.02) -> StrategyChoice:
+    """Pick the scheduling strategy for *graph* at *num_workers*.
+
+    Shapes must already be propagated on *graph*.  *machine* defaults to
+    an idealised host with ``num_workers`` full cores.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if machine is None:
+        machine = MachineSpec(name="host", cores=num_workers,
+                              threads=num_workers, ghz=1.0,
+                              yield_tier1=0.0, sync_overhead=1000.0)
+    tg = build_task_graph(graph, conv_mode=conv_mode)
+    makespans = {p: simulate_schedule(tg, machine, num_workers,
+                                      policy=p).makespan
+                 for p in policies}
+    best_policy = min(makespans, key=makespans.get)  # type: ignore[arg-type]
+    if ("priority" in makespans
+            and makespans["priority"]
+            <= makespans[best_policy] * (1.0 + tolerance)):
+        best_policy = "priority"
+    return StrategyChoice(scheduler=_POLICY_TO_SCHEDULER[best_policy],
+                          policy_makespans=makespans)

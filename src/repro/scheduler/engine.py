@@ -1,0 +1,151 @@
+"""Threaded task-execution engine (Section VI-B).
+
+A predetermined number of worker threads repeatedly pick the most
+urgent task off a shared scheduling structure and execute it.  The
+default structure is the heap-of-lists priority queue; FIFO / LIFO /
+work-stealing alternatives (Section X) plug in through the same
+interface (see :mod:`repro.scheduler.strategies`).
+
+In CPython the GIL serialises pure-Python bytecode, but the heavy task
+bodies here are numpy FFTs, tensordots and ufuncs which release the GIL
+for their inner loops, so workers do overlap real work on multi-core
+hosts.  The scalability *measurements* of the paper are reproduced by
+the discrete-event simulator (:mod:`repro.simulate`) which schedules the
+identical task graph with this engine's policy — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.scheduler.task import Task, force
+from repro.sync.priority_queue import HeapOfLists, QueueClosed
+
+__all__ = ["TaskEngine", "LOWEST_PRIORITY"]
+
+#: Priority value assigned to update tasks — strictly less urgent than
+#: any forward/backward priority the graph can produce (Section VI-A).
+LOWEST_PRIORITY = 2**31
+
+
+class TaskEngine:
+    """Executes tasks with *num_workers* threads until closed.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker thread count (the paper's ``N`` workers).
+    scheduler:
+        Scheduling structure implementing ``push(priority, item,
+        is_valid)``, ``pop(block, timeout)``, ``close()``.  Defaults to
+        a fresh :class:`repro.sync.HeapOfLists`.
+
+    Use as a context manager to guarantee shutdown::
+
+        with TaskEngine(num_workers=4) as engine:
+            engine.submit(task)
+            done.wait()
+    """
+
+    def __init__(self, num_workers: int = 1,
+                 scheduler: Optional[Any] = None,
+                 recorder: Optional[Any] = None) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.queue = scheduler if scheduler is not None else HeapOfLists()
+        #: Optional repro.scheduler.TraceRecorder logging every task.
+        self.recorder = recorder
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._lock = threading.Lock()
+        self._executed = 0
+        self._errors: List[BaseException] = []
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "TaskEngine":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for i in range(self.num_workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"znn-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def shutdown(self) -> None:
+        """Close the queue and join all workers."""
+        self.queue.close()
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+        if self._errors:
+            raise self._errors[0]
+
+    def __enter__(self) -> "TaskEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, task: Task) -> Task:
+        """Enqueue *task* at its own priority."""
+        task.mark_queued()
+        self.queue.push(task.priority, task, is_valid=task.is_queued)
+        return task
+
+    def spawn(self, fn: Callable[[], Any], priority: int = 0,
+              name: str = "") -> Task:
+        """Create and enqueue a task in one step."""
+        return self.submit(Task(fn, priority=priority, name=name))
+
+    def force(self, update_task: Optional[Task], fn: Callable[[], Any],
+              name: str = "") -> None:
+        """FORCE a forward subtask behind its edge's update task
+        (Algorithm 1) from the current worker thread."""
+        force(update_task, Task(fn, name=name))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def executed(self) -> int:
+        """Tasks executed so far (attached subtasks included)."""
+        with self._lock:
+            return self._executed
+
+    @property
+    def errors(self) -> List[BaseException]:
+        with self._lock:
+            return list(self._errors)
+
+    def _worker_loop(self) -> None:
+        worker_index = int(threading.current_thread().name.rsplit("-", 1)[-1])
+        while True:
+            try:
+                _, task = self.queue.pop(block=True, timeout=None)
+            except QueueClosed:
+                return
+            except IndexError:  # pragma: no cover - timeout unused here
+                continue
+            try:
+                if self.recorder is not None:
+                    import time
+                    t0 = time.perf_counter()
+                    task.execute()
+                    self.recorder.record(task.name, worker_index, t0,
+                                         time.perf_counter())
+                else:
+                    task.execute()
+                with self._lock:
+                    self._executed += 1
+            except BaseException as exc:  # propagate via shutdown()
+                with self._lock:
+                    self._errors.append(exc)
+                self.queue.close()
+                return

@@ -1,0 +1,102 @@
+"""Execution tracing for the task engines.
+
+Attach a :class:`TraceRecorder` to a :class:`repro.scheduler.TaskEngine`
+(or :class:`SerialEngine`) via its ``recorder`` attribute and every
+executed task is logged with wall-clock start/end and the worker that
+ran it.  The summary gives the quantities the paper's Section VIII
+discussion is about — per-worker busy time, utilization over the traced
+span, and the split of time between forward / backward / update / other
+task families (task names are prefixed ``fwd:``, ``bwd:``, ``upd:``…
+by the network).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["TaskRecord", "TraceSummary", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task."""
+
+    name: str
+    worker: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def family(self) -> str:
+        """Task-name prefix before the first colon ('fwd', 'upd', …)."""
+        head, _, _ = self.name.partition(":")
+        return head or "anonymous"
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregates over one recorded span."""
+
+    tasks: int
+    span: float
+    busy_per_worker: Dict[int, float]
+    time_per_family: Dict[str, float]
+
+    @property
+    def workers(self) -> int:
+        return len(self.busy_per_worker)
+
+    @property
+    def utilization(self) -> float:
+        """Busy worker-time divided by (span x workers)."""
+        if not self.span or not self.busy_per_worker:
+            return 0.0
+        return sum(self.busy_per_worker.values()) / (
+            self.span * len(self.busy_per_worker))
+
+
+class TraceRecorder:
+    """Thread-safe sink for :class:`TaskRecord` entries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[TaskRecord] = []
+
+    def record(self, name: str, worker: int, start: float,
+               end: float) -> None:
+        if end < start:
+            raise ValueError(f"task {name!r} ends before it starts")
+        with self._lock:
+            self._records.append(TaskRecord(name, worker, start, end))
+
+    def records(self) -> List[TaskRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def summary(self) -> TraceSummary:
+        records = self.records()
+        if not records:
+            return TraceSummary(0, 0.0, {}, {})
+        t0 = min(r.start for r in records)
+        t1 = max(r.end for r in records)
+        busy: Dict[int, float] = {}
+        families: Dict[str, float] = {}
+        for r in records:
+            busy[r.worker] = busy.get(r.worker, 0.0) + r.duration
+            families[r.family] = families.get(r.family, 0.0) + r.duration
+        return TraceSummary(tasks=len(records), span=t1 - t0,
+                            busy_per_worker=busy, time_per_family=families)

@@ -1,0 +1,92 @@
+"""Serial task executor — the ``T_1`` baseline.
+
+Executes the same task objects as :class:`repro.scheduler.TaskEngine`
+but on the calling thread, draining the queue in priority order.  This
+is both the speedup denominator of Section VIII and a deterministic
+execution mode that makes unit-testing the graph logic easy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.scheduler.task import Task, force
+from repro.sync.priority_queue import HeapOfLists
+
+__all__ = ["SerialEngine"]
+
+
+class SerialEngine:
+    """Drop-in single-threaded replacement for :class:`TaskEngine`.
+
+    ``submit`` enqueues; ``run_until_idle`` (called automatically by
+    ``shutdown``/context exit, or manually mid-round) pops and executes
+    until the queue drains.  Because spawned tasks land back on the same
+    queue, one call executes a whole training round.
+    """
+
+    def __init__(self, scheduler: Optional[Any] = None,
+                 recorder: Optional[Any] = None) -> None:
+        self.num_workers = 1
+        self.queue = scheduler if scheduler is not None else HeapOfLists()
+        #: Optional repro.scheduler.TraceRecorder logging every task.
+        self.recorder = recorder
+        self._executed = 0
+
+    def start(self) -> "SerialEngine":
+        return self
+
+    def __enter__(self) -> "SerialEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.run_until_idle()
+
+    def shutdown(self) -> None:
+        self.run_until_idle()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, task: Task) -> Task:
+        task.mark_queued()
+        self.queue.push(task.priority, task, is_valid=task.is_queued)
+        return task
+
+    def spawn(self, fn: Callable[[], Any], priority: int = 0,
+              name: str = "") -> Task:
+        return self.submit(Task(fn, priority=priority, name=name))
+
+    def force(self, update_task: Optional[Task], fn: Callable[[], Any],
+              name: str = "") -> None:
+        force(update_task, Task(fn, name=name))
+
+    def run_until_idle(self) -> int:
+        """Execute queued tasks (and everything they spawn) to quiescence.
+
+        Returns the number of tasks executed by this call.
+        """
+        count = 0
+        while True:
+            try:
+                _, task = self.queue.pop(block=False)
+            except IndexError:
+                break
+            if self.recorder is not None:
+                import time
+                t0 = time.perf_counter()
+                task.execute()
+                self.recorder.record(task.name, 0, t0, time.perf_counter())
+            else:
+                task.execute()
+            count += 1
+        self._executed += count
+        return count
+
+    @property
+    def executed(self) -> int:
+        return self._executed
+
+    @property
+    def errors(self) -> list:
+        return []

@@ -1,0 +1,119 @@
+"""Machine models — Table V and the thread-throughput behaviour of
+Section VIII.
+
+This host has a single core, so the paper's four benchmark machines are
+*modelled*: a machine is (physical cores, hardware threads, and the
+marginal throughput of threads beyond the core count).  Section VIII
+describes the empirical shape we encode:
+
+* multicore Xeons: "speedup increases linearly until the number of
+  worker threads equals the number of cores.  After that the increase
+  continues at a slower rate" up to the hyperthread count;
+* Xeon Phi: linear to 60 cores, "then more slowly until double that
+  number, and then even slower until the number of hardware threads"
+  (240).
+
+With ``W`` worker threads the machine's aggregate throughput (in units
+of one core) is::
+
+    throughput(W) = min(W, cores)
+                  + yield_tier1 * clamp(W - cores,   0, cores)
+                  + yield_tier2 * clamp(W - 2*cores, 0, threads - 2*cores)
+
+and each thread runs at ``throughput(W) / W`` — contention slows every
+thread equally.  ``sync_overhead`` is a per-task FLOP-equivalent charge
+for queue operations and sum synchronisation.
+
+The ``flops_per_core`` figures (used by the CPU-vs-GPU cost models) are
+rough single-precision FMA throughputs of the parts in Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["MachineSpec", "MACHINES", "get_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A shared-memory machine model (one row of Table V)."""
+
+    name: str
+    cores: int
+    threads: int
+    ghz: float
+    #: Marginal throughput (core-equivalents) of each thread in
+    #: (cores, 2*cores] — SMT / first extra hardware thread.
+    yield_tier1: float = 0.25
+    #: Marginal throughput of each thread beyond 2*cores (Xeon Phi's
+    #: 3rd/4th hardware threads).
+    yield_tier2: float = 0.10
+    #: Effective GFLOP/s of one core (for absolute-time models).
+    gflops_per_core: float = 20.0
+    #: Per-task scheduling overhead in FLOP-equivalents.
+    sync_overhead: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.threads < self.cores:
+            raise ValueError(
+                f"invalid machine: cores={self.cores}, threads={self.threads}")
+
+    def throughput(self, num_threads: int) -> float:
+        """Aggregate throughput of *num_threads* workers, in units of
+        one full core."""
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        w = min(num_threads, self.threads)  # extra software threads add nothing
+        base = min(w, self.cores)
+        tier1 = self.yield_tier1 * max(0, min(w, 2 * self.cores) - self.cores)
+        tier2 = self.yield_tier2 * max(0, w - 2 * self.cores)
+        return base + tier1 + tier2
+
+    def thread_speed(self, num_threads: int) -> float:
+        """Per-thread speed (fraction of a full core) with
+        *num_threads* workers running."""
+        return self.throughput(num_threads) / max(num_threads, 1)
+
+    def max_speedup(self) -> float:
+        """Throughput at the full hardware thread count — the ceiling of
+        the achieved-speedup curves (the paper: 'equal to the number of
+        cores or a bit larger')."""
+        return self.throughput(self.threads)
+
+    @property
+    def total_gflops(self) -> float:
+        return self.cores * self.gflops_per_core
+
+
+#: Table V.  (The paper's Figs 5–7 legend lists an "i7-5820K" for the
+#: 40-core machine; Table V identifies it as the 4-way Xeon E7-4850 —
+#: we follow Table V.)
+MACHINES: Dict[str, MachineSpec] = {
+    "xeon-8": MachineSpec(
+        name="Intel Xeon E5-2666 v3 (8 cores / 16 threads)",
+        cores=8, threads=16, ghz=2.9,
+        yield_tier1=0.30, yield_tier2=0.0, gflops_per_core=45.0),
+    "xeon-18": MachineSpec(
+        name="Intel Xeon E5-2666 v3 (18 cores / 36 threads)",
+        cores=18, threads=36, ghz=2.9,
+        yield_tier1=0.30, yield_tier2=0.0, gflops_per_core=45.0),
+    "xeon-40": MachineSpec(
+        name="Intel Xeon E7-4850 (40 cores / 80 threads)",
+        cores=40, threads=80, ghz=2.0,
+        yield_tier1=0.25, yield_tier2=0.0, gflops_per_core=16.0),
+    "xeon-phi": MachineSpec(
+        name="Intel Xeon Phi 5110P (60 cores / 240 threads)",
+        cores=60, threads=240, ghz=1.053,
+        yield_tier1=0.45, yield_tier2=0.12, gflops_per_core=16.0),
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a Table V machine by key."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ValueError(f"unknown machine {name!r}; "
+                         f"available: {sorted(MACHINES)}") from None

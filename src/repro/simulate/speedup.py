@@ -1,0 +1,170 @@
+"""Scalability sweeps — Figures 5, 6 and 7.
+
+Reconstructs the paper's two benchmark architectures (Section VIII):
+
+* **3D**: ``CTMCTMCTCT`` — four fully-connected conv layers with
+  3x3x3 kernels, rectified-linear transfer layers, two 2x2x2
+  max-filtering layers, output patch 12^3, *direct* convolution;
+* **2D**: ``CTMCTMCTCTCTCT`` — six conv layers with 11x11 kernels, two
+  2x2 max-filterings, output patch 48^2, *FFT* convolution (2D is 3D
+  with one singleton dimension).
+
+For each width the computation graph is unrolled into the task
+dependency graph and scheduled on a modelled Table V machine by the
+discrete-event simulator with the live engine's priority policy;
+speedup is measured against the serial work exactly as in the paper
+("measurements of the speedup achieved by our proposed parallel
+algorithm relative to the serial algorithm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.builders import build_layered_network
+from repro.graph.computation_graph import ComputationGraph
+from repro.graph.taskgraph import TaskGraph, build_task_graph
+from repro.simulate.des import simulate_schedule
+from repro.simulate.machine import MACHINES, MachineSpec, get_machine
+from repro.utils.shapes import input_shape_for_output
+
+__all__ = [
+    "PAPER_WIDTHS",
+    "paper_graph_3d",
+    "paper_graph_2d",
+    "paper_task_graph",
+    "speedup_vs_threads",
+    "max_speedup_vs_width",
+    "default_thread_counts",
+    "SpeedupSweep",
+]
+
+#: The widths of Fig 5's lines ("5, 10, 15, 20, 25, 30, 40, 50, 60, 80,
+#: 100, 120, from bottom to top").
+PAPER_WIDTHS = (5, 10, 15, 20, 25, 30, 40, 50, 60, 80, 100, 120)
+
+_SPEC_3D = "CTMCTMCTCT"
+_SPEC_2D = "CTMCTMCTCTCTCT"
+
+
+def _skip_kernel_layers(spec: str, kernel, window):
+    """(kind, window, sparsity) sequence of a skip-kernel net, for
+    computing the input size that yields the requested output patch."""
+    layers = []
+    sparsity = (1, 1, 1)
+    for c in spec:
+        if c == "C":
+            layers.append(("conv", kernel, sparsity))
+        elif c == "M":
+            layers.append(("filter", window, sparsity))
+            sparsity = tuple(s * w for s, w in
+                             zip(sparsity, (window,) * 3 if isinstance(window, int)
+                                 else window))
+        elif c == "T":
+            layers.append(("transfer", 1, 1))
+    return layers
+
+
+def paper_graph_3d(width: int, output_patch: int = 12) -> ComputationGraph:
+    """The Section VIII 3D benchmark network at *width*."""
+    layers = _skip_kernel_layers(_SPEC_3D, kernel=3, window=2)
+    in_size = input_shape_for_output((output_patch,) * 3, layers)
+    graph = build_layered_network(_SPEC_3D, width=width, kernel=3, window=2,
+                                  skip_kernels=True)
+    graph.propagate_shapes(in_size)
+    return graph
+
+
+def paper_graph_2d(width: int, output_patch: int = 48) -> ComputationGraph:
+    """The Section VIII 2D benchmark network at *width*."""
+    layers = _skip_kernel_layers(_SPEC_2D, kernel=(1, 11, 11),
+                                 window=(1, 2, 2))
+    in_size = input_shape_for_output((1, output_patch, output_patch), layers)
+    graph = build_layered_network(_SPEC_2D, width=width, kernel=(1, 11, 11),
+                                  window=(1, 2, 2), skip_kernels=True)
+    graph.propagate_shapes(in_size)
+    return graph
+
+
+def paper_task_graph(dims: int, width: int) -> TaskGraph:
+    """Task graph of the paper's 2D (FFT) or 3D (direct) benchmark net."""
+    if dims == 3:
+        graph = paper_graph_3d(width)
+        mode = "direct"
+    elif dims == 2:
+        graph = paper_graph_2d(width)
+        mode = "fft"
+    else:
+        raise ValueError(f"dims must be 2 or 3, got {dims}")
+    return build_task_graph(graph, conv_mode=mode)
+
+
+def default_thread_counts(machine: MachineSpec,
+                          points: int = 8) -> List[int]:
+    """A sensible sweep: dense up to the core count, then the SMT range
+    up to the hardware thread count."""
+    counts = sorted({1, 2, max(machine.cores // 2, 1), machine.cores,
+                     (machine.cores + machine.threads) // 2,
+                     machine.threads})
+    if points > len(counts):
+        step = max(machine.cores // max(points - len(counts), 1), 1)
+        extra = set(range(step, machine.cores, step))
+        counts = sorted(set(counts) | extra)
+    return counts
+
+
+def speedup_vs_threads(tg: TaskGraph, machine: MachineSpec,
+                       thread_counts: Sequence[int],
+                       policy: str = "priority") -> List[Tuple[int, float]]:
+    """One line of Fig 5: (threads, speedup) for a fixed network."""
+    return [(w, simulate_schedule(tg, machine, w, policy=policy).speedup)
+            for w in thread_counts]
+
+
+def max_speedup_vs_width(dims: int, widths: Sequence[int],
+                         machine: MachineSpec,
+                         policy: str = "priority"
+                         ) -> List[Tuple[int, float]]:
+    """One line of Fig 6 (2D) / Fig 7 (3D): maximal achieved speedup
+    (at the full hardware thread count) per network width."""
+    out: List[Tuple[int, float]] = []
+    for width in widths:
+        tg = paper_task_graph(dims, width)
+        result = simulate_schedule(tg, machine, machine.threads,
+                                   policy=policy)
+        out.append((width, result.speedup))
+    return out
+
+
+@dataclass
+class SpeedupSweep:
+    """Full Fig 5 panel: speedup vs thread count for several widths on
+    one machine."""
+
+    machine_key: str
+    dims: int
+    data: Dict[int, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    @classmethod
+    def run(cls, machine_key: str, dims: int,
+            widths: Sequence[int] = PAPER_WIDTHS,
+            thread_counts: Optional[Sequence[int]] = None,
+            policy: str = "priority") -> "SpeedupSweep":
+        machine = get_machine(machine_key)
+        if thread_counts is None:
+            thread_counts = default_thread_counts(machine)
+        sweep = cls(machine_key=machine_key, dims=dims)
+        for width in widths:
+            tg = paper_task_graph(dims, width)
+            sweep.data[width] = speedup_vs_threads(tg, machine,
+                                                   thread_counts, policy)
+        return sweep
+
+    def rows(self) -> List[Tuple[int, int, float]]:
+        """Flat (width, threads, speedup) rows for printing."""
+        out = []
+        for width in sorted(self.data):
+            for threads, speedup in self.data[width]:
+                out.append((width, threads, speedup))
+        return out

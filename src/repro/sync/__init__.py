@@ -1,0 +1,7 @@
+"""Concurrency substrate: wait-free summation, heap-of-lists queue."""
+
+from repro.sync.priority_queue import HeapOfLists, QueueClosed
+from repro.sync.summation import ConcurrentSum, NaiveLockedSum, OrderedSum
+
+__all__ = ["HeapOfLists", "QueueClosed", "ConcurrentSum", "NaiveLockedSum",
+           "OrderedSum"]

@@ -1,0 +1,129 @@
+"""Concurrent priority queue as a heap of lists (Section VII-A).
+
+The global task queue is the scheduler's central synchronisation point,
+so its critical sections must be short.  ZNN implements it as a *heap of
+lists*: a binary heap keyed by the (few) distinct priority values, each
+heap entry holding a FIFO list of tasks at that priority.  Insertion and
+deletion then cost ``O(log K)`` where ``K`` is the number of distinct
+priorities present — much smaller than the number of queued tasks
+``N`` for wide networks, where whole layers share one priority.
+
+Lower priority *values* pop first (priority 0 is the most urgent);
+the scheduler assigns update tasks the largest value so they are only
+drawn when nothing else is ready (Section VI-A).
+
+``pop`` supports blocking with timeout for worker loops, and entries can
+be *invalidated* without scanning the deques — the FORCE protocol steals
+an update task by flipping its state, and a popped entry whose
+``is_valid`` callback fails is skipped.  ``close`` wakes all blocked
+workers for shutdown.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+__all__ = ["HeapOfLists", "QueueClosed"]
+
+
+class QueueClosed(Exception):
+    """Raised by :meth:`HeapOfLists.pop` after :meth:`HeapOfLists.close`."""
+
+
+class HeapOfLists:
+    """Thread-safe priority queue with O(log K) operations.
+
+    Items are arbitrary objects.  An optional per-item validity callback
+    supplied at push time allows lock-free logical removal: invalid
+    items are dropped at pop time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: list[int] = []            # distinct priorities present
+        self._lists: Dict[int, Deque[Tuple[Any, Optional[Callable[[], bool]]]]] = {}
+        self._size = 0                        # counts valid + invalidated
+        self._closed = False
+
+    def push(self, priority: int, item: Any,
+             is_valid: Optional[Callable[[], bool]] = None) -> None:
+        """Insert *item* at *priority* (lower pops first)."""
+        priority = int(priority)
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("push after close")
+            bucket = self._lists.get(priority)
+            if bucket is None:
+                bucket = deque()
+                self._lists[priority] = bucket
+                heapq.heappush(self._heap, priority)  # O(log K)
+            bucket.append((item, is_valid))
+            self._size += 1
+            self._not_empty.notify()
+
+    def pop(self, block: bool = True,
+            timeout: Optional[float] = None) -> Tuple[int, Any]:
+        """Remove and return ``(priority, item)`` of the most urgent
+        valid item.
+
+        Raises ``IndexError`` when empty and not blocking (or on
+        timeout), :class:`QueueClosed` once the queue is closed and
+        drained.
+        """
+        with self._lock:
+            while True:
+                entry = self._pop_valid_locked()
+                if entry is not None:
+                    return entry
+                if self._closed:
+                    raise QueueClosed("queue closed")
+                if not block:
+                    raise IndexError("pop from empty queue")
+                if not self._not_empty.wait(timeout):
+                    raise IndexError("pop timed out")
+
+    def _pop_valid_locked(self) -> Optional[Tuple[int, Any]]:
+        while self._heap:
+            priority = self._heap[0]
+            bucket = self._lists[priority]
+            while bucket:
+                item, is_valid = bucket.popleft()
+                self._size -= 1
+                if is_valid is None or is_valid():
+                    if not bucket:
+                        heapq.heappop(self._heap)     # O(log K)
+                        del self._lists[priority]
+                    return priority, item
+            heapq.heappop(self._heap)
+            del self._lists[priority]
+        return None
+
+    def close(self) -> None:
+        """Mark the queue closed and wake all blocked poppers."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        """Approximate size (includes logically-removed entries)."""
+        with self._lock:
+            return self._size
+
+    def distinct_priorities(self) -> int:
+        """Number of distinct priority values present (the K in O(log K))."""
+        with self._lock:
+            return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (f"HeapOfLists(size={self._size}, "
+                    f"priorities={len(self._heap)}, closed={self._closed})")

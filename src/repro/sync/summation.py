@@ -1,0 +1,230 @@
+"""Almost wait-free concurrent summation — Algorithm 4 (Section VII-B).
+
+When multiple convolution edges converge on a node, their results must
+be accumulated into one sum.  The naive strategy holds a lock while
+adding two images, so critical-section time scales with the image size
+``n^3``.  ZNN's method performs **only pointer operations inside the
+critical section**: each thread repeatedly tries to deposit its pointer
+into the slot; on failure it takes whatever pointer is there, adds it
+into its own image *outside* the lock, and retries.  The thread whose
+deposit completes the count learns it was last and triggers the
+dependents.
+
+This module transcribes Algorithm 4 exactly (see ``add``), plus a
+naive locked-addition baseline used by the ablation benchmark, and a
+``reset`` so a sum object can be reused every round the way ZNN reuses
+its per-node accumulators.
+
+The buffers may be real images or complex FFT spectra — the FFT path
+accumulates spectra at each node and the last thread's ``get`` feeds
+the layer's inverse-transform finaliser.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ConcurrentSum", "NaiveLockedSum", "OrderedSum"]
+
+
+class ConcurrentSum:
+    """Accumulate a known number of same-shaped arrays, almost wait-free.
+
+    Parameters
+    ----------
+    required:
+        Number of contributions that complete the sum (the node's
+        in-degree in the computation graph).
+    """
+
+    def __init__(self, required: int) -> None:
+        if required < 1:
+            raise ValueError(f"required must be >= 1, got {required}")
+        self.required = required
+        self._lock = threading.Lock()
+        self._sum: Optional[np.ndarray] = None
+        self._total = 0
+
+    def reset(self, required: Optional[int] = None) -> None:
+        """Prepare the object for the next round's accumulation."""
+        with self._lock:
+            if self._total not in (0, self.required):
+                raise RuntimeError(
+                    f"reset during accumulation ({self._total}/{self.required})")
+            if required is not None:
+                if required < 1:
+                    raise ValueError(f"required must be >= 1, got {required}")
+                self.required = required
+            self._sum = None
+            self._total = 0
+
+    def add(self, value: np.ndarray) -> bool:
+        """ADD-TO-SUM: contribute *value*; return True iff this call
+        completed the sum (the caller then owns triggering dependents).
+
+        The caller relinquishes *value* — it may be mutated in place and
+        may become the final sum buffer.
+        """
+        v: Optional[np.ndarray] = value
+        v_other: Optional[np.ndarray] = None
+        last = False
+        while True:
+            with self._lock:  # critical section: pointer ops only
+                if self._sum is None:
+                    self._sum = v
+                    v = None
+                    self._total += 1
+                    if self._total > self.required:
+                        raise RuntimeError(
+                            f"more than required={self.required} contributions")
+                    last = self._total == self.required
+                else:
+                    v_other = self._sum
+                    self._sum = None
+            if v is None:
+                return last
+            # The expensive addition happens outside the critical section.
+            v += v_other
+
+    def get(self) -> np.ndarray:
+        """GET-SUM: the accumulated array; only valid once complete."""
+        with self._lock:
+            if self._total != self.required:
+                raise RuntimeError(
+                    f"sum incomplete: {self._total}/{self.required}")
+            if self._sum is None:
+                raise RuntimeError("sum pointer missing (unfinished add race)")
+            return self._sum
+
+    @property
+    def complete(self) -> bool:
+        with self._lock:
+            return self._total == self.required and self._sum is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (f"ConcurrentSum(required={self.required}, "
+                    f"total={self._total})")
+
+
+class NaiveLockedSum:
+    """Baseline: hold the lock for the entire addition.
+
+    Critical-section time scales with the image size; used only by the
+    Section VII-B ablation benchmark.
+    """
+
+    def __init__(self, required: int) -> None:
+        if required < 1:
+            raise ValueError(f"required must be >= 1, got {required}")
+        self.required = required
+        self._lock = threading.Lock()
+        self._sum: Optional[np.ndarray] = None
+        self._total = 0
+
+    def reset(self, required: Optional[int] = None) -> None:
+        with self._lock:
+            if required is not None:
+                self.required = required
+            self._sum = None
+            self._total = 0
+
+    def add(self, value: np.ndarray) -> bool:
+        with self._lock:
+            if self._sum is None:
+                self._sum = value
+            else:
+                self._sum += value  # the slow addition, under the lock
+            self._total += 1
+            if self._total > self.required:
+                raise RuntimeError(
+                    f"more than required={self.required} contributions")
+            return self._total == self.required
+
+    def get(self) -> np.ndarray:
+        with self._lock:
+            if self._total != self.required or self._sum is None:
+                raise RuntimeError(
+                    f"sum incomplete: {self._total}/{self.required}")
+            return self._sum
+
+    @property
+    def complete(self) -> bool:
+        with self._lock:
+            return self._total == self.required and self._sum is not None
+
+
+class OrderedSum:
+    """Deterministic concurrent accumulation.
+
+    The wait-free scheme adds contributions in arrival order, so
+    floating-point round-off depends on the thread schedule — runs with
+    different worker counts agree only to ~1e-12.  ``OrderedSum`` trades
+    a little memory for **bitwise reproducibility**: each contributor
+    deposits into its own indexed slot (no synchronisation beyond an
+    atomic counter), and the final reduction sums the slots in index
+    order on the completing thread.  Used by
+    ``Network(deterministic_sums=True)``.
+    """
+
+    def __init__(self, required: int) -> None:
+        if required < 1:
+            raise ValueError(f"required must be >= 1, got {required}")
+        self.required = required
+        self._lock = threading.Lock()
+        self._slots: list = [None] * required
+        self._total = 0
+        self._result: Optional[np.ndarray] = None
+
+    def reset(self, required: Optional[int] = None) -> None:
+        with self._lock:
+            if self._total not in (0, self.required):
+                raise RuntimeError(
+                    f"reset during accumulation ({self._total}/{self.required})")
+            if required is not None:
+                if required < 1:
+                    raise ValueError(f"required must be >= 1, got {required}")
+                self.required = required
+            self._slots = [None] * self.required
+            self._total = 0
+            self._result = None
+
+    def add(self, value: np.ndarray, index: Optional[int] = None) -> bool:
+        """Deposit *value* at *index* (the edge's position among the
+        node's contributors); returns True for the completing call,
+        which performs the in-order reduction."""
+        if index is None:
+            raise ValueError("OrderedSum requires a contribution index")
+        if not 0 <= index < self.required:
+            raise ValueError(
+                f"index {index} out of range [0, {self.required})")
+        with self._lock:
+            if self._slots[index] is not None:
+                raise RuntimeError(f"slot {index} already filled")
+            self._slots[index] = value
+            self._total += 1
+            last = self._total == self.required
+        if not last:
+            return False
+        # Reduction in fixed index order -> schedule-independent result.
+        result = self._slots[0]
+        for slot in self._slots[1:]:
+            result = result + slot
+        with self._lock:
+            self._result = result
+        return True
+
+    def get(self) -> np.ndarray:
+        with self._lock:
+            if self._result is None:
+                raise RuntimeError(
+                    f"sum incomplete: {self._total}/{self.required}")
+            return self._result
+
+    @property
+    def complete(self) -> bool:
+        with self._lock:
+            return self._result is not None

@@ -1,0 +1,164 @@
+"""Direct (spatial-domain) 3D convolution and correlation, with sparsity.
+
+This is the "Direct" column of Table II in the paper.  All functions
+operate on 3D float arrays; 2D and 1D inputs are promoted to 3D with
+leading singleton axes.
+
+Conventions
+-----------
+*Correlation* is the un-flipped inner product used throughout modern
+ConvNet code:
+
+    corr_valid(I, K)[x] = sum_u I[x + s*u] * K[u]
+
+*Convolution* is the textbook (MATLAB ``conv``) operation — correlation
+with the kernel reflected along all three dimensions.  The paper's
+forward pass performs a *valid convolution* and its backward pass a
+*full convolution* with the reflected kernel (Section III-A); both are
+expressible in either vocabulary and we provide both.
+
+*Sparsity* ``s`` (Section II) dilates the kernel: only every s-th voxel
+within the sliding window enters the linear combination, so a kernel of
+size ``k`` has an effective footprint of ``(k-1)*s + 1`` voxels per
+dimension.  Sparse convolution is what makes max-filtering ConvNets
+equivalent to sliding-window max-pooling ConvNets (Fig 2).
+
+Implementation notes (per the HPC guides): the sliding windows are
+zero-copy strided views (``sliding_window_view``) subsampled inside the
+window for dilation, and the contraction is a single ``tensordot`` so
+the heavy loop runs in compiled BLAS code, touching memory contiguously.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.utils.shapes import (
+    as_shape3,
+    effective_kernel_shape,
+    full_conv_shape,
+    valid_conv_shape,
+)
+from repro.utils.validation import check_array3
+
+__all__ = [
+    "correlate_valid",
+    "correlate_full",
+    "convolve_valid",
+    "convolve_full",
+    "conv_backward_input",
+    "conv_kernel_gradient",
+    "flip3",
+    "dilate_kernel",
+]
+
+
+def flip3(kernel: np.ndarray) -> np.ndarray:
+    """Reflect a 3D kernel along all three dimensions."""
+    return kernel[::-1, ::-1, ::-1]
+
+
+def dilate_kernel(kernel: np.ndarray, sparsity: int | Sequence[int]) -> np.ndarray:
+    """Zero-stuff *kernel* so taps sit every s-th voxel (effective footprint).
+
+    Used by the FFT path; the direct path subsamples the window view
+    instead and never materialises the dilated kernel.
+    """
+    k = check_array3(kernel, "kernel")
+    s = as_shape3(sparsity, name="sparsity")
+    if s == (1, 1, 1):
+        return k
+    eff = effective_kernel_shape(k.shape, s)
+    out = np.zeros(eff, dtype=k.dtype)
+    out[:: s[0], :: s[1], :: s[2]] = k
+    return out
+
+
+def _windows(image: np.ndarray, kernel_shape: tuple[int, int, int],
+             sparsity: tuple[int, int, int]) -> np.ndarray:
+    """Zero-copy view of all sliding windows, dilation-subsampled.
+
+    Returns an array of shape ``out_shape + kernel_shape`` where
+    ``out_shape = n - (k-1)*s`` per dimension.
+    """
+    eff = effective_kernel_shape(kernel_shape, sparsity)
+    view = sliding_window_view(image, eff)
+    return view[..., :: sparsity[0], :: sparsity[1], :: sparsity[2]]
+
+
+def correlate_valid(image: np.ndarray, kernel: np.ndarray,
+                    sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """Valid sparse correlation: output shape ``n - (k-1)*s`` per dim."""
+    img = check_array3(image, "image")
+    ker = check_array3(kernel, "kernel")
+    s = as_shape3(sparsity, name="sparsity")
+    valid_conv_shape(img.shape, ker.shape, s)  # shape check
+    win = _windows(img, ker.shape, s)
+    return np.tensordot(win, ker, axes=3)
+
+
+def convolve_valid(image: np.ndarray, kernel: np.ndarray,
+                   sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """Valid sparse convolution (kernel reflected): the paper's forward op."""
+    ker = check_array3(kernel, "kernel")
+    return correlate_valid(image, flip3(ker), sparsity)
+
+
+def _pad_full(image: np.ndarray, kernel_shape: tuple[int, int, int],
+              sparsity: tuple[int, int, int]) -> np.ndarray:
+    eff = effective_kernel_shape(kernel_shape, sparsity)
+    pad = [(e - 1, e - 1) for e in eff]
+    return np.pad(image, pad, mode="constant")
+
+
+def correlate_full(image: np.ndarray, kernel: np.ndarray,
+                   sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """Full sparse correlation: output shape ``n + (k-1)*s`` per dim."""
+    img = check_array3(image, "image")
+    ker = check_array3(kernel, "kernel")
+    s = as_shape3(sparsity, name="sparsity")
+    full_conv_shape(img.shape, ker.shape, s)  # shape check
+    padded = _pad_full(img, ker.shape, s)
+    win = _windows(padded, ker.shape, s)
+    return np.tensordot(win, ker, axes=3)
+
+
+def convolve_full(image: np.ndarray, kernel: np.ndarray,
+                  sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """Full sparse convolution (kernel reflected): the paper's backward op."""
+    ker = check_array3(kernel, "kernel")
+    return correlate_full(image, flip3(ker), sparsity)
+
+
+def conv_backward_input(grad_output: np.ndarray, kernel: np.ndarray,
+                        sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """Gradient w.r.t. the input of ``correlate_valid(I, K, s)``.
+
+    Mathematically a full convolution of the output gradient with the
+    (un-flipped) kernel — exactly the paper's "Convolution Jacobian":
+    the kernel reflected along all three dimensions, full convolution.
+    Output shape grows back to the forward input shape.
+    """
+    return convolve_full(grad_output, kernel, sparsity)
+
+
+def conv_kernel_gradient(image: np.ndarray, grad_output: np.ndarray,
+                         sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """Gradient w.r.t. the kernel of ``correlate_valid(I, K, s)``.
+
+    ``dK[u] = sum_x I[x + s*u] * dO[x]`` — a valid correlation of the
+    forward input with the backward image, sampled at the kernel's
+    dilated tap positions, yielding an image the same size as the kernel
+    (Section III-B "Kernel update").
+    """
+    img = check_array3(image, "image")
+    go = check_array3(grad_output, "grad_output")
+    s = as_shape3(sparsity, name="sparsity")
+    # Windows the size of the output gradient, one per dilated lag; then
+    # subsample lags by the sparsity to land on the kernel taps.
+    view = sliding_window_view(img, go.shape)
+    lags = view[:: s[0], :: s[1], :: s[2]]
+    return np.tensordot(lags, go, axes=3)

@@ -1,0 +1,218 @@
+"""FFT-based 3D convolution — the "FFT-based" columns of Table II.
+
+All three passes of a convolutional edge are computed with real FFTs of
+one common *transform size*: the layer's input image size ``n``.  With a
+single cached spectrum per kernel (the un-flipped, dilated kernel,
+zero-padded to ``n``) the passes become pointwise spectral products:
+
+==========  ==========================================  ================
+pass        spectral form                               spatial result
+==========  ==========================================  ================
+forward     ``conj(FK) * FI``                           head-crop to n'
+backward    ``FK * FdO``                                exactly n
+update      ``conj(FdO) * FI``                          head-crop to k_eff,
+                                                        subsample by s
+==========  ==========================================  ================
+
+where ``FI``/``FdO``/``FK`` are size-``n`` rfftn spectra of the forward
+input image, the backward (gradient) image and the kernel.  Exactness of
+the size-``n`` circular transforms is argued in :mod:`repro.tensor.fourier`
+and property-tested against the direct method.
+
+The plan object is the unit the autotuner (Section IV) selects per layer,
+and the spectra are what :class:`repro.tensor.fft_cache.TransformCache`
+memoizes across passes to realise the "(Memoized)" column of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.conv_direct import dilate_kernel
+from repro.tensor.fourier import (
+    crop_head,
+    fast_transform_shape,
+    forward_transform,
+    inverse_transform,
+)
+from repro.utils.shapes import (
+    Shape3,
+    as_shape3,
+    effective_kernel_shape,
+    full_conv_shape,
+    valid_conv_shape,
+)
+from repro.utils.validation import check_array3
+
+__all__ = [
+    "fft_correlate_valid",
+    "fft_convolve_full",
+    "fft_conv_backward_input",
+    "fft_conv_kernel_gradient",
+    "FftConvPlan",
+]
+
+
+# ---------------------------------------------------------------------------
+# Standalone one-shot functions (used for testing and by the autotuner's
+# single-convolution benchmarks).
+# ---------------------------------------------------------------------------
+
+def fft_correlate_valid(image: np.ndarray, kernel: np.ndarray,
+                        sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """FFT equivalent of :func:`repro.tensor.conv_direct.correlate_valid`."""
+    plan = FftConvPlan(check_array3(image, "image").shape,
+                       check_array3(kernel, "kernel").shape, sparsity)
+    return plan.forward(plan.image_spectrum(image), plan.kernel_spectrum(kernel))
+
+
+def fft_conv_backward_input(grad_output: np.ndarray, kernel: np.ndarray,
+                            sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """FFT equivalent of :func:`repro.tensor.conv_direct.conv_backward_input`."""
+    go = check_array3(grad_output, "grad_output")
+    ker = check_array3(kernel, "kernel")
+    image_shape = full_conv_shape(go.shape, ker.shape, sparsity)
+    plan = FftConvPlan(image_shape, ker.shape, sparsity)
+    return plan.backward(plan.grad_spectrum(go), plan.kernel_spectrum(kernel))
+
+
+def fft_convolve_full(image: np.ndarray, kernel: np.ndarray,
+                      sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """FFT full convolution (alias of the backward-input computation)."""
+    return fft_conv_backward_input(image, kernel, sparsity)
+
+
+def fft_conv_kernel_gradient(image: np.ndarray, grad_output: np.ndarray,
+                             sparsity: int | Sequence[int] = 1) -> np.ndarray:
+    """FFT equivalent of :func:`repro.tensor.conv_direct.conv_kernel_gradient`."""
+    img = check_array3(image, "image")
+    go = check_array3(grad_output, "grad_output")
+    eff = tuple(i - o + 1 for i, o in zip(img.shape, go.shape))
+    s = as_shape3(sparsity, name="sparsity")
+    k = tuple((e - 1) // sd + 1 for e, sd in zip(eff, s))
+    plan = FftConvPlan(img.shape, k, s)
+    return plan.kernel_gradient(plan.image_spectrum(img), plan.grad_spectrum(go))
+
+
+# ---------------------------------------------------------------------------
+# Per-layer plan
+# ---------------------------------------------------------------------------
+
+class FftConvPlan:
+    """Per-edge/per-layer FFT convolution plan at a fixed transform size.
+
+    Parameters
+    ----------
+    image_shape:
+        Shape of the layer's *input* images (the common transform size n).
+    kernel_shape:
+        Shape of the (undilated) kernels.
+    sparsity:
+        Kernel dilation factor(s) — Section II "sparse convolution".
+    """
+
+    def __init__(self, image_shape: int | Sequence[int],
+                 kernel_shape: int | Sequence[int],
+                 sparsity: int | Sequence[int] = 1,
+                 fast_sizes: bool = False) -> None:
+        self.image_shape: Shape3 = as_shape3(image_shape, name="image_shape")
+        self.kernel_shape: Shape3 = as_shape3(kernel_shape, name="kernel_shape")
+        self.sparsity: Shape3 = as_shape3(sparsity, name="sparsity")
+        self.effective_kernel_shape: Shape3 = effective_kernel_shape(
+            self.kernel_shape, self.sparsity)
+        self.output_shape: Shape3 = valid_conv_shape(
+            self.image_shape, self.kernel_shape, self.sparsity)
+        # Any transform size >= the image size is exact for all three
+        # passes; padding up to 5-smooth sizes buys FFT speed.
+        self.transform_shape: Shape3 = (
+            fast_transform_shape(self.image_shape) if fast_sizes
+            else self.image_shape)
+
+    # -- spectra -----------------------------------------------------------
+
+    def image_spectrum(self, image: np.ndarray) -> np.ndarray:
+        """rfftn of a forward input image at the transform size."""
+        img = check_array3(image, "image")
+        if img.shape != self.image_shape:
+            raise ValueError(f"image shape {img.shape} != plan {self.image_shape}")
+        return forward_transform(img, self.transform_shape)
+
+    def grad_spectrum(self, grad_output: np.ndarray) -> np.ndarray:
+        """rfftn of a backward (gradient) image, zero-padded to the
+        transform size."""
+        go = check_array3(grad_output, "grad_output")
+        if go.shape != self.output_shape:
+            raise ValueError(
+                f"grad_output shape {go.shape} != plan output {self.output_shape}")
+        return forward_transform(go, self.transform_shape)
+
+    def kernel_spectrum(self, kernel: np.ndarray) -> np.ndarray:
+        """rfftn of the dilated (un-flipped) kernel, zero-padded to the
+        transform size.  This single spectrum serves forward *and*
+        backward passes — the reuse the memoized column of Table II
+        counts on."""
+        ker = check_array3(kernel, "kernel")
+        if ker.shape != self.kernel_shape:
+            raise ValueError(
+                f"kernel shape {ker.shape} != plan {self.kernel_shape}")
+        return forward_transform(dilate_kernel(ker, self.sparsity),
+                                 self.transform_shape)
+
+    # -- spectral products (the per-edge task bodies) ------------------------
+
+    def forward_product(self, image_spec: np.ndarray,
+                        kernel_spec: np.ndarray) -> np.ndarray:
+        """Spectrum of the valid correlation (to be node-summed, then
+        finalised with :meth:`finalize_forward`)."""
+        return np.conj(kernel_spec) * image_spec
+
+    def backward_product(self, grad_spec: np.ndarray,
+                         kernel_spec: np.ndarray) -> np.ndarray:
+        """Spectrum of the full convolution of the output gradient."""
+        return kernel_spec * grad_spec
+
+    def update_product(self, image_spec: np.ndarray,
+                       grad_spec: np.ndarray) -> np.ndarray:
+        """Spectrum whose inverse holds the kernel gradient lags."""
+        return np.conj(grad_spec) * image_spec
+
+    # -- finalisers (inverse transform + crop), applied once per node sum ----
+
+    def finalize_forward(self, spectrum_sum: np.ndarray) -> np.ndarray:
+        spatial = inverse_transform(spectrum_sum, self.transform_shape)
+        return crop_head(spatial, self.output_shape)
+
+    def finalize_backward(self, spectrum_sum: np.ndarray) -> np.ndarray:
+        spatial = inverse_transform(spectrum_sum, self.transform_shape)
+        return crop_head(spatial, self.image_shape)
+
+    def finalize_update(self, spectrum: np.ndarray) -> np.ndarray:
+        spatial = inverse_transform(spectrum, self.transform_shape)
+        lags = crop_head(spatial, self.effective_kernel_shape)
+        s = self.sparsity
+        return np.ascontiguousarray(lags[:: s[0], :: s[1], :: s[2]])
+
+    # -- convenience end-to-end passes ---------------------------------------
+
+    def forward(self, image_spec: np.ndarray,
+                kernel_spec: np.ndarray) -> np.ndarray:
+        """Valid correlation of one image with one kernel."""
+        return self.finalize_forward(self.forward_product(image_spec, kernel_spec))
+
+    def backward(self, grad_spec: np.ndarray,
+                 kernel_spec: np.ndarray) -> np.ndarray:
+        """Input gradient (full convolution) for one edge."""
+        return self.finalize_backward(self.backward_product(grad_spec, kernel_spec))
+
+    def kernel_gradient(self, image_spec: np.ndarray,
+                        grad_spec: np.ndarray) -> np.ndarray:
+        """Kernel gradient for one edge."""
+        return self.finalize_update(self.update_product(image_spec, grad_spec))
+
+    # -- introspection --------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FftConvPlan(image={self.image_shape}, "
+                f"kernel={self.kernel_shape}, sparsity={self.sparsity})")

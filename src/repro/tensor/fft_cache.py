@@ -1,0 +1,138 @@
+"""FFT memoization — the "(Memoized)" column of Table II.
+
+During one round of gradient learning the same spectra are needed by
+multiple passes:
+
+* the spectrum of a node's forward image is needed by every outgoing
+  edge's forward pass *and again* by every outgoing edge's weight
+  update;
+* the spectrum of an edge's kernel is needed by the forward pass *and
+  again* by the backward pass;
+* the spectrum of a node's backward image is needed by every incoming
+  edge's backward pass *and again* by every incoming edge's update.
+
+Memoizing them removes one third of the FFT work per round (9C→6C in
+Table II).  The paper notes this was impractical on GPUs for memory
+reasons but is natural on CPUs with large RAM.
+
+The cache is a thread-safe per-round store keyed by (round, kind, name).
+``invalidate_round`` drops everything from previous rounds, mirroring
+ZNN's behaviour where memoized spectra live exactly one forward/backward
+/update cycle.  Statistics (computed vs reused) feed the memoization
+benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["CacheStats", "TransformCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for memoization effectiveness."""
+
+    computed: int = 0
+    reused: int = 0
+    evicted: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return self.computed + self.reused
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.total_requests
+        return self.reused / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "computed": self.computed,
+            "reused": self.reused,
+            "evicted": self.evicted,
+            "reuse_fraction": self.reuse_fraction,
+        }
+
+
+class TransformCache:
+    """Thread-safe memoization store for FFT spectra.
+
+    Parameters
+    ----------
+    enabled:
+        When False the cache degenerates to always-compute (the plain
+        "FFT-based" column of Table II); statistics are still gathered
+        so the two modes can be compared.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._store: Dict[Tuple[Hashable, ...], np.ndarray] = {}
+        self._round = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        """Current training round the cache is scoped to."""
+        return self._round
+
+    def next_round(self) -> int:
+        """Advance to the next training round, evicting all spectra.
+
+        ZNN's memoized spectra are only valid within one forward/
+        backward/update cycle: kernels change at the update, images
+        change with the next sample.
+        """
+        with self._lock:
+            self.stats.evicted += len(self._store)
+            self._store.clear()
+            self._round += 1
+            return self._round
+
+    def invalidate(self, kind: str, name: Hashable) -> None:
+        """Drop a single entry (e.g. a kernel spectrum after its update)."""
+        with self._lock:
+            self._store.pop((self._round, kind, name), None)
+
+    def get_or_compute(self, kind: str, name: Hashable,
+                       compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """Return the cached spectrum for (kind, name), computing at most
+        once per round.
+
+        The computation runs *outside* the lock; if two threads race on
+        the same key both compute but only one result is stored — the
+        spectra are deterministic so either is correct.  This trades a
+        rare duplicated FFT for never holding the lock during an FFT,
+        in the same spirit as the paper's wait-free summation.
+        """
+        key = (self._round, kind, name)
+        if self.enabled:
+            with self._lock:
+                cached = self._store.get(key)
+            if cached is not None:
+                with self._lock:
+                    self.stats.reused += 1
+                return cached
+        value = compute()
+        with self._lock:
+            self.stats.computed += 1
+            if self.enabled:
+                self._store.setdefault(key, value)
+                value = self._store[key]
+        return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TransformCache(enabled={self.enabled}, round={self._round}, "
+                f"entries={len(self)}, stats={self.stats.snapshot()})")

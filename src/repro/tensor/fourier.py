@@ -1,0 +1,134 @@
+"""Real-FFT helpers shared by the FFT convolution path.
+
+The paper computes all three passes of a convolutional layer (forward,
+backward, update) with transforms of a single common size — the layer's
+*input* image size ``n`` — which is what makes the FFT memoization of
+Table II possible: the FFT of a forward image computed during the
+forward pass is reused by the weight update, and the FFT of a kernel is
+reused by the backward pass.
+
+A size-``n`` circular transform is exact for all three operations:
+
+* valid forward conv (``n`` ⊛ ``k`` → ``n'``): the circular wraparound
+  only contaminates output positions ``0 .. k-2``; the valid region
+  ``k-1 .. n-1`` is exact.
+* full backward conv (``n'`` ⊛ ``k`` → ``n``): the linear result has
+  length exactly ``n``; no wraparound at all.
+* kernel gradient (correlation of ``n`` with ``n'`` at lags
+  ``0 .. (k-1)s``): aliased lags fall outside the linear correlation's
+  support, so the needed lags are exact.
+
+These exactness facts are property-tested against the direct method in
+``tests/tensor/test_conv_fft.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.shapes import as_shape3
+
+__all__ = [
+    "rfft_shape",
+    "forward_transform",
+    "inverse_transform",
+    "pad_to",
+    "crop_valid_tail",
+    "crop_head",
+    "next_fast_len",
+    "fast_transform_shape",
+]
+
+
+def next_fast_len(n: int) -> int:
+    """Smallest 5-smooth integer (2^a 3^b 5^c) >= n.
+
+    FFT libraries are fastest on highly composite sizes; padding a
+    transform up to the next 5-smooth length is the classic trick (MKL
+    and FFTW both do it internally; numpy's pocketfft benefits too).
+    Any transform size >= the layer input size is *exact* for all three
+    convolution passes (see the module docstring), so the padding is
+    free of correctness caveats.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n <= 6:
+        return n
+    best = 1
+    while best < n:
+        best *= 2
+    p5 = 1
+    while p5 < best:
+        p35 = p5
+        while p35 < best:
+            # round p35 up to a power of two multiple
+            quotient = -(-n // p35)  # ceil
+            p2 = 1
+            while p2 < quotient:
+                p2 *= 2
+            candidate = p2 * p35
+            if n <= candidate < best:
+                best = candidate
+            if p35 * 3 > best:
+                break
+            p35 *= 3
+        if p5 * 5 > best:
+            break
+        p5 *= 5
+    return best
+
+
+def fast_transform_shape(shape: Sequence[int]) -> Tuple[int, int, int]:
+    """Per-axis :func:`next_fast_len` of *shape*."""
+    s = as_shape3(shape, name="shape")
+    return tuple(next_fast_len(d) for d in s)  # type: ignore[return-value]
+
+
+def rfft_shape(transform_shape: Sequence[int]) -> Tuple[int, int, int]:
+    """Shape of the half-spectrum produced by ``rfftn`` at *transform_shape*."""
+    t = as_shape3(transform_shape, name="transform_shape")
+    return (t[0], t[1], t[2] // 2 + 1)
+
+
+def pad_to(image: np.ndarray, transform_shape: Sequence[int]) -> np.ndarray:
+    """Zero-pad *image* at the high end of each axis to *transform_shape*."""
+    t = as_shape3(transform_shape, name="transform_shape")
+    if image.shape == t:
+        return image
+    if any(i > td for i, td in zip(image.shape, t)):
+        raise ValueError(f"image {image.shape} larger than transform {t}")
+    pad = [(0, td - i) for i, td in zip(image.shape, t)]
+    return np.pad(image, pad, mode="constant")
+
+
+def forward_transform(image: np.ndarray,
+                      transform_shape: Sequence[int]) -> np.ndarray:
+    """Real 3D FFT of *image* zero-padded to *transform_shape*."""
+    t = as_shape3(transform_shape, name="transform_shape")
+    return np.fft.rfftn(image, s=t, axes=(0, 1, 2))
+
+
+def inverse_transform(spectrum: np.ndarray,
+                      transform_shape: Sequence[int]) -> np.ndarray:
+    """Inverse real 3D FFT back to *transform_shape*."""
+    t = as_shape3(transform_shape, name="transform_shape")
+    return np.fft.irfftn(spectrum, s=t, axes=(0, 1, 2))
+
+
+def crop_valid_tail(image: np.ndarray,
+                    out_shape: Sequence[int]) -> np.ndarray:
+    """Keep the trailing *out_shape* corner (the valid region of a
+    circular convolution whose wraparound contaminates the head)."""
+    o = as_shape3(out_shape, name="out_shape")
+    return np.ascontiguousarray(
+        image[image.shape[0] - o[0]:,
+              image.shape[1] - o[1]:,
+              image.shape[2] - o[2]:])
+
+
+def crop_head(image: np.ndarray, out_shape: Sequence[int]) -> np.ndarray:
+    """Keep the leading *out_shape* corner."""
+    o = as_shape3(out_shape, name="out_shape")
+    return np.ascontiguousarray(image[: o[0], : o[1], : o[2]])

@@ -1,0 +1,74 @@
+"""Max-pooling forward and Jacobian (Sections II and III-A).
+
+Max-pooling divides an image of size ``n^3`` into blocks of size ``p^3``
+(``n`` divisible by ``p``) and keeps each block's maximum, yielding
+``(n/p)^3``.  The Jacobian routes the backward value of each pooled
+voxel to the block position that won the forward max, zeroing the rest.
+
+The forward therefore also returns the winning positions; forward and
+backward share one argmax so tie-breaking (first maximum in C order, as
+``numpy.argmax``) is consistent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.shapes import as_shape3, pool_shape
+from repro.utils.validation import check_array3
+
+__all__ = ["max_pool_forward", "max_pool_backward"]
+
+
+def _blocks(image: np.ndarray, window: Tuple[int, int, int]) -> np.ndarray:
+    """View of the image as (out0, out1, out2, p0*p1*p2) blocks."""
+    n = image.shape
+    p = window
+    out = (n[0] // p[0], n[1] // p[1], n[2] // p[2])
+    view = image.reshape(out[0], p[0], out[1], p[1], out[2], p[2])
+    view = view.transpose(0, 2, 4, 1, 3, 5)
+    return view.reshape(out[0], out[1], out[2], p[0] * p[1] * p[2])
+
+
+def max_pool_forward(image: np.ndarray, window: int | Sequence[int]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Max-pool *image* with block size *window*.
+
+    Returns
+    -------
+    (pooled, argmax):
+        ``pooled`` has shape ``n/p`` per dimension; ``argmax`` holds,
+        per output voxel, the flat within-block index of the winning
+        input voxel (used by :func:`max_pool_backward`).
+    """
+    img = check_array3(image, "image")
+    p = as_shape3(window, name="window")
+    pool_shape(img.shape, p)  # validates divisibility
+    blocks = _blocks(img, p)
+    argmax = np.argmax(blocks, axis=-1)
+    pooled = np.take_along_axis(blocks, argmax[..., np.newaxis], axis=-1)
+    return np.ascontiguousarray(pooled[..., 0]), argmax
+
+
+def max_pool_backward(grad_output: np.ndarray, argmax: np.ndarray,
+                      window: int | Sequence[int]) -> np.ndarray:
+    """Max-pooling Jacobian: expand ``n^3`` back to ``(n*p)^3``.
+
+    Within each block all voxels are zeroed except the forward winner,
+    which receives the corresponding backward value.
+    """
+    go = check_array3(grad_output, "grad_output")
+    p = as_shape3(window, name="window")
+    if argmax.shape != go.shape:
+        raise ValueError(
+            f"argmax shape {argmax.shape} != grad_output shape {go.shape}")
+    out = go.shape
+    blocks = np.zeros(out + (p[0] * p[1] * p[2],), dtype=go.dtype)
+    np.put_along_axis(blocks, argmax[..., np.newaxis], go[..., np.newaxis],
+                      axis=-1)
+    blocks = blocks.reshape(out[0], out[1], out[2], p[0], p[1], p[2])
+    blocks = blocks.transpose(0, 3, 1, 4, 2, 5)
+    return np.ascontiguousarray(
+        blocks.reshape(out[0] * p[0], out[1] * p[1], out[2] * p[2]))

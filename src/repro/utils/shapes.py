@@ -1,0 +1,176 @@
+"""Shape algebra for 3D ConvNet images, kernels and windows.
+
+Everything in ZNN is a 3D image; 2D images are the special case where one
+dimension has size one.  Shapes are therefore always canonicalised to
+3-tuples of positive ints.  This module centralises the arithmetic that
+the rest of the library relies on: output sizes of valid/full
+convolutions (possibly sparse/dilated), max-pooling and max-filtering
+window arithmetic, and the field-of-view computation used by
+sliding-window ConvNets (Section II-A of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+Shape3 = Tuple[int, int, int]
+
+
+def as_shape3(value: int | Sequence[int], *, name: str = "shape") -> Shape3:
+    """Canonicalise *value* to a 3-tuple of positive ints.
+
+    Accepts a scalar (isotropic shape), a 1/2/3-element sequence.  A
+    2-element sequence is promoted to 3D by prepending a singleton
+    dimension, matching the paper's "2D images are a special case in
+    which one of the dimensions has size one".
+    """
+    if isinstance(value, (int,)):
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+        return (value, value, value)
+    seq = tuple(int(v) for v in value)
+    if len(seq) == 1:
+        seq = (1, 1, seq[0])
+    elif len(seq) == 2:
+        seq = (1,) + seq
+    if len(seq) != 3:
+        raise ValueError(f"{name} must have 1, 2 or 3 dimensions, got {value!r}")
+    if any(v <= 0 for v in seq):
+        raise ValueError(f"{name} dimensions must be positive, got {seq}")
+    return seq  # type: ignore[return-value]
+
+
+def effective_kernel_shape(kernel: int | Sequence[int],
+                           sparsity: int | Sequence[int] = 1) -> Shape3:
+    """Footprint of a sparse (dilated) kernel.
+
+    A sparse convolution with sparsity ``s`` uses only every s-th voxel
+    within its sliding window (Section II), so a kernel of size ``k``
+    covers ``(k - 1) * s + 1`` voxels per dimension.
+    """
+    k = as_shape3(kernel, name="kernel")
+    s = as_shape3(sparsity, name="sparsity")
+    return tuple((kd - 1) * sd + 1 for kd, sd in zip(k, s))  # type: ignore[return-value]
+
+
+def valid_conv_shape(image: int | Sequence[int],
+                     kernel: int | Sequence[int],
+                     sparsity: int | Sequence[int] = 1) -> Shape3:
+    """Output shape of a valid (sparse) convolution: n - (k-1)*s per dim."""
+    n = as_shape3(image, name="image")
+    ke = effective_kernel_shape(kernel, sparsity)
+    out = tuple(nd - kd + 1 for nd, kd in zip(n, ke))
+    if any(v <= 0 for v in out):
+        raise ValueError(
+            f"valid convolution of image {n} with effective kernel {ke} "
+            f"yields non-positive output {out}")
+    return out  # type: ignore[return-value]
+
+
+def full_conv_shape(image: int | Sequence[int],
+                    kernel: int | Sequence[int],
+                    sparsity: int | Sequence[int] = 1) -> Shape3:
+    """Output shape of a full (sparse) convolution: n + (k-1)*s per dim."""
+    n = as_shape3(image, name="image")
+    ke = effective_kernel_shape(kernel, sparsity)
+    return tuple(nd + kd - 1 for nd, kd in zip(n, ke))  # type: ignore[return-value]
+
+
+def pool_shape(image: int | Sequence[int],
+               window: int | Sequence[int]) -> Shape3:
+    """Output shape of max-pooling with block size p: n/p per dim.
+
+    The paper requires n divisible by p; we enforce it.
+    """
+    n = as_shape3(image, name="image")
+    p = as_shape3(window, name="window")
+    for nd, pd in zip(n, p):
+        if nd % pd != 0:
+            raise ValueError(f"image {n} not divisible by pooling window {p}")
+    return tuple(nd // pd for nd, pd in zip(n, p))  # type: ignore[return-value]
+
+
+def filter_shape(image: int | Sequence[int],
+                 window: int | Sequence[int],
+                 sparsity: int | Sequence[int] = 1) -> Shape3:
+    """Output shape of max-filtering: like a valid convolution of the window."""
+    return valid_conv_shape(image, window, sparsity)
+
+
+def filter_backward_shape(image: int | Sequence[int],
+                          window: int | Sequence[int],
+                          sparsity: int | Sequence[int] = 1) -> Shape3:
+    """Backward image of max-filtering grows back to the input size."""
+    return full_conv_shape(image, window, sparsity)
+
+
+def voxels(shape: int | Sequence[int]) -> int:
+    """Number of voxels in a canonicalised shape."""
+    return math.prod(as_shape3(shape))
+
+
+def is_subshape(inner: Sequence[int], outer: Sequence[int]) -> bool:
+    """True if every dimension of *inner* fits inside *outer*."""
+    return all(i <= o for i, o in zip(as_shape3(inner), as_shape3(outer)))
+
+
+def field_of_view(layers: Iterable[tuple[str, int | Sequence[int], int | Sequence[int]]]
+                  ) -> Shape3:
+    """Field of view of a ConvNet given its (kind, window, sparsity) layers.
+
+    *layers* is an iterable of ``(kind, window, sparsity)`` where kind is
+    one of ``"conv"``, ``"filter"`` (both shrink by the effective window
+    minus one) or ``"pool"`` (multiplies resolution).  Returns the input
+    size mapping to exactly one output voxel — the ConvNet field of view
+    v of Section II-A.
+    """
+    fov = (1, 1, 1)
+    for kind, window, sparsity in reversed(list(layers)):
+        w = as_shape3(window, name="window")
+        s = as_shape3(sparsity, name="sparsity")
+        if kind in ("conv", "filter"):
+            eff = tuple((wd - 1) * sd + 1 for wd, sd in zip(w, s))
+            fov = tuple(f + e - 1 for f, e in zip(fov, eff))
+        elif kind == "pool":
+            fov = tuple(f * wd for f, wd in zip(fov, w))
+        else:
+            raise ValueError(f"unknown layer kind {kind!r}")
+    return fov  # type: ignore[return-value]
+
+
+def output_shape_for_input(input_shape: int | Sequence[int],
+                           layers: Iterable[tuple[str, int | Sequence[int], int | Sequence[int]]]
+                           ) -> Shape3:
+    """Propagate an input shape through (kind, window, sparsity) layers."""
+    shape = as_shape3(input_shape, name="input")
+    for kind, window, sparsity in layers:
+        if kind == "conv" or kind == "filter":
+            shape = valid_conv_shape(shape, window, sparsity)
+        elif kind == "pool":
+            shape = pool_shape(shape, window)
+        elif kind == "transfer":
+            continue
+        else:
+            raise ValueError(f"unknown layer kind {kind!r}")
+    return shape
+
+
+def input_shape_for_output(output_shape: int | Sequence[int],
+                           layers: Iterable[tuple[str, int | Sequence[int], int | Sequence[int]]]
+                           ) -> Shape3:
+    """Inverse of :func:`output_shape_for_input` (no pooling remainders)."""
+    shape = as_shape3(output_shape, name="output")
+    for kind, window, sparsity in reversed(list(layers)):
+        w = as_shape3(window, name="window")
+        s = as_shape3(sparsity, name="sparsity")
+        if kind in ("conv", "filter"):
+            eff = tuple((wd - 1) * sd + 1 for wd, sd in zip(w, s))
+            shape = tuple(o + e - 1 for o, e in zip(shape, eff))
+        elif kind == "pool":
+            shape = tuple(o * wd for o, wd in zip(shape, w))
+        elif kind == "transfer":
+            continue
+        else:
+            raise ValueError(f"unknown layer kind {kind!r}")
+    return shape  # type: ignore[return-value]

@@ -1,0 +1,57 @@
+"""Lightweight argument validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return *value* as an int, raising ValueError unless it is >= 1."""
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+    if ivalue < 1:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return ivalue
+
+
+def check_nonnegative(value: Any, name: str) -> float:
+    """Return *value* as a float, raising ValueError unless it is >= 0."""
+    fvalue = float(value)
+    if fvalue < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return fvalue
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return *value* as a float in [0, 1]."""
+    fvalue = float(value)
+    if not 0.0 <= fvalue <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return fvalue
+
+
+def check_array3(arr: Any, name: str, *, dtype=None) -> np.ndarray:
+    """Coerce *arr* to a C-contiguous 3D float array.
+
+    1D/2D inputs are promoted by prepending singleton axes, matching the
+    library-wide convention that 2D is 3D with one dimension of size 1.
+    """
+    a = np.asarray(arr, dtype=dtype if dtype is not None else np.float64)
+    if a.ndim > 3:
+        raise ValueError(f"{name} must be at most 3-dimensional, got ndim={a.ndim}")
+    while a.ndim < 3:
+        a = a[np.newaxis]
+    if a.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return np.ascontiguousarray(a)
+
+
+def check_choice(value: Any, name: str, choices: tuple) -> Any:
+    """Validate that *value* is one of *choices*."""
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {choices}, got {value!r}")
+    return value

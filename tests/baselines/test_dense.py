@@ -1,0 +1,74 @@
+"""Dense-training comparison tests (Section IX's 'no contest' remark)."""
+
+import pytest
+
+from repro.baselines import (
+    GPU_FRAMEWORKS,
+    comparison_layers,
+    dense_offset_count,
+    gpu_dense_seconds,
+    znn_dense_layers,
+    znn_dense_seconds,
+    znn_seconds_per_update,
+)
+
+
+class TestOffsetCount:
+    def test_paper_values(self):
+        """'computing 16 sparse outputs in 2D and 64 in 3D'."""
+        assert dense_offset_count(2) == 16
+        assert dense_offset_count(3) == 64
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            dense_offset_count(4)
+
+
+class TestDenseLayers:
+    def test_six_conv_layers(self):
+        layers = znn_dense_layers(3, 3, 2)
+        assert len(layers) == 6
+
+    def test_no_resolution_loss(self):
+        """Max-filtering keeps resolution: layer inputs shrink only by
+        valid trims, never by halving."""
+        dense = znn_dense_layers(3, 3, 2)
+        pooled = comparison_layers(3, 3, 2)
+        # after the first pooling stage the pooled net's images are
+        # roughly half the dense net's
+        assert dense[2].input_shape[0] > 1.5 * pooled[2].input_shape[0]
+
+    def test_sparsity_grows_past_filters(self):
+        """Later layers cover the same field of view via dilation: the
+        dense net's conv outputs shrink faster (effective kernels)."""
+        layers = znn_dense_layers(3, 3, 2)
+        trims = [l.input_shape[0] - l.output_shape[0] for l in layers]
+        assert trims[0] < trims[-1]  # dilated late kernels trim more
+
+
+class TestNoContest:
+    @pytest.mark.parametrize("dims,kernel,out,framework", [
+        (2, 20, 8, "theano"),
+        (2, 10, 8, "caffe"),
+        (3, 5, 4, "theano-3d"),
+        (3, 3, 4, "theano-3d"),
+    ])
+    def test_znn_dense_beats_gpu_dense(self, dims, kernel, out, framework):
+        gpu = gpu_dense_seconds(GPU_FRAMEWORKS[framework], dims, kernel,
+                                out)
+        znn = znn_dense_seconds(dims, kernel, out)
+        assert znn < gpu
+
+    def test_dense_factor_well_below_offset_count(self):
+        """ZNN's dense pass costs far less than 4^d sparse passes."""
+        for dims, kernel, out in ((2, 20, 8), (3, 5, 4)):
+            sparse = znn_seconds_per_update(
+                comparison_layers(dims, kernel, out))
+            dense = znn_dense_seconds(dims, kernel, out)
+            assert dense < 0.5 * dense_offset_count(dims) * sparse
+
+    def test_dense_costs_more_than_sparse(self):
+        """Sanity: dense output is more work than one sparse pass."""
+        sparse = znn_seconds_per_update(comparison_layers(3, 5, 4))
+        dense = znn_dense_seconds(3, 5, 4)
+        assert dense > sparse

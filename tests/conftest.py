@@ -1,0 +1,20 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One-core container: keep property-based runs small and un-timed.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,78 @@
+"""Autotuner tests (Section IV)."""
+
+import pytest
+
+from repro.core import (
+    autotune_graph,
+    autotune_layer,
+    layer_crossover_kernel_size,
+    time_direct,
+    time_fft,
+)
+from repro.graph import build_layered_network
+from repro.pram import conv_layer_costs_direct, conv_layer_costs_fft
+
+
+class TestTiming:
+    def test_times_positive(self):
+        assert time_direct((8, 8, 8), 2, repeats=1) > 0
+        assert time_fft((8, 8, 8), 2, repeats=1) > 0
+
+    def test_autotune_layer_returns_mode_and_times(self):
+        mode, t_d, t_f = autotune_layer((8, 8, 8), 2, repeats=1)
+        assert mode in ("direct", "fft")
+        assert t_d > 0 and t_f > 0
+
+    def test_fft_wins_for_big_kernels_on_this_host(self):
+        """Pure-numpy direct conv is slow; by k=7 on a 24^3 image FFT
+        must win by a wide margin."""
+        mode, t_d, t_f = autotune_layer((24, 24, 24), 7, repeats=2)
+        assert mode == "fft"
+        assert t_f < t_d
+
+
+class TestAutotuneGraph:
+    def test_one_mode_per_conv_edge(self):
+        g = build_layered_network("CTC", width=2, kernel=2)
+        g.propagate_shapes(10)
+        modes = autotune_graph(g, repeats=1)
+        conv_names = {e.name for e in g.edges.values() if e.kind == "conv"}
+        assert set(modes) == conv_names
+        assert set(modes.values()) <= {"direct", "fft"}
+
+    def test_same_layer_same_mode(self):
+        g = build_layered_network("CTC", width=3, kernel=2)
+        g.propagate_shapes(10)
+        modes = autotune_graph(g, repeats=1)
+        layer2 = {m for n, m in modes.items() if n.startswith("conv_L3")}
+        assert len(layer2) == 1
+
+    def test_requires_shapes(self):
+        g = build_layered_network("CT", width=1, kernel=2)
+        with pytest.raises(ValueError):
+            autotune_graph(g)
+
+
+class TestLayerCrossover:
+    def test_layer_crossover_at_most_single_conv_crossover(self):
+        """The paper's §IV claim: shared image/kernel FFTs move the
+        crossover to smaller kernels for wide layers."""
+        ks = range(2, 12)
+        single = layer_crossover_kernel_size((32, 32, 32), ks, 1, 1)
+        wide = layer_crossover_kernel_size((32, 32, 32), ks, 16, 16)
+        assert wide is not None
+        if single is not None:
+            assert wide <= single
+
+    def test_model_consistency(self):
+        """At the crossover kernel the FFT model is indeed cheaper."""
+        k = layer_crossover_kernel_size((32, 32, 32), range(2, 12), 8, 8)
+        assert k is not None
+        direct = conv_layer_costs_direct(8, 8, 32, k).total
+        fft = conv_layer_costs_fft(8, 8, 32).total
+        assert fft < direct
+
+    def test_none_when_direct_always_wins(self):
+        # kernel 1 or 2 on a big image with tiny width: direct is cheap
+        k = layer_crossover_kernel_size((64, 64, 64), [1], 1, 1)
+        assert k is None

@@ -1,0 +1,120 @@
+"""Gradient-check utility tests — including that it catches broken
+Jacobians."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CustomOp,
+    Network,
+    SGD,
+    check_gradients,
+    register_custom_op,
+    unregister_custom_op,
+)
+from repro.graph import ComputationGraph, build_layered_network
+
+
+def small_net(conv_mode="direct", loss="euclidean"):
+    graph = build_layered_network("CTC", width=2, kernel=2,
+                                  transfer="tanh")
+    return Network(graph, input_shape=(8, 8, 8), seed=0,
+                   conv_mode=conv_mode, loss=loss,
+                   optimizer=SGD(learning_rate=0.01, momentum=0.9))
+
+
+def data_for(net, rng):
+    x = rng.standard_normal((8, 8, 8))
+    t = {n.name: rng.standard_normal(n.shape) for n in net.output_nodes}
+    return x, t
+
+
+class TestPasses:
+    @pytest.mark.parametrize("conv_mode", ["direct", "fft"])
+    def test_correct_network_passes(self, rng, conv_mode):
+        net = small_net(conv_mode)
+        x, t = data_for(net, rng)
+        report = check_gradients(net, x, t)
+        assert report.ok, report.failures
+        assert report.checked > 5
+        assert report.max_relative_error < 1e-4
+
+    def test_binary_logistic_loss(self, rng):
+        graph = build_layered_network("CTC", width=2, kernel=2,
+                                      transfer="tanh",
+                                      final_transfer="linear")
+        net = Network(graph, input_shape=(8, 8, 8), seed=0,
+                      loss="binary-logistic")
+        x = rng.standard_normal((8, 8, 8))
+        t = {n.name: (rng.random(n.shape) < 0.5).astype(float)
+             for n in net.output_nodes}
+        assert check_gradients(net, x, t).ok
+
+    def test_parameters_restored(self, rng):
+        net = small_net()
+        x, t = data_for(net, rng)
+        before = net.kernels()
+        biases = net.biases()
+        check_gradients(net, x, t)
+        after = net.kernels()
+        for k in before:
+            np.testing.assert_array_equal(before[k], after[k])
+        assert biases == net.biases()
+
+    def test_max_filter_network(self, rng):
+        graph = build_layered_network("CTMC", width=2, kernel=2, window=2,
+                                      transfer="tanh")
+        net = Network(graph, input_shape=(9, 9, 9), seed=0)
+        x = rng.standard_normal((9, 9, 9))
+        t = {n.name: rng.standard_normal(n.shape)
+             for n in net.output_nodes}
+        assert check_gradients(net, x, t).ok
+
+
+class TestCatchesBugs:
+    def test_wrong_jacobian_detected(self, rng):
+        """A custom op whose backward lies must fail the check."""
+        register_custom_op(CustomOp(
+            name="broken-square",
+            forward=lambda x, state: x * x,
+            backward=lambda g, x, y, state: 3.0 * x * g),  # wrong: 2x
+            replace=True)
+        try:
+            g = ComputationGraph()
+            g.add_node("in")
+            g.add_node("a")
+            g.add_node("out")
+            g.add_edge("c", "in", "a", "conv", kernel=2)
+            g.add_edge("u", "a", "out", "custom", op="broken-square")
+            net = Network(g, input_shape=(6, 6, 6), seed=0)
+            x = rng.standard_normal((6, 6, 6))
+            t = rng.standard_normal(net.nodes["out"].shape)
+            report = check_gradients(net, x, t, input_samples=3)
+            assert not report.ok
+            assert any("input" in f or "kernel" in f
+                       for f in report.failures)
+        finally:
+            unregister_custom_op("broken-square")
+
+    def test_zero_tolerance_flags_noise(self, rng):
+        net = small_net()
+        x, t = data_for(net, rng)
+        report = check_gradients(net, x, t, tolerance=0.0)
+        assert not report.ok  # fp noise exceeds zero tolerance
+
+
+class TestReport:
+    def test_counts(self, rng):
+        net = small_net()
+        x, t = data_for(net, rng)
+        report = check_gradients(net, x, t, kernel_samples=1,
+                                 input_samples=2)
+        kernels = sum(1 for e in net.edges.values() if hasattr(e, "kernel"))
+        biases = sum(1 for e in net.edges.values() if hasattr(e, "bias"))
+        assert report.checked == kernels * 1 + biases + 2
+
+    def test_no_input_samples(self, rng):
+        net = small_net()
+        x, t = data_for(net, rng)
+        report = check_gradients(net, x, t, input_samples=0)
+        assert report.ok

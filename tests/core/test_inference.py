@@ -1,0 +1,145 @@
+"""Fig 2 equivalence and dense-inference utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Network,
+    copy_parameters,
+    dense_equivalent_network,
+    sliding_window_forward,
+    sparse_lattice,
+)
+from repro.graph import build_layered_network
+
+
+def build_pool_net(spec="CTPCT", input_shape=(5, 5, 5), seed=3, **kw):
+    kw.setdefault("width", [2, 1])
+    kw.setdefault("kernel", 2)
+    kw.setdefault("window", 2)
+    kw.setdefault("transfer", "tanh")
+    graph = build_layered_network(spec, **kw)
+    return Network(graph, input_shape=input_shape, conv_mode="direct",
+                   seed=seed), kw
+
+
+class TestSlidingWindowReference:
+    def test_output_shape(self, rng):
+        net, _ = build_pool_net()
+        big = rng.standard_normal((7, 7, 7))
+        dense = sliding_window_forward(net, big)
+        assert dense.shape == (3, 3, 3)
+
+    def test_each_voxel_is_a_window_evaluation(self, rng):
+        net, _ = build_pool_net()
+        big = rng.standard_normal((6, 6, 6))
+        dense = sliding_window_forward(net, big)
+        out_name = net.output_nodes[0].name
+        manual = net.forward(big[1:6, 0:5, 1:6])[out_name][0, 0, 0]
+        assert np.isclose(dense[1, 0, 1], manual)
+
+    def test_multivoxel_output_rejected(self, rng):
+        net, _ = build_pool_net(input_shape=(7, 7, 7))  # output 2^3
+        with pytest.raises(ValueError):
+            sliding_window_forward(net, rng.standard_normal((9, 9, 9)))
+
+    def test_image_smaller_than_fov_rejected(self, rng):
+        net, _ = build_pool_net()
+        with pytest.raises(ValueError):
+            sliding_window_forward(net, rng.standard_normal((4, 4, 4)))
+
+
+class TestFig2Equivalence:
+    @pytest.mark.parametrize("spec,fov,transfer", [
+        ("CTPCT", 5, "tanh"),
+        ("CTPCT", 5, "relu"),
+        ("CPC", 5, "tanh"),
+    ])
+    def test_pool_net_equals_filter_net(self, rng, spec, fov, transfer):
+        net, kw = build_pool_net(spec=spec, input_shape=(fov,) * 3,
+                                 transfer=transfer)
+        big = rng.standard_normal((fov + 4,) * 3)
+        ref = sliding_window_forward(net, big)
+        dense = dense_equivalent_network(net, spec, input_shape=big.shape,
+                                         **kw)
+        out = dense.forward(big)
+        fast = out[list(out)[0]]
+        np.testing.assert_allclose(fast, ref, atol=1e-10)
+
+    def test_two_pooling_layers(self, rng):
+        """Two poolings: sparsity compounds to 4 (the paper's period-4
+        lattice)."""
+        spec = "CPCPC"
+        # fov: conv2 pool2 conv2 pool2 conv2 -> 1->2->3->6->7->14->15? compute:
+        # backward: 1 +1=2 *2=4 +1=5 *2=10 +1=11
+        net, kw = build_pool_net(spec=spec, input_shape=(11, 11, 11),
+                                 width=[2, 2, 1])
+        big = rng.standard_normal((14, 14, 14))
+        ref = sliding_window_forward(net, big)
+        dense = dense_equivalent_network(net, spec, input_shape=big.shape,
+                                         **kw)
+        out = dense.forward(big)
+        np.testing.assert_allclose(out[list(out)[0]], ref, atol=1e-10)
+
+    def test_fft_mode_equivalence(self, rng):
+        net, kw = build_pool_net()
+        big = rng.standard_normal((8, 8, 8))
+        ref = sliding_window_forward(net, big)
+        dense = dense_equivalent_network(net, "CTPCT",
+                                         input_shape=big.shape,
+                                         conv_mode="fft", **kw)
+        out = dense.forward(big)
+        np.testing.assert_allclose(out[list(out)[0]], ref, atol=1e-9)
+
+
+class TestCopyParameters:
+    def test_copies_kernels_and_biases(self):
+        a, kw = build_pool_net(seed=1)
+        b, _ = build_pool_net(seed=2)
+        copied = copy_parameters(a, b)
+        assert copied == len([e for e in a.edges.values()
+                              if hasattr(e, "kernel") or hasattr(e, "bias")])
+        for name in a.edges:
+            ea, eb = a.edges[name], b.edges[name]
+            if hasattr(ea, "kernel"):
+                np.testing.assert_array_equal(ea.kernel.array,
+                                              eb.kernel.array)
+            if hasattr(ea, "bias"):
+                assert ea.bias == eb.bias
+
+    def test_missing_counterpart_raises(self):
+        a, _ = build_pool_net(spec="CT", width=[1])
+        b, _ = build_pool_net(spec="CTC", width=[1, 1], input_shape=(6, 6, 6))
+        with pytest.raises(KeyError):
+            copy_parameters(a, b)
+
+
+class TestSparseLattice:
+    def test_period_subsample(self, rng):
+        dense = rng.standard_normal((8, 8, 8))
+        sparse = sparse_lattice(dense, 4)
+        np.testing.assert_array_equal(sparse, dense[::4, ::4, ::4])
+
+    def test_offset(self, rng):
+        dense = rng.standard_normal((8, 8, 8))
+        sparse = sparse_lattice(dense, 2, offset=1)
+        np.testing.assert_array_equal(sparse, dense[1::2, 1::2, 1::2])
+
+    def test_negative_offset_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sparse_lattice(rng.standard_normal((4, 4, 4)), 2, offset=-1)
+
+    def test_dense_net_lattice_matches_pool_net_strided_windows(self, rng):
+        """Sparse training semantics: the period-s lattice of the dense
+        output equals evaluating the pool net at stride-s windows."""
+        net, kw = build_pool_net()
+        big = rng.standard_normal((9, 9, 9))
+        dense_net = dense_equivalent_network(net, "CTPCT",
+                                             input_shape=big.shape, **kw)
+        out = dense_net.forward(big)
+        lattice = sparse_lattice(out[list(out)[0]], 2)
+        out_name = net.output_nodes[0].name
+        for z in range(lattice.shape[0]):
+            window = big[2 * z:2 * z + 5, 0:5, 0:5]
+            assert np.isclose(lattice[z, 0, 0],
+                              net.forward(window)[out_name][0, 0, 0])

@@ -1,0 +1,152 @@
+"""Loss function tests: values, gradients (numeric check), joint
+softmax behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinaryLogisticLoss,
+    EuclideanLoss,
+    SoftmaxCrossEntropyLoss,
+    get_loss,
+)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get_loss("euclidean"), EuclideanLoss)
+        assert isinstance(get_loss("binary-logistic"), BinaryLogisticLoss)
+        assert isinstance(get_loss("softmax"), SoftmaxCrossEntropyLoss)
+
+    def test_passthrough(self):
+        loss = EuclideanLoss()
+        assert get_loss(loss) is loss
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_loss("hinge")
+
+
+class TestEuclidean:
+    def test_zero_at_match(self, rng):
+        t = rng.standard_normal((3, 3, 3))
+        value, grad = EuclideanLoss().node_value_and_gradient(t.copy(), t)
+        assert value == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(t))
+
+    def test_value(self):
+        o = np.full((2, 2, 2), 2.0)
+        t = np.zeros((2, 2, 2))
+        value, grad = EuclideanLoss().node_value_and_gradient(o, t)
+        assert value == 0.5 * 4.0 * 8
+        np.testing.assert_array_equal(grad, o)
+
+    def test_numeric_gradient(self, rng):
+        o = rng.standard_normal((3, 3, 3))
+        t = rng.standard_normal((3, 3, 3))
+        loss = EuclideanLoss()
+        _, grad = loss.node_value_and_gradient(o, t)
+        eps = 1e-6
+        o2 = o.copy()
+        o2[1, 1, 1] += eps
+        numeric = (loss.node_value_and_gradient(o2, t)[0]
+                   - loss.node_value_and_gradient(o, t)[0]) / eps
+        assert np.isclose(grad[1, 1, 1], numeric, atol=1e-4)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            EuclideanLoss().node_value_and_gradient(
+                rng.standard_normal((2, 2, 2)), rng.standard_normal((3, 3, 3)))
+
+    def test_joint_sums_nodes(self, rng):
+        loss = EuclideanLoss()
+        outs = {"a": rng.standard_normal((2, 2, 2)),
+                "b": rng.standard_normal((2, 2, 2))}
+        tgts = {"a": rng.standard_normal((2, 2, 2)),
+                "b": rng.standard_normal((2, 2, 2))}
+        total, grads = loss.joint_value_and_gradient(outs, tgts)
+        expected = sum(loss.node_value_and_gradient(outs[k], tgts[k])[0]
+                       for k in outs)
+        assert np.isclose(total, expected)
+        assert set(grads) == {"a", "b"}
+
+
+class TestBinaryLogistic:
+    def test_gradient_is_sigmoid_minus_target(self, rng):
+        o = rng.standard_normal((3, 3, 3)) * 3
+        t = (rng.random((3, 3, 3)) < 0.5).astype(float)
+        _, grad = BinaryLogisticLoss().node_value_and_gradient(o, t)
+        sigmoid = 1 / (1 + np.exp(-o))
+        np.testing.assert_allclose(grad, sigmoid - t, atol=1e-10)
+
+    def test_numeric_gradient(self, rng):
+        o = rng.standard_normal((2, 2, 2))
+        t = (rng.random((2, 2, 2)) < 0.5).astype(float)
+        loss = BinaryLogisticLoss()
+        _, grad = loss.node_value_and_gradient(o, t)
+        eps = 1e-6
+        o2 = o.copy()
+        o2[0, 1, 0] += eps
+        numeric = (loss.node_value_and_gradient(o2, t)[0]
+                   - loss.node_value_and_gradient(o, t)[0]) / eps
+        assert np.isclose(grad[0, 1, 0], numeric, atol=1e-4)
+
+    def test_extreme_logits_stable(self):
+        o = np.array([[-1000.0, 1000.0]])
+        t = np.array([[0.0, 1.0]])
+        value, grad = BinaryLogisticLoss().node_value_and_gradient(o, t)
+        assert np.isfinite(value) and np.isfinite(grad).all()
+        assert value < 1e-6  # confident and correct
+
+    def test_loss_nonnegative(self, rng):
+        o = rng.standard_normal((3, 3, 3))
+        t = rng.random((3, 3, 3))
+        value, _ = BinaryLogisticLoss().node_value_and_gradient(o, t)
+        assert value >= 0.0
+
+
+class TestSoftmax:
+    def test_per_node_flag(self):
+        assert SoftmaxCrossEntropyLoss().per_node is False
+        assert EuclideanLoss().per_node is True
+
+    def test_gradients_sum_to_zero_over_classes(self, rng):
+        loss = SoftmaxCrossEntropyLoss()
+        outs = {f"c{i}": rng.standard_normal((2, 2, 2)) for i in range(3)}
+        # one-hot targets per voxel
+        labels = rng.integers(0, 3, size=(2, 2, 2))
+        tgts = {f"c{i}": (labels == i).astype(float) for i in range(3)}
+        _, grads = loss.joint_value_and_gradient(outs, tgts)
+        total = sum(grads.values())
+        np.testing.assert_allclose(total, np.zeros((2, 2, 2)), atol=1e-10)
+
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropyLoss()
+        big = np.full((1, 1, 1), 50.0)
+        small = np.full((1, 1, 1), -50.0)
+        outs = {"a": big, "b": small}
+        tgts = {"a": np.ones((1, 1, 1)), "b": np.zeros((1, 1, 1))}
+        value, _ = loss.joint_value_and_gradient(outs, tgts)
+        assert value < 1e-6
+
+    def test_numeric_gradient(self, rng):
+        loss = SoftmaxCrossEntropyLoss()
+        outs = {"a": rng.standard_normal((1, 2, 2)),
+                "b": rng.standard_normal((1, 2, 2))}
+        labels = rng.integers(0, 2, size=(1, 2, 2))
+        tgts = {"a": (labels == 0).astype(float),
+                "b": (labels == 1).astype(float)}
+        _, grads = loss.joint_value_and_gradient(outs, tgts)
+        eps = 1e-6
+        outs2 = {k: v.copy() for k, v in outs.items()}
+        outs2["a"][0, 0, 1] += eps
+        numeric = (loss.joint_value_and_gradient(outs2, tgts)[0]
+                   - loss.joint_value_and_gradient(outs, tgts)[0]) / eps
+        assert np.isclose(grads["a"][0, 0, 1], numeric, atol=1e-4)
+
+    def test_mismatched_node_names_rejected(self, rng):
+        loss = SoftmaxCrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss.joint_value_and_gradient(
+                {"a": rng.standard_normal((1, 1, 1))},
+                {"b": rng.standard_normal((1, 1, 1))})

@@ -1,0 +1,84 @@
+"""Multi-scale and scale-invariant network tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, SGD
+from repro.core.multiscale import (
+    branch_edge_names,
+    build_multiscale_graph,
+    make_scale_invariant,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_multiscale_graph(kernel=3, scales=(1, 2), width=2)
+
+
+class TestGraphStructure:
+    def test_validates(self, graph):
+        graph.validate()
+
+    def test_shapes_propagate(self, graph):
+        graph.propagate_shapes(16)
+        assert graph.nodes["output"].shape is not None
+
+    def test_branches_per_scale(self, graph):
+        names = branch_edge_names(graph, "trunkT_0", 0)
+        assert set(names) == {1, 2}
+
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(ValueError):
+            build_multiscale_graph(scales=(0, 2))
+
+
+class TestForwardAndTraining:
+    def test_forward_runs(self, rng):
+        g = build_multiscale_graph(kernel=3, scales=(1, 2), width=2)
+        net = Network(g, input_shape=(16, 16, 16), seed=0)
+        out = net.forward(rng.standard_normal((16, 16, 16)))
+        assert "output" in out
+
+    def test_trains(self, rng):
+        g = build_multiscale_graph(kernel=3, scales=(1, 2), width=2)
+        net = Network(g, input_shape=(16, 16, 16), seed=0,
+                      optimizer=SGD(learning_rate=1e-4))
+        x = rng.standard_normal((16, 16, 16))
+        t = np.zeros(net.nodes["output"].shape)
+        losses = [net.train_step(x, t) for _ in range(8)]
+        assert losses[-1] < losses[0]
+
+
+class TestScaleInvariance:
+    def test_kernels_tied(self, rng):
+        g = build_multiscale_graph(kernel=3, scales=(1, 2), width=2)
+        net = Network(g, input_shape=(16, 16, 16), seed=0)
+        tied = make_scale_invariant(net, g, trunk_width=2, merge_width=2)
+        assert tied == 4  # 2 trunk nodes x 2 merge channels
+        names = branch_edge_names(g, "trunkT_0", 0)
+        kernels = [net.edges[n].kernel for n in names.values()]
+        assert all(k is kernels[0] for k in kernels)
+
+    def test_tied_kernels_stay_tied_through_training(self, rng):
+        g = build_multiscale_graph(kernel=3, scales=(1, 2), width=2)
+        net = Network(g, input_shape=(16, 16, 16), seed=0,
+                      optimizer=SGD(learning_rate=1e-4))
+        make_scale_invariant(net, g, trunk_width=2, merge_width=2)
+        x = rng.standard_normal((16, 16, 16))
+        t = np.zeros(net.nodes["output"].shape)
+        for _ in range(3):
+            net.train_step(x, t)
+        net.synchronize()
+        names = branch_edge_names(g, "trunkT_1", 1)
+        arrays = [net.edges[n].kernel.array for n in names.values()]
+        np.testing.assert_array_equal(arrays[0], arrays[1])
+
+    def test_mismatched_kernel_shapes_rejected(self, rng):
+        from repro.graph import build_layered_network
+        graph = build_layered_network("CTC", width=1, kernel=[2, 3])
+        net = Network(graph, input_shape=(10, 10, 10), seed=0)
+        conv_names = [n for n, e in net.edges.items()
+                      if hasattr(e, "kernel")]
+        with pytest.raises(ValueError):
+            net.share_kernels(conv_names)

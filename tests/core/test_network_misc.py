@@ -1,0 +1,147 @@
+"""Additional Network behaviours: multi-input training, mixed modes,
+fast FFT sizes in training, deterministic mode interactions,
+context-manager lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, SGD, check_gradients
+from repro.graph import ComputationGraph, build_layered_network
+
+
+def two_input_graph():
+    g = ComputationGraph()
+    g.add_node("img")
+    g.add_node("aux")
+    g.add_node("mix")
+    g.add_node("mixT")
+    g.add_node("out")
+    g.add_edge("c1", "img", "mix", "conv", kernel=3)
+    g.add_edge("c2", "aux", "mix", "conv", kernel=3)
+    g.add_edge("t", "mix", "mixT", "transfer", transfer="tanh")
+    g.add_edge("c3", "mixT", "out", "conv", kernel=2)
+    return g
+
+
+class TestMultiInput:
+    def test_trains_with_two_inputs(self, rng):
+        net = Network(two_input_graph(), input_shape=(10, 10, 10), seed=0,
+                      optimizer=SGD(learning_rate=1e-3))
+        inputs = {"img": rng.standard_normal((10, 10, 10)),
+                  "aux": rng.standard_normal((10, 10, 10))}
+        t = np.zeros(net.nodes["out"].shape)
+        losses = [net.train_step(inputs, t) for _ in range(8)]
+        assert losses[-1] < losses[0]
+
+    def test_gradients_correct(self, rng):
+        net = Network(two_input_graph(), input_shape=(10, 10, 10), seed=1)
+        inputs = {"img": rng.standard_normal((10, 10, 10)),
+                  "aux": rng.standard_normal((10, 10, 10))}
+        t = {"out": rng.standard_normal(net.nodes["out"].shape)}
+        report = check_gradients(net, inputs, t, kernel_samples=1)
+        assert report.ok, report.failures
+
+    def test_array_input_rejected_for_multi_input(self, rng):
+        net = Network(two_input_graph(), input_shape=(10, 10, 10), seed=0)
+        with pytest.raises(ValueError):
+            net.forward(rng.standard_normal((10, 10, 10)))
+
+
+class TestFastSizesTraining:
+    def test_training_parity_with_plain_fft(self, rng):
+        x = rng.standard_normal((11, 11, 11))  # prime size -> padding real
+
+        def run(fast):
+            graph = build_layered_network("CTC", width=2, kernel=2,
+                                          transfer="tanh")
+            net = Network(graph, input_shape=(11, 11, 11), conv_mode="fft",
+                          seed=4, fft_fast_sizes=fast,
+                          optimizer=SGD(learning_rate=0.01))
+            targets = {n.name: np.zeros(n.shape)
+                       for n in net.output_nodes}
+            losses = [net.train_step(x, targets) for _ in range(3)]
+            net.synchronize()
+            return losses, net.kernels()
+
+        la, ka = run(False)
+        lb, kb = run(True)
+        np.testing.assert_allclose(la, lb, atol=1e-8)
+        for k in ka:
+            np.testing.assert_allclose(ka[k], kb[k], atol=1e-9)
+
+    def test_padded_transform_shapes(self):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        net = Network(graph, input_shape=(11, 11, 11), conv_mode="fft",
+                      fft_fast_sizes=True, seed=0)
+        conv = next(e for e in net.edges.values() if hasattr(e, "plan")
+                    and e.plan is not None)
+        assert conv.plan.transform_shape == (12, 12, 12)
+
+
+class TestDeterministicInteractions:
+    def test_deterministic_with_fft_and_spectral_sums(self, rng):
+        """OrderedSum must handle complex spectra (spectral-domain
+        convergence) too."""
+        graph = build_layered_network("CTC", width=3, kernel=2)
+        net = Network(graph, input_shape=(10, 10, 10), conv_mode="fft",
+                      deterministic_sums=True, seed=0)
+        x = rng.standard_normal((10, 10, 10))
+        a = net.forward(x)
+        graph2 = build_layered_network("CTC", width=3, kernel=2)
+        ref = Network(graph2, input_shape=(10, 10, 10), conv_mode="direct",
+                      seed=0).forward(x)
+        for k in a:
+            np.testing.assert_allclose(a[k], ref[k], atol=1e-9)
+
+    def test_deterministic_with_work_stealing(self, rng):
+        x = rng.standard_normal((10, 10, 10))
+
+        def run(sched):
+            graph = build_layered_network("CTC", width=3, kernel=2)
+            net = Network(graph, input_shape=(10, 10, 10), seed=6,
+                          num_workers=3, scheduler=sched,
+                          deterministic_sums=True,
+                          optimizer=SGD(learning_rate=0.01))
+            targets = {n.name: np.zeros(n.shape)
+                       for n in net.output_nodes}
+            losses = [net.train_step(x, targets) for _ in range(2)]
+            net.synchronize()
+            kernels = net.kernels()
+            net.close()
+            return losses, kernels
+
+        la, ka = run("priority")
+        lb, kb = run("work-stealing")
+        assert la == lb  # bitwise across schedulers
+        for k in ka:
+            np.testing.assert_array_equal(ka[k], kb[k])
+
+
+class TestLifecycle:
+    def test_context_manager(self, rng):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        with Network(graph, input_shape=(6, 6, 6), seed=0,
+                     num_workers=2) as net:
+            out = net.forward(rng.standard_normal((6, 6, 6)))
+            assert out
+
+    def test_outputs_accessor(self, rng):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        net = Network(graph, input_shape=(6, 6, 6), seed=0)
+        assert net.outputs() == {}
+        net.forward(rng.standard_normal((6, 6, 6)))
+        assert len(net.outputs()) == 1
+
+    def test_set_kernel_validates_shape(self):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        net = Network(graph, input_shape=(6, 6, 6), seed=0)
+        name = next(n for n, e in net.edges.items() if hasattr(e, "kernel"))
+        with pytest.raises(ValueError):
+            net.set_kernel(name, np.zeros((3, 3, 3)))
+
+    def test_set_bias_on_conv_rejected(self):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        net = Network(graph, input_shape=(6, 6, 6), seed=0)
+        conv = next(n for n, e in net.edges.items() if hasattr(e, "kernel"))
+        with pytest.raises(ValueError):
+            net.set_bias(conv, 1.0)

@@ -1,0 +1,236 @@
+"""Training tests: end-to-end gradient checks through every edge type,
+FFT/direct/threaded parity over multiple rounds, deferred updates and
+the FORCE path, loss descent."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, SGD
+from repro.graph import build_layered_network
+
+
+def gradcheck(spec, input_shape, kernel=2, window=2, transfer="tanh",
+              conv_mode="direct", seed=1, **kwargs):
+    """Finite-difference check of the loss gradient w.r.t. one kernel
+    voxel and one bias of a network built from *spec*."""
+    rng = np.random.default_rng(99)
+    graph = build_layered_network(spec, kernel=kernel, window=window,
+                                  transfer=transfer, **kwargs)
+    frozen = Network(graph, input_shape=input_shape, conv_mode=conv_mode,
+                     seed=seed, optimizer=SGD(learning_rate=0.0))
+    x = rng.standard_normal(input_shape)
+    targets = {n.name: rng.standard_normal(n.shape)
+               for n in frozen.output_nodes}
+
+    def loss_value():
+        outs = frozen.forward(x)
+        return sum(0.5 * np.sum((outs[k] - targets[k]) ** 2)
+                   for k in outs)
+
+    # analytic gradients via a one-step lr probe on a twin network
+    graph2 = build_layered_network(spec, kernel=kernel, window=window,
+                                   transfer=transfer, **kwargs)
+    lr = 1e-4
+    probe = Network(graph2, input_shape=input_shape, conv_mode=conv_mode,
+                    seed=seed, optimizer=SGD(learning_rate=lr))
+    kern_edges = [n for n, e in probe.edges.items() if hasattr(e, "kernel")]
+    bias_edges = [n for n, e in probe.edges.items() if hasattr(e, "bias")]
+    k_name, b_name = kern_edges[0], bias_edges[-1]
+    k_before = probe.edges[k_name].kernel.array.copy()
+    b_before = probe.edges[b_name].bias
+    probe.train_step(x, targets if len(targets) > 1
+                     else list(targets.values())[0])
+    probe.synchronize()
+    k_grad = (k_before - probe.edges[k_name].kernel.array) / lr
+    b_grad = (b_before - probe.edges[b_name].bias) / lr
+
+    # numeric gradients on the frozen network
+    eps = 1e-5
+    idx = (0, 0, 0)
+    K = frozen.edges[k_name].kernel.array
+    base = loss_value()
+    K[idx] += eps
+    k_num = (loss_value() - base) / eps
+    K[idx] -= eps
+    frozen.edges[b_name].bias += eps
+    b_num = (loss_value() - base) / eps
+    frozen.edges[b_name].bias -= eps
+
+    assert np.isclose(k_grad[idx], k_num,
+                      atol=1e-3 * max(1.0, abs(k_num))), \
+        f"kernel grad {k_grad[idx]} != numeric {k_num}"
+    assert np.isclose(b_grad, b_num, atol=1e-3 * max(1.0, abs(b_num))), \
+        f"bias grad {b_grad} != numeric {b_num}"
+
+
+class TestGradientsThroughEveryEdgeType:
+    def test_conv_transfer(self):
+        gradcheck("CTC", (8, 8, 8), width=[2, 1])
+
+    def test_with_max_pool(self):
+        gradcheck("CTPC", (11, 11, 11), width=[2, 1])
+
+    def test_with_max_filter(self):
+        gradcheck("CTMC", (9, 9, 9), width=[2, 1])
+
+    def test_with_sparse_convolutions(self):
+        gradcheck("CTMC", (12, 12, 12), width=[2, 1], skip_kernels=True)
+
+    def test_fft_mode(self):
+        gradcheck("CTC", (8, 8, 8), width=[2, 1], conv_mode="fft")
+
+    def test_logistic_transfer(self):
+        gradcheck("CTC", (8, 8, 8), width=[2, 1], transfer="logistic")
+
+    def test_multi_output(self):
+        gradcheck("CTC", (8, 8, 8), width=[2, 3])
+
+
+class TestTrainingParity:
+    def test_fft_equals_direct_over_rounds(self, rng):
+        x = rng.standard_normal((10, 10, 10))
+        nets = []
+        for mode in ("direct", "fft"):
+            graph = build_layered_network("CTC", width=2, kernel=2,
+                                          transfer="tanh")
+            nets.append(Network(graph, input_shape=(10, 10, 10),
+                                conv_mode=mode, seed=5,
+                                optimizer=SGD(learning_rate=0.01)))
+        t = rng.standard_normal(nets[0].output_nodes[0].shape)
+        targets = {n.name: t for n in nets[0].output_nodes}
+        for _ in range(4):
+            la = nets[0].train_step(x, targets)
+            lb = nets[1].train_step(x, targets)
+            assert np.isclose(la, lb, atol=1e-8)
+        for net in nets:
+            net.synchronize()
+        for name in nets[0].edges:
+            e0, e1 = nets[0].edges[name], nets[1].edges[name]
+            if hasattr(e0, "kernel"):
+                np.testing.assert_allclose(e0.kernel.array, e1.kernel.array,
+                                           atol=1e-9)
+            if hasattr(e0, "bias"):
+                assert np.isclose(e0.bias, e1.bias, atol=1e-9)
+
+    @pytest.mark.parametrize("workers,sched", [(4, "priority"),
+                                               (2, "work-stealing")])
+    def test_threaded_training_matches_serial(self, rng, workers, sched):
+        x = rng.standard_normal((10, 10, 10))
+
+        def run(num_workers, scheduler="priority"):
+            graph = build_layered_network("CTMCT", width=2, kernel=2,
+                                          window=2, transfer="tanh")
+            net = Network(graph, input_shape=(10, 10, 10),
+                          conv_mode="fft", seed=5, num_workers=num_workers,
+                          scheduler=scheduler,
+                          optimizer=SGD(learning_rate=0.01))
+            t = rng.standard_normal(net.output_nodes[0].shape)
+            targets = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+            losses = [net.train_step(x, targets) for _ in range(3)]
+            net.synchronize()
+            kernels = net.kernels()
+            net.close()
+            return losses, kernels
+
+        ref_losses, ref_kernels = run(1)
+        thr_losses, thr_kernels = run(workers, sched)
+        np.testing.assert_allclose(ref_losses, thr_losses, atol=1e-8)
+        for k in ref_kernels:
+            np.testing.assert_allclose(ref_kernels[k], thr_kernels[k],
+                                       atol=1e-8)
+
+
+class TestDeferredUpdates:
+    def test_updates_pending_after_train_step_are_forced_next_round(self,
+                                                                    rng):
+        """With the threaded engine a train_step may return before its
+        update tasks ran; the next forward must see updated weights
+        (via FORCE), so two consecutive steps on identical data give
+        the same result as the serial engine."""
+        x = rng.standard_normal((8, 8, 8))
+
+        def losses(num_workers):
+            graph = build_layered_network("CTC", width=2, kernel=2,
+                                          transfer="tanh")
+            net = Network(graph, input_shape=(8, 8, 8), seed=7,
+                          num_workers=num_workers,
+                          optimizer=SGD(learning_rate=0.05))
+            targets = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+            vals = [net.train_step(x, targets) for _ in range(5)]
+            net.close()
+            return vals
+
+        np.testing.assert_allclose(losses(1), losses(3), atol=1e-8)
+
+    def test_synchronize_applies_pending_updates(self, rng):
+        graph = build_layered_network("CTC", width=2, kernel=2)
+        net = Network(graph, input_shape=(8, 8, 8), seed=0,
+                      optimizer=SGD(learning_rate=0.1))
+        before = net.kernels()
+        x = rng.standard_normal((8, 8, 8))
+        targets = {n.name: rng.standard_normal(n.shape)
+                   for n in net.output_nodes}
+        net.train_step(x, targets)
+        net.synchronize()
+        after = net.kernels()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+
+class TestLearning:
+    def test_loss_decreases_on_fixed_sample(self, rng):
+        graph = build_layered_network("CTMCTCT", width=3, kernel=3,
+                                      window=2, transfer="tanh",
+                                      final_transfer="linear",
+                                      skip_kernels=True, output_nodes=1)
+        net = Network(graph, input_shape=(20, 20, 20), seed=0,
+                      conv_mode="direct",
+                      optimizer=SGD(learning_rate=5e-5, momentum=0.9))
+        x = rng.standard_normal((20, 20, 20))
+        t = 0.1 * rng.standard_normal(net.output_nodes[0].shape)
+        losses = [net.train_step(x, t) for _ in range(20)]
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_rounds_counter(self, rng):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        net = Network(graph, input_shape=(6, 6, 6), seed=0)
+        x = rng.standard_normal((6, 6, 6))
+        t = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+        net.train_step(x, t)
+        net.train_step(x, t)
+        assert net.rounds == 2
+
+    def test_wrong_target_shape_rejected(self, rng):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        net = Network(graph, input_shape=(6, 6, 6), seed=0)
+        with pytest.raises(ValueError):
+            net.train_step(rng.standard_normal((6, 6, 6)),
+                           rng.standard_normal((9, 9, 9)))
+
+    def test_softmax_joint_loss_trains(self, rng):
+        graph = build_layered_network("CTC", width=[2, 2], kernel=2,
+                                      transfer="tanh")
+        net = Network(graph, input_shape=(8, 8, 8), seed=0, loss="softmax",
+                      optimizer=SGD(learning_rate=0.005))
+        x = rng.standard_normal((8, 8, 8))
+        out_names = sorted(n.name for n in net.output_nodes)
+        labels = rng.integers(0, 2, size=net.output_nodes[0].shape)
+        targets = {out_names[0]: (labels == 0).astype(float),
+                   out_names[1]: (labels == 1).astype(float)}
+        losses = [net.train_step(x, targets) for _ in range(15)]
+        assert losses[-1] < losses[0]
+
+    def test_dropout_network_trains(self, rng):
+        graph = build_layered_network("CTDC", width=[3, 1], kernel=2,
+                                      transfer="tanh", dropout_rate=0.3)
+        net = Network(graph, input_shape=(8, 8, 8), seed=0,
+                      optimizer=SGD(learning_rate=0.02))
+        x = rng.standard_normal((8, 8, 8))
+        t = np.zeros(net.output_nodes[0].shape)
+        losses = [net.train_step(x, t) for _ in range(10)]
+        assert np.isfinite(losses).all()
+        # inference mode: dropout off -> deterministic
+        net.set_training(False)
+        a = net.forward(x)
+        b = net.forward(x)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])

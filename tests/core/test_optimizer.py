@@ -1,0 +1,102 @@
+"""SGD optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SGD, UpdateState
+
+
+class TestValidation:
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-0.1)
+
+    def test_zero_lr_allowed(self):
+        SGD(learning_rate=0.0)  # frozen networks are legitimate
+
+    def test_momentum_range(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=-0.1)
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-1e-4)
+
+
+class TestPlainSgd:
+    def test_paper_update_rule(self, rng):
+        """params -= eta * G (Algorithm 3, line 2)."""
+        params = rng.standard_normal((3, 3, 3))
+        grad = rng.standard_normal((3, 3, 3))
+        expected = params - 0.1 * grad
+        SGD(learning_rate=0.1).update(params, grad, UpdateState())
+        np.testing.assert_allclose(params, expected, atol=1e-12)
+
+    def test_eta_override(self, rng):
+        """The paper gives each edge its own learning rate e.eta."""
+        params = np.ones((2, 2, 2))
+        grad = np.ones((2, 2, 2))
+        SGD(learning_rate=0.1).update(params, grad, UpdateState(), eta=0.5)
+        np.testing.assert_allclose(params, np.full((2, 2, 2), 0.5))
+
+    def test_no_velocity_allocated_without_momentum(self):
+        state = UpdateState()
+        SGD(learning_rate=0.1).update(np.ones((2, 2, 2)), np.ones((2, 2, 2)),
+                                      state)
+        assert state.velocity is None
+
+    def test_in_place(self):
+        params = np.ones((2, 2, 2))
+        ref = params
+        SGD(learning_rate=0.1).update(params, np.ones((2, 2, 2)),
+                                      UpdateState())
+        assert ref is params  # mutated in place, no reallocation
+
+
+class TestMomentum:
+    def test_velocity_accumulates(self):
+        opt = SGD(learning_rate=1.0, momentum=0.5)
+        params = np.zeros((1, 1, 1))
+        state = UpdateState()
+        grad = np.ones((1, 1, 1))
+        opt.update(params, grad, state)      # v = -1,   p = -1
+        opt.update(params, grad, state)      # v = -1.5, p = -2.5
+        np.testing.assert_allclose(params, [[[-2.5]]])
+
+    def test_momentum_matches_reference_formula(self, rng):
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        params = rng.standard_normal((2, 2, 2))
+        state = UpdateState()
+        v_ref = np.zeros_like(params)
+        p_ref = params.copy()
+        for _ in range(5):
+            g = rng.standard_normal((2, 2, 2))
+            v_ref = 0.9 * v_ref - 0.1 * g
+            p_ref = p_ref + v_ref
+            opt.update(params, g, state)
+        np.testing.assert_allclose(params, p_ref, atol=1e-12)
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_params_with_zero_grad(self):
+        opt = SGD(learning_rate=0.1, weight_decay=0.5)
+        params = np.full((1, 1, 1), 2.0)
+        opt.update(params, np.zeros((1, 1, 1)), UpdateState())
+        # p -= lr * wd * p = 2 - 0.1*0.5*2
+        np.testing.assert_allclose(params, [[[1.9]]])
+
+
+class TestScalar:
+    def test_bias_update(self):
+        opt = SGD(learning_rate=0.1)
+        state = UpdateState()
+        assert opt.update_scalar(1.0, 2.0, state) == pytest.approx(0.8)
+
+    def test_bias_momentum(self):
+        opt = SGD(learning_rate=1.0, momentum=0.5)
+        state = UpdateState()
+        b = opt.update_scalar(0.0, 1.0, state)   # v=-1, b=-1
+        b = opt.update_scalar(b, 1.0, state)     # v=-1.5, b=-2.5
+        assert b == pytest.approx(-2.5)

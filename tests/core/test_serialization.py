@@ -1,0 +1,110 @@
+"""Checkpointing tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Network,
+    SGD,
+    load_network,
+    network_state,
+    save_network,
+)
+from repro.graph import build_layered_network
+
+
+def make_net(seed=0, momentum=0.0, kernel=2):
+    graph = build_layered_network("CTC", width=2, kernel=kernel,
+                                  transfer="tanh")
+    return Network(graph, input_shape=(8, 8, 8), seed=seed,
+                   optimizer=SGD(learning_rate=0.05, momentum=momentum))
+
+
+def train_a_bit(net, rng, rounds=3):
+    x = rng.standard_normal((8, 8, 8))
+    targets = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+    for _ in range(rounds):
+        net.train_step(x, targets)
+    net.synchronize()
+    return x, targets
+
+
+class TestState:
+    def test_state_covers_all_parameters(self):
+        net = make_net()
+        state = network_state(net)
+        kernels = [k for k in state if k.startswith("kernel::")]
+        biases = [k for k in state if k.startswith("bias::")]
+        assert len(kernels) == sum(1 for e in net.edges.values()
+                                   if hasattr(e, "kernel"))
+        assert len(biases) == sum(1 for e in net.edges.values()
+                                  if hasattr(e, "bias"))
+        assert "__meta__" in state
+
+    def test_velocity_saved_with_momentum(self, rng):
+        net = make_net(momentum=0.9)
+        train_a_bit(net, rng)
+        state = network_state(net)
+        assert any(k.startswith("velocity::") for k in state)
+
+
+class TestRoundtrip:
+    def test_save_load_restores_everything(self, rng, tmp_path):
+        net = make_net(seed=1, momentum=0.9)
+        x, targets = train_a_bit(net, rng)
+        path = tmp_path / "ckpt.npz"
+        save_network(net, path)
+
+        fresh = make_net(seed=99, momentum=0.9)  # different init
+        rounds = load_network(fresh, path)
+        assert rounds == net.rounds
+        for name in net.edges:
+            a, b = net.edges[name], fresh.edges[name]
+            if hasattr(a, "kernel"):
+                np.testing.assert_array_equal(a.kernel.array, b.kernel.array)
+            if hasattr(a, "bias"):
+                assert a.bias == b.bias
+
+    def test_restored_network_continues_identically(self, rng, tmp_path):
+        rng2 = np.random.default_rng(7)
+        net = make_net(seed=1, momentum=0.9)
+        x, targets = train_a_bit(net, rng2)
+        path = tmp_path / "ckpt.npz"
+        save_network(net, path)
+
+        fresh = make_net(seed=99, momentum=0.9)
+        load_network(fresh, path)
+        la = net.train_step(x, targets)
+        lb = fresh.train_step(x, targets)
+        assert np.isclose(la, lb, atol=1e-10)
+
+    def test_outputs_identical_after_restore(self, rng, tmp_path):
+        net = make_net(seed=1)
+        x, _ = train_a_bit(net, rng)
+        path = tmp_path / "ckpt.npz"
+        save_network(net, path)
+        fresh = make_net(seed=2)
+        load_network(fresh, path)
+        a = net.forward(x)
+        b = fresh.forward(x)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+
+class TestErrors:
+    def test_architecture_mismatch_missing_edge(self, tmp_path, rng):
+        net = make_net()
+        path = tmp_path / "ckpt.npz"
+        save_network(net, path)
+        bigger = Network(build_layered_network("CTCT", width=2, kernel=2),
+                         input_shape=(8, 8, 8), seed=0)
+        with pytest.raises(KeyError):
+            load_network(bigger, path)
+
+    def test_kernel_shape_mismatch(self, tmp_path):
+        net = make_net(kernel=2)
+        path = tmp_path / "ckpt.npz"
+        save_network(net, path)
+        other = make_net(kernel=3)
+        with pytest.raises(ValueError):
+            load_network(other, path)

@@ -1,0 +1,124 @@
+"""Augmentation tests: transforms preserve input/target correspondence."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AugmentedProvider,
+    FixedProvider,
+    PatchProvider,
+    apply_transform,
+    make_cell_volume,
+    random_rigid_transform,
+)
+
+
+class TestApplyTransform:
+    def test_identity(self, rng):
+        a = rng.standard_normal((3, 4, 4))
+        out = apply_transform(a, ((False, False, False), False))
+        np.testing.assert_array_equal(out, a)
+
+    def test_single_flip(self, rng):
+        a = rng.standard_normal((3, 4, 4))
+        out = apply_transform(a, ((True, False, False), False))
+        np.testing.assert_array_equal(out, a[::-1])
+
+    def test_transpose(self, rng):
+        a = rng.standard_normal((3, 4, 4))
+        out = apply_transform(a, ((False, False, False), True))
+        np.testing.assert_array_equal(out, np.swapaxes(a, 1, 2))
+
+    def test_transform_is_involution_for_flips(self, rng):
+        a = rng.standard_normal((3, 4, 4))
+        t = ((True, False, True), False)
+        np.testing.assert_array_equal(apply_transform(apply_transform(a, t),
+                                                      t), a)
+
+    def test_transpose_nonsquare_rejected(self, rng):
+        with pytest.raises(ValueError):
+            apply_transform(rng.standard_normal((3, 4, 5)),
+                            ((False, False, False), True))
+
+    def test_output_contiguous(self, rng):
+        out = apply_transform(rng.standard_normal((3, 3, 3)),
+                              ((True, True, True), True))
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestRandomTransform:
+    def test_range(self, rng):
+        for _ in range(20):
+            flips, transpose = random_rigid_transform(rng)
+            assert len(flips) == 3
+            assert all(isinstance(f, bool) for f in flips)
+            assert isinstance(transpose, bool)
+
+    def test_transpose_disabled(self, rng):
+        assert all(not random_rigid_transform(rng, False)[1]
+                   for _ in range(20))
+
+
+class TestAugmentedProvider:
+    def test_shapes_preserved(self, rng):
+        base = FixedProvider([(rng.standard_normal((6, 8, 8)),
+                               rng.standard_normal((2, 4, 4)))])
+        aug = AugmentedProvider(base, seed=0)
+        x, t = aug.sample()
+        assert x.shape == (6, 8, 8) and t.shape == (2, 4, 4)
+
+    def test_correspondence_preserved(self):
+        """Augmenting an (image, image-copy) pair must keep them equal
+        — i.e. the same transform hits both."""
+        img = np.arange(4 * 4 * 4, dtype=float).reshape(4, 4, 4)
+        base = FixedProvider([(img, img.copy())])
+        aug = AugmentedProvider(base, seed=1)
+        for _ in range(10):
+            x, t = aug.sample()
+            np.testing.assert_array_equal(x, t)
+
+    def test_varies_between_samples(self, rng):
+        img = rng.standard_normal((4, 4, 4))
+        base = FixedProvider([(img, img.copy())])
+        aug = AugmentedProvider(base, seed=2)
+        samples = [aug.sample()[0] for _ in range(10)]
+        assert any(not np.array_equal(samples[0], s) for s in samples[1:])
+
+    def test_transpose_skipped_for_nonsquare(self, rng):
+        base = FixedProvider([(rng.standard_normal((4, 4, 6)),
+                               rng.standard_normal((2, 2, 4)))])
+        aug = AugmentedProvider(base, allow_transpose=True, seed=0)
+        for _ in range(8):
+            x, t = aug.sample()
+            assert x.shape == (4, 4, 6)
+
+    def test_rejects_non_array_samples(self):
+        aug = AugmentedProvider(FixedProvider([("x", "y")]), seed=0)
+        with pytest.raises(TypeError):
+            aug.sample()
+
+    def test_boundary_statistics_preserved(self):
+        """Flips/transposes must not change the membrane fraction of a
+        patch-provider target."""
+        volume = make_cell_volume(shape=24, num_cells=6, seed=0)
+        base = PatchProvider(volume, (12, 12, 12), (6, 6, 6), seed=1)
+        aug = AugmentedProvider(base, seed=2)
+        for _ in range(5):
+            _, t = aug.sample()
+            assert set(np.unique(t)) <= {0.0, 1.0}
+
+    def test_training_with_augmentation(self, rng):
+        from repro.core import Network, SGD, Trainer
+        from repro.graph import build_layered_network
+
+        volume = make_cell_volume(shape=24, num_cells=6, seed=0)
+        graph = build_layered_network("CTC", width=[2, 1], kernel=2,
+                                      transfer="tanh",
+                                      final_transfer="linear")
+        net = Network(graph, input_shape=(10, 10, 10), seed=0,
+                      loss="binary-logistic",
+                      optimizer=SGD(learning_rate=1e-3))
+        base = PatchProvider(volume, (10, 10, 10),
+                             net.output_nodes[0].shape, seed=1)
+        report = Trainer(net, AugmentedProvider(base, seed=2)).run(rounds=4)
+        assert all(np.isfinite(l) for l in report.losses)

@@ -1,0 +1,57 @@
+"""Boundary metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import boundary_scores, pixel_error
+
+
+class TestPixelError:
+    def test_perfect(self):
+        t = np.array([[[1.0, 0.0]]])
+        assert pixel_error(t, t) == 0.0
+
+    def test_all_wrong(self):
+        pred = np.array([[[1.0, 1.0]]])
+        target = np.array([[[0.0, 0.0]]])
+        assert pixel_error(pred, target) == 1.0
+
+    def test_threshold(self):
+        pred = np.array([[[0.4, 0.6]]])
+        target = np.array([[[1.0, 1.0]]])
+        assert pixel_error(pred, target, threshold=0.5) == 0.5
+        assert pixel_error(pred, target, threshold=0.3) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pixel_error(np.zeros((2, 2, 2)), np.zeros((3, 3, 3)))
+
+
+class TestBoundaryScores:
+    def test_perfect_prediction(self):
+        t = (np.arange(8).reshape(2, 2, 2) % 2).astype(float)
+        s = boundary_scores(t, t)
+        assert s.precision == s.recall == s.f1 == s.accuracy == 1.0
+
+    def test_all_negative_prediction(self):
+        pred = np.zeros((2, 2, 2))
+        target = np.ones((2, 2, 2))
+        s = boundary_scores(pred, target)
+        assert s.recall == 0.0 and s.f1 == 0.0
+
+    def test_known_confusion(self):
+        pred = np.array([[[1.0, 1.0, 0.0, 0.0]]])
+        target = np.array([[[1.0, 0.0, 1.0, 0.0]]])
+        s = boundary_scores(pred, target)
+        assert s.precision == 0.5
+        assert s.recall == 0.5
+        assert s.f1 == 0.5
+        assert s.accuracy == 0.5
+
+    def test_as_dict(self):
+        s = boundary_scores(np.ones((1, 1, 1)), np.ones((1, 1, 1)))
+        assert set(s.as_dict()) == {"precision", "recall", "f1", "accuracy"}
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            boundary_scores(np.zeros((2, 2, 2)), np.zeros((1, 2, 2)))

@@ -1,0 +1,87 @@
+"""Multi-volume provider tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import FixedProvider, MultiVolumeProvider
+
+
+def providers(n=3):
+    return [FixedProvider([(f"x{i}", f"t{i}")]) for i in range(n)]
+
+
+class TestSelection:
+    def test_samples_from_all_eventually(self):
+        multi = MultiVolumeProvider(providers(3), seed=0)
+        seen = {multi.sample()[0] for _ in range(60)}
+        assert seen == {"x0", "x1", "x2"}
+
+    def test_uniform_by_default(self):
+        multi = MultiVolumeProvider(providers(2), seed=1)
+        for _ in range(400):
+            multi.sample()
+        fractions = multi.draw_fractions()
+        assert abs(fractions[0] - 0.5) < 0.1
+
+    def test_weighted(self):
+        multi = MultiVolumeProvider(providers(2), weights=[9, 1], seed=2)
+        for _ in range(400):
+            multi.sample()
+        fractions = multi.draw_fractions()
+        assert fractions[0] > 0.8
+
+    def test_zero_weight_never_drawn(self):
+        multi = MultiVolumeProvider(providers(2), weights=[1, 0], seed=3)
+        seen = {multi.sample()[0] for _ in range(30)}
+        assert seen == {"x0"}
+
+    def test_deterministic_by_seed(self):
+        a = MultiVolumeProvider(providers(3), seed=7)
+        b = MultiVolumeProvider(providers(3), seed=7)
+        assert [a.sample()[0] for _ in range(10)] \
+            == [b.sample()[0] for _ in range(10)]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiVolumeProvider([])
+
+    def test_weight_length_checked(self):
+        with pytest.raises(ValueError):
+            MultiVolumeProvider(providers(2), weights=[1, 2, 3])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MultiVolumeProvider(providers(2), weights=[1, -1])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            MultiVolumeProvider(providers(2), weights=[0, 0])
+
+    def test_draw_fractions_empty(self):
+        multi = MultiVolumeProvider(providers(2))
+        assert multi.draw_fractions().sum() == 0
+
+
+class TestTrainingIntegration:
+    def test_training_across_volumes(self, rng):
+        from repro.core import Network, SGD, Trainer
+        from repro.data import PatchProvider, make_cell_volume
+        from repro.graph import build_layered_network
+
+        volumes = [make_cell_volume(shape=20, num_cells=5, seed=i)
+                   for i in range(2)]
+        graph = build_layered_network("CTC", width=[2, 1], kernel=2,
+                                      transfer="tanh",
+                                      final_transfer="linear")
+        net = Network(graph, input_shape=(10, 10, 10), seed=0,
+                      loss="binary-logistic",
+                      optimizer=SGD(learning_rate=1e-3))
+        out_shape = net.output_nodes[0].shape
+        multi = MultiVolumeProvider(
+            [PatchProvider(v, (10, 10, 10), out_shape, seed=i)
+             for i, v in enumerate(volumes)], seed=9)
+        report = Trainer(net, multi).run(rounds=6)
+        assert all(np.isfinite(l) for l in report.losses)
+        assert multi.draws.sum() == 6

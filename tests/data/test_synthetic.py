@@ -1,0 +1,79 @@
+"""Synthetic cell-volume tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import boundary_map_from_labels, make_cell_volume
+
+
+class TestBoundaryMap:
+    def test_uniform_labels_no_boundary(self):
+        labels = np.zeros((4, 4, 4), dtype=int)
+        assert boundary_map_from_labels(labels).sum() == 0
+
+    def test_half_split_boundary_plane(self):
+        labels = np.zeros((4, 4, 4), dtype=int)
+        labels[2:] = 1
+        b = boundary_map_from_labels(labels)
+        # the two voxel layers adjacent to the cut are boundary
+        assert b[1].all() and b[2].all()
+        assert b[0].sum() == 0 and b[3].sum() == 0
+
+    def test_binary_values(self):
+        labels = np.arange(27).reshape(3, 3, 3)
+        b = boundary_map_from_labels(labels)
+        assert set(np.unique(b)) <= {0.0, 1.0}
+
+
+class TestMakeCellVolume:
+    def test_shapes_consistent(self):
+        vol = make_cell_volume(shape=16, num_cells=4, seed=0)
+        assert vol.image.shape == vol.labels.shape == vol.boundary.shape
+        assert vol.shape == (16, 16, 16)
+
+    def test_deterministic_by_seed(self):
+        a = make_cell_volume(shape=12, num_cells=4, seed=5)
+        b = make_cell_volume(shape=12, num_cells=4, seed=5)
+        np.testing.assert_array_equal(a.image, b.image)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_cell_volume(shape=12, num_cells=4, seed=1)
+        b = make_cell_volume(shape=12, num_cells=4, seed=2)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_label_count(self):
+        vol = make_cell_volume(shape=20, num_cells=6, seed=0)
+        assert len(np.unique(vol.labels)) <= 6
+        assert len(np.unique(vol.labels)) >= 2
+
+    def test_boundary_fraction_reasonable(self):
+        vol = make_cell_volume(shape=24, num_cells=10, seed=0)
+        assert 0.02 < vol.boundary_fraction() < 0.6
+
+    def test_membranes_darker_than_cytoplasm(self):
+        vol = make_cell_volume(shape=24, num_cells=8, noise=0.0, seed=0)
+        boundary_mean = vol.image[vol.boundary == 1].mean()
+        interior_mean = vol.image[vol.boundary == 0].mean()
+        assert boundary_mean < interior_mean
+
+    def test_noise_increases_variance(self):
+        quiet = make_cell_volume(shape=16, num_cells=4, noise=0.0, seed=0)
+        noisy = make_cell_volume(shape=16, num_cells=4, noise=0.5, seed=0)
+        assert noisy.image.std() > quiet.image.std()
+
+    def test_anisotropic_distance(self):
+        vol = make_cell_volume(shape=(8, 16, 16), num_cells=6,
+                               anisotropy=(4.0, 1.0, 1.0), seed=0)
+        assert vol.shape == (8, 16, 16)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_cell_volume(shape=8, num_cells=0)
+        with pytest.raises(ValueError):
+            make_cell_volume(shape=8, anisotropy=(0, 1, 1))
+
+    def test_2d_volume(self):
+        vol = make_cell_volume(shape=(1, 32, 32), num_cells=6, seed=0)
+        assert vol.shape == (1, 32, 32)
+        assert vol.boundary_fraction() > 0

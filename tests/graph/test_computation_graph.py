@@ -1,0 +1,168 @@
+"""ComputationGraph structural tests."""
+
+import pytest
+
+from repro.graph import ComputationGraph
+
+
+def diamond():
+    """input -> (two conv paths) -> sum node -> output transfer."""
+    g = ComputationGraph()
+    g.add_node("in", layer=0)
+    g.add_node("a", layer=1)
+    g.add_node("b", layer=1)
+    g.add_node("sum", layer=2)
+    g.add_node("out", layer=3)
+    g.add_edge("c1", "in", "a", "conv", kernel=3)
+    g.add_edge("c2", "in", "b", "conv", kernel=3)
+    g.add_edge("t1", "a", "sum", "transfer", transfer="relu")
+    g.add_edge("t2", "b", "sum", "transfer", transfer="relu")
+    g.add_edge("t3", "sum", "out", "transfer", transfer="linear")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        g = ComputationGraph()
+        g.add_node("x")
+        with pytest.raises(ValueError):
+            g.add_node("x")
+
+    def test_duplicate_edge_rejected(self):
+        g = diamond()
+        with pytest.raises(ValueError):
+            g.add_edge("c1", "in", "a", "conv", kernel=3)
+
+    def test_unknown_endpoint_rejected(self):
+        g = ComputationGraph()
+        g.add_node("x")
+        with pytest.raises(ValueError):
+            g.add_edge("e", "x", "ghost", "transfer", transfer="relu")
+
+    def test_conv_requires_kernel(self):
+        g = ComputationGraph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(ValueError):
+            g.add_edge("e", "a", "b", "conv")
+
+    def test_pool_requires_window(self):
+        g = ComputationGraph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(ValueError):
+            g.add_edge("e", "a", "b", "pool")
+
+    def test_transfer_requires_name(self):
+        g = ComputationGraph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(ValueError):
+            g.add_edge("e", "a", "b", "transfer")
+
+    def test_unknown_kind_rejected(self):
+        g = ComputationGraph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(ValueError):
+            g.add_edge("e", "a", "b", "warp")
+
+
+class TestQueries:
+    def test_input_output_nodes(self):
+        g = diamond()
+        assert [n.name for n in g.input_nodes] == ["in"]
+        assert [n.name for n in g.output_nodes] == ["out"]
+
+    def test_trainable_flags(self):
+        g = diamond()
+        assert g.edges["c1"].is_trainable
+        assert g.edges["t1"].is_trainable  # transfer carries the bias
+        g2 = ComputationGraph()
+        g2.add_node("a")
+        g2.add_node("b")
+        e = g2.add_edge("p", "a", "b", "pool", window=2)
+        assert not e.is_trainable
+
+    def test_topological_order(self):
+        g = diamond()
+        order = [n.name for n in g.topological_order()]
+        assert order.index("in") < order.index("a")
+        assert order.index("a") < order.index("sum")
+        assert order.index("sum") < order.index("out")
+
+    def test_cycle_detected(self):
+        g = ComputationGraph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("e1", "a", "b", "transfer", transfer="relu")
+        g.add_edge("e2", "b", "a", "transfer", transfer="relu")
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_layers_grouping(self):
+        g = diamond()
+        layers = g.layers()
+        assert [n.name for n in layers[1]] == ["a", "b"]
+
+
+class TestShapePropagation:
+    def test_diamond_shapes(self):
+        g = diamond()
+        g.propagate_shapes(10)
+        assert g.nodes["in"].shape == (10, 10, 10)
+        assert g.nodes["a"].shape == (8, 8, 8)
+        assert g.nodes["sum"].shape == (8, 8, 8)
+        assert g.nodes["out"].shape == (8, 8, 8)
+
+    def test_mismatched_convergence_rejected(self):
+        g = ComputationGraph()
+        g.add_node("in")
+        g.add_node("mid")
+        g.add_node("sum")
+        g.add_edge("short", "in", "sum", "conv", kernel=3)
+        g.add_edge("c", "in", "mid", "conv", kernel=5)
+        g.add_edge("c2", "mid", "sum", "transfer", transfer="relu")
+        with pytest.raises(ValueError):
+            g.propagate_shapes(10)
+
+    def test_repropagation_overwrites(self):
+        g = diamond()
+        g.propagate_shapes(10)
+        g.propagate_shapes(12)
+        assert g.nodes["out"].shape == (10, 10, 10)
+
+
+class TestConvnetProperties:
+    def test_diamond_flags_nonconv_convergence(self):
+        problems = diamond().check_convnet_properties()
+        assert any("convergent non-convolution" in p for p in problems)
+
+    def test_adjacent_convolutions_flagged(self):
+        g = ComputationGraph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_node("c")
+        g.add_edge("c1", "a", "b", "conv", kernel=2)
+        g.add_edge("c2", "b", "c", "conv", kernel=2)
+        problems = g.check_convnet_properties()
+        assert any("collapsed" in p for p in problems)
+
+    def test_clean_layered_net_has_no_problems(self):
+        from repro.graph import build_layered_network
+        g = build_layered_network("CTC", width=2, kernel=2)
+        assert g.check_convnet_properties() == []
+
+
+class TestValidate:
+    def test_no_inputs_rejected(self):
+        g = ComputationGraph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("e1", "a", "b", "transfer", transfer="relu")
+        g.add_edge("e2", "b", "a", "transfer", transfer="relu")
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_diamond_validates(self):
+        diamond().validate()

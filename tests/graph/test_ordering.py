@@ -1,0 +1,103 @@
+"""Distance orderings and task priority tests (Section VI-A)."""
+
+from repro.graph import (
+    backward_priorities,
+    build_layered_network,
+    forward_priorities,
+    input_distance_ordering,
+    longest_distance_to_inputs,
+    longest_distance_to_outputs,
+    output_distance_ordering,
+)
+
+
+def chain():
+    return build_layered_network("CTCT", width=1, kernel=2)
+
+
+class TestDistances:
+    def test_chain_output_distances(self):
+        g = chain()
+        d = longest_distance_to_outputs(g)
+        assert d["L4_0"] == 0
+        assert d["L0_0"] == 4
+
+    def test_chain_input_distances(self):
+        g = chain()
+        d = longest_distance_to_inputs(g)
+        assert d["L0_0"] == 0
+        assert d["L4_0"] == 4
+
+    def test_longest_path_not_shortest(self):
+        """With a skip connection the LONGEST path must be used."""
+        from repro.graph import ComputationGraph
+        g = ComputationGraph()
+        for name in ("in", "mid", "out"):
+            g.add_node(name)
+        g.add_edge("long1", "in", "mid", "conv", kernel=3)
+        g.add_edge("long2", "mid", "out", "transfer", transfer="relu")
+        g.add_edge("skip", "in", "out", "conv", kernel=5)
+        d = longest_distance_to_outputs(g)
+        assert d["in"] == 2  # through mid, not the skip edge
+
+    def test_same_layer_same_distance(self):
+        g = build_layered_network("CTC", width=3, kernel=2)
+        d = longest_distance_to_outputs(g)
+        assert len({d[f"L1_{j}"] for j in range(3)}) == 1
+
+
+class TestOrderings:
+    def test_ordering_is_permutation(self):
+        g = build_layered_network("CTMCT", width=2, kernel=2, window=2)
+        order = output_distance_ordering(g)
+        assert sorted(order.values()) == list(range(len(g.nodes)))
+
+    def test_farther_from_output_means_earlier_position(self):
+        g = chain()
+        order = output_distance_ordering(g)
+        assert order["L0_0"] < order["L4_0"]
+
+    def test_farther_from_input_means_earlier_backward_position(self):
+        g = chain()
+        order = input_distance_ordering(g)
+        assert order["L4_0"] < order["L0_0"]
+
+    def test_deterministic_tiebreak(self):
+        g = build_layered_network("CTC", width=3, kernel=2)
+        a = output_distance_ordering(g)
+        b = output_distance_ordering(g)
+        assert a == b
+
+
+class TestPriorities:
+    def test_forward_priorities_by_head_node(self):
+        g = chain()
+        fp = forward_priorities(g)
+        # priorities increase along the chain (closer to output = later)
+        names = ["conv_L1_0_0", "xfer_L2_0", "conv_L3_0_0", "xfer_L4_0"]
+        values = [fp[n] for n in names]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_backward_priorities_by_tail_node(self):
+        g = chain()
+        bp = backward_priorities(g)
+        names = ["xfer_L4_0", "conv_L3_0_0", "xfer_L2_0", "conv_L1_0_0"]
+        values = [bp[n] for n in names]
+        assert values == sorted(values)
+
+    def test_convergent_edges_share_forward_priority(self):
+        """Temporal locality: all conv edges summing into one node get
+        one priority value, so they run back-to-back."""
+        g = build_layered_network("CTC", width=4, kernel=2)
+        fp = forward_priorities(g)
+        into_l3_0 = [fp[e.name] for e in g.nodes["L3_0"].in_edges]
+        assert len(set(into_l3_0)) == 1
+
+    def test_distinct_priorities_much_smaller_than_edges(self):
+        """The heap-of-lists K << N claim for wide networks: each edge
+        converging on a node shares the head node's priority, so K is
+        the node count, far below the edge count for wide layers."""
+        g = build_layered_network("CTC", width=10, kernel=2)
+        fp = forward_priorities(g)
+        assert len(set(fp.values())) <= len(fp) / 4

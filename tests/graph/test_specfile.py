@@ -1,0 +1,165 @@
+"""Network spec-file parser tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dump_layered_spec, load_spec, parse_spec
+
+LAYERED = """
+[layered]
+spec = CTMCT
+width = 3
+kernel = 3 3 3
+window = 2
+transfer = tanh
+final_transfer = linear
+skip_kernels = true
+output_nodes = 1
+"""
+
+EXPLICIT = """
+[node input]
+[node a]
+layer = 1
+[node out]
+layer = 2
+
+[edge c1]
+type = conv
+src = input
+dst = a
+kernel = 3, 3, 3
+sparsity = 2
+
+[edge t1]
+type = transfer
+src = a
+dst = out
+transfer = tanh
+"""
+
+
+class TestLayered:
+    def test_builds_graph(self):
+        g = parse_spec(LAYERED)
+        assert len(g.output_nodes) == 1
+        kinds = {e.kind for e in g.edges.values()}
+        assert kinds == {"conv", "transfer", "filter"}
+
+    def test_skip_kernels_applied(self):
+        g = parse_spec(LAYERED)
+        sparsities = {e.sparsity for e in g.edges.values()
+                      if e.kind == "conv"}
+        assert (2, 2, 2) in sparsities
+
+    def test_final_transfer_applied(self):
+        g = parse_spec(LAYERED)
+        transfers = [e.transfer for e in g.edges.values()
+                     if e.kind == "transfer"]
+        assert "linear" in transfers and "tanh" in transfers
+
+    def test_width_list(self):
+        g = parse_spec("[layered]\nspec = CTC\nwidth = 2 3\nkernel = 2\n")
+        assert len(g.output_nodes) == 3
+
+    def test_missing_required_key(self):
+        with pytest.raises(ValueError):
+            parse_spec("[layered]\nspec = CTC\n")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec("[layered]\nspec = CTC\nwidth = 2\ncolour = red\n")
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec("[layered]\nspec = CTC\nwidth = 2\n"
+                       "skip_kernels = maybe\n")
+
+
+class TestExplicit:
+    def test_builds_graph(self):
+        g = parse_spec(EXPLICIT)
+        assert set(g.nodes) == {"input", "a", "out"}
+        assert g.edges["c1"].kind == "conv"
+        assert g.edges["c1"].sparsity == (2, 2, 2)
+        assert g.nodes["a"].layer == 1
+
+    def test_runs_through_network(self, rng):
+        from repro.core import Network
+
+        g = parse_spec(EXPLICIT)
+        net = Network(g, input_shape=(9, 9, 9), seed=0)
+        out = net.forward(rng.standard_normal((9, 9, 9)))
+        assert list(out) == ["out"]
+
+    def test_edge_missing_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec("[node a]\n[node b]\n[edge e]\ntype = conv\n"
+                       "kernel = 2\n")
+
+    def test_unknown_edge_key_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec(EXPLICIT + "\n[edge bad]\ntype = conv\nsrc = a\n"
+                                  "dst = out\nstride = 2\n")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec("[settings]\nx = 1\n" + EXPLICIT)
+
+    def test_mixing_styles_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec(LAYERED + EXPLICIT)
+
+    def test_cycle_rejected(self):
+        bad = """
+[node a]
+[node b]
+[edge e1]
+type = transfer
+src = a
+dst = b
+transfer = relu
+[edge e2]
+type = transfer
+src = b
+dst = a
+transfer = relu
+"""
+        with pytest.raises(ValueError):
+            parse_spec(bad)
+
+
+class TestRoundtrip:
+    def test_dump_then_parse(self):
+        text = dump_layered_spec("CTC", width=[2, 3], kernel=2,
+                                 transfer="relu")
+        g = parse_spec(text)
+        assert len(g.output_nodes) == 3
+
+    def test_dump_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            dump_layered_spec("CTC", width=2, colour="red")
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "net.cfg"
+        path.write_text(LAYERED)
+        g = load_spec(path)
+        assert len(g.output_nodes) == 1
+
+
+class TestParityWithBuilder:
+    def test_same_graph_as_direct_builder_call(self, rng):
+        from repro.core import Network
+        from repro.graph import build_layered_network
+
+        g1 = parse_spec(LAYERED)
+        g2 = build_layered_network("CTMCT", width=3, kernel=3, window=2,
+                                   transfer="tanh", final_transfer="linear",
+                                   skip_kernels=True, output_nodes=1)
+        assert set(g1.nodes) == set(g2.nodes)
+        assert set(g1.edges) == set(g2.edges)
+        x = rng.standard_normal((14, 14, 14))
+        o1 = Network(g1, input_shape=(14, 14, 14), seed=5).forward(x)
+        o2 = Network(g2, input_shape=(14, 14, 14), seed=5).forward(x)
+        for k in o1:
+            np.testing.assert_array_equal(o1[k], o2[k])

@@ -1,0 +1,102 @@
+"""Failure injection: errors raised inside tasks must surface to the
+caller, on both engines, without deadlocking."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CustomOp,
+    Network,
+    SGD,
+    register_custom_op,
+    unregister_custom_op,
+)
+from repro.graph import ComputationGraph, build_layered_network
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    for name in ("boom-fwd", "boom-bwd"):
+        unregister_custom_op(name)
+
+
+def failing_graph(where: str):
+    """Graph whose custom edge raises in forward or backward."""
+
+    def fwd(x, state):
+        if where == "forward":
+            raise RuntimeError("injected forward failure")
+        return x + 0.0
+
+    def bwd(g, x, y, state):
+        if where == "backward":
+            raise RuntimeError("injected backward failure")
+        return g + 0.0
+
+    register_custom_op(CustomOp(f"boom-{where[:3]}", fwd, bwd),
+                       replace=True)
+    g = ComputationGraph()
+    g.add_node("in")
+    g.add_node("a")
+    g.add_node("out")
+    g.add_edge("c", "in", "a", "conv", kernel=2)
+    g.add_edge("u", "a", "out", "custom", op=f"boom-{where[:3]}")
+    return g
+
+
+class TestSerialEngine:
+    @pytest.mark.parametrize("where", ["forward", "backward"])
+    def test_error_propagates(self, rng, where):
+        net = Network(failing_graph(where), input_shape=(6, 6, 6), seed=0)
+        x = rng.standard_normal((6, 6, 6))
+        t = np.zeros(net.nodes["out"].shape)
+        with pytest.raises(RuntimeError, match="injected"):
+            net.train_step(x, t)
+
+
+class TestThreadedEngine:
+    def test_forward_error_propagates(self, rng):
+        net = Network(failing_graph("forward"), input_shape=(6, 6, 6),
+                      seed=0, num_workers=2)
+        x = rng.standard_normal((6, 6, 6))
+        t = np.zeros(net.nodes["out"].shape)
+        with pytest.raises(RuntimeError, match="injected"):
+            net.train_step(x, t)
+
+    def test_backward_error_propagates(self, rng):
+        net = Network(failing_graph("backward"), input_shape=(6, 6, 6),
+                      seed=0, num_workers=2)
+        x = rng.standard_normal((6, 6, 6))
+        t = np.zeros(net.nodes["out"].shape)
+        with pytest.raises(RuntimeError, match="injected"):
+            net.train_step(x, t)
+
+    def test_next_round_after_error_raises_promptly(self, rng):
+        net = Network(failing_graph("forward"), input_shape=(6, 6, 6),
+                      seed=0, num_workers=2)
+        x = rng.standard_normal((6, 6, 6))
+        t = np.zeros(net.nodes["out"].shape)
+        with pytest.raises(RuntimeError):
+            net.train_step(x, t)
+        # The engine is dead; a new round must fail fast, not hang.
+        with pytest.raises(RuntimeError):
+            net.train_step(x, t)
+
+
+class TestInvalidData:
+    def test_nan_inputs_produce_nan_loss_not_crash(self, rng):
+        graph = build_layered_network("CTC", width=2, kernel=2,
+                                      transfer="tanh")
+        net = Network(graph, input_shape=(8, 8, 8), seed=0,
+                      optimizer=SGD(learning_rate=0.01))
+        x = np.full((8, 8, 8), np.nan)
+        t = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+        loss = net.train_step(x, t)
+        assert np.isnan(loss)
+
+    def test_forward_with_wrong_dtype_coerced(self, rng):
+        graph = build_layered_network("CT", width=1, kernel=2)
+        net = Network(graph, input_shape=(6, 6, 6), seed=0)
+        out = net.forward(np.ones((6, 6, 6), dtype=np.float32))
+        assert list(out.values())[0].dtype == np.float64

@@ -1,0 +1,94 @@
+"""Fig 1 — the paper's illustrative computation graph, end to end.
+
+The figure shows a general DAG: one input image, edges representing
+convolution (red), transfer function (green), and max pooling/filtering
+(blue), with convergent convolutions summing at nodes, and two output
+images.  We build a faithful small instance, train it, and verify every
+gradient — exercising general-topology support (Section II: "ZNN works
+for general computation graphs").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, SGD, check_gradients
+from repro.graph import ComputationGraph, build_task_graph
+from repro.graph.ordering import forward_priorities
+
+
+@pytest.fixture(scope="module")
+def fig1_graph():
+    """input -> two parallel conv branches -> transfer -> filter,
+    re-converging by convolution into two output nodes."""
+    g = ComputationGraph()
+    g.add_node("input", layer=0)
+    for b in ("a", "b"):
+        g.add_node(f"conv_{b}", layer=1)
+        g.add_node(f"xfer_{b}", layer=2)
+        g.add_node(f"filt_{b}", layer=3)
+        g.add_edge(f"c_{b}", "input", f"conv_{b}", "conv", kernel=3)
+        g.add_edge(f"t_{b}", f"conv_{b}", f"xfer_{b}", "transfer",
+                   transfer="tanh")
+        g.add_edge(f"f_{b}", f"xfer_{b}", f"filt_{b}", "filter", window=2)
+    for o in ("out1", "out2"):
+        g.add_node(o, layer=4)
+        for b in ("a", "b"):
+            g.add_edge(f"c_{b}_{o}", f"filt_{b}", o, "conv", kernel=2)
+    g.validate()
+    return g
+
+
+class TestStructure:
+    def test_two_outputs_one_input(self, fig1_graph):
+        assert len(fig1_graph.input_nodes) == 1
+        assert len(fig1_graph.output_nodes) == 2
+
+    def test_convergent_edges_are_convolutions(self, fig1_graph):
+        """The Section II property holds for this graph."""
+        assert fig1_graph.check_convnet_properties() == []
+
+    def test_shapes(self, fig1_graph):
+        fig1_graph.propagate_shapes(12)
+        # conv3 -> 10, filter2 -> 9, conv2 -> 8
+        assert fig1_graph.nodes["out1"].shape == (8, 8, 8)
+
+    def test_task_graph_counts(self, fig1_graph):
+        fig1_graph.propagate_shapes(12)
+        tg = build_task_graph(fig1_graph, conv_mode="direct")
+        kinds = tg.count_kinds()
+        assert kinds["lossgrad"] == 2
+        assert kinds["forward"] == len(fig1_graph.edges)
+        tg.validate()
+
+    def test_priorities_shared_at_convergence(self, fig1_graph):
+        fp = forward_priorities(fig1_graph)
+        assert fp["c_a_out1"] == fp["c_b_out1"]
+        assert fp["c_a_out2"] == fp["c_b_out2"]
+
+
+class TestExecution:
+    @pytest.mark.parametrize("mode,workers", [("direct", 1), ("fft", 1),
+                                              ("fft", 3)])
+    def test_trains(self, fig1_graph, rng, mode, workers):
+        net = Network(fig1_graph, input_shape=(12, 12, 12), conv_mode=mode,
+                      num_workers=workers, seed=0,
+                      optimizer=SGD(learning_rate=1e-4))
+        x = rng.standard_normal((12, 12, 12))
+        targets = {"out1": np.zeros((8, 8, 8)), "out2": np.zeros((8, 8, 8))}
+        losses = [net.train_step(x, targets) for _ in range(6)]
+        net.close()
+        assert losses[-1] < losses[0]
+
+    def test_gradients_correct(self, fig1_graph, rng):
+        net = Network(fig1_graph, input_shape=(12, 12, 12),
+                      conv_mode="direct", seed=3)
+        x = rng.standard_normal((12, 12, 12))
+        targets = {"out1": rng.standard_normal((8, 8, 8)),
+                   "out2": rng.standard_normal((8, 8, 8))}
+        report = check_gradients(net, x, targets, kernel_samples=1)
+        assert report.ok, report.failures
+
+    def test_outputs_differ_between_heads(self, fig1_graph, rng):
+        net = Network(fig1_graph, input_shape=(12, 12, 12), seed=1)
+        out = net.forward(rng.standard_normal((12, 12, 12)))
+        assert not np.allclose(out["out1"], out["out2"])

@@ -1,0 +1,132 @@
+"""Threaded TaskEngine and SerialEngine tests."""
+
+import threading
+
+import pytest
+
+from repro.scheduler import (
+    LOWEST_PRIORITY,
+    SerialEngine,
+    Task,
+    TaskEngine,
+    force,
+)
+
+
+class TestTaskEngine:
+    def test_executes_submitted_tasks(self):
+        done = threading.Event()
+        with TaskEngine(num_workers=2) as engine:
+            engine.spawn(done.set)
+            assert done.wait(timeout=5)
+        assert engine.executed >= 1
+
+    def test_tasks_can_spawn_tasks(self):
+        results = []
+        done = threading.Event()
+        with TaskEngine(num_workers=2) as engine:
+            def child():
+                results.append("child")
+                done.set()
+
+            engine.spawn(lambda: engine.spawn(child))
+            assert done.wait(timeout=5)
+        assert results == ["child"]
+
+    def test_many_tasks_all_run(self):
+        count = 200
+        seen = []
+        lock = threading.Lock()
+        remaining = threading.Semaphore(0)
+        with TaskEngine(num_workers=4) as engine:
+            for i in range(count):
+                def body(i=i):
+                    with lock:
+                        seen.append(i)
+                    remaining.release()
+
+                engine.spawn(body, priority=i % 5)
+            for _ in range(count):
+                assert remaining.acquire(timeout=5)
+        assert sorted(seen) == list(range(count))
+
+    def test_error_propagates_on_shutdown(self):
+        engine = TaskEngine(num_workers=1).start()
+        engine.spawn(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            # allow the worker to hit the error, then join
+            import time
+            time.sleep(0.1)
+            engine.shutdown()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            TaskEngine(num_workers=0)
+
+    def test_force_through_engine(self):
+        order = []
+        done = threading.Event()
+        with TaskEngine(num_workers=1) as engine:
+            upd = Task(lambda: order.append("upd"),
+                       priority=LOWEST_PRIORITY, name="upd")
+            engine.submit(upd)
+
+            def fwd_task():
+                engine.force(upd, lambda: (order.append("fwd"), done.set()))
+
+            engine.spawn(fwd_task, priority=0)
+            assert done.wait(timeout=5)
+        assert order == ["upd", "fwd"]
+
+
+class TestSerialEngine:
+    def test_run_until_idle_executes_all(self):
+        engine = SerialEngine()
+        seen = []
+        engine.spawn(lambda: seen.append(1))
+        engine.spawn(lambda: seen.append(2))
+        assert engine.run_until_idle() == 2
+        assert sorted(seen) == [1, 2]
+
+    def test_priority_order_respected(self):
+        engine = SerialEngine()
+        order = []
+        engine.spawn(lambda: order.append("late"), priority=5)
+        engine.spawn(lambda: order.append("early"), priority=1)
+        engine.run_until_idle()
+        assert order == ["early", "late"]
+
+    def test_spawned_children_run_in_same_drain(self):
+        engine = SerialEngine()
+        order = []
+
+        def parent():
+            order.append("parent")
+            engine.spawn(lambda: order.append("child"))
+
+        engine.spawn(parent)
+        engine.run_until_idle()
+        assert order == ["parent", "child"]
+
+    def test_executed_counter(self):
+        engine = SerialEngine()
+        for _ in range(5):
+            engine.spawn(lambda: None)
+        engine.run_until_idle()
+        assert engine.executed == 5
+
+    def test_context_manager_drains(self):
+        seen = []
+        with SerialEngine() as engine:
+            engine.spawn(lambda: seen.append(1))
+        assert seen == [1]
+
+    def test_force_steals_queued_update(self):
+        engine = SerialEngine()
+        order = []
+        upd = Task(lambda: order.append("upd"), priority=LOWEST_PRIORITY)
+        engine.submit(upd)
+        engine.force(upd, lambda: order.append("fwd"))
+        assert order == ["upd", "fwd"]
+        # the queue entry was invalidated; draining runs nothing more
+        assert engine.run_until_idle() == 0

@@ -1,0 +1,131 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+
+from repro.graph import TaskGraph, build_layered_network, build_task_graph
+from repro.simulate import MachineSpec, get_machine, simulate_schedule
+
+
+def chain_graph(costs):
+    tg = TaskGraph()
+    prev = None
+    for i, c in enumerate(costs):
+        tid = tg.add_task(f"t{i}", "forward", c, priority=0)
+        if prev is not None:
+            tg.add_dependency(prev, tid)
+        prev = tid
+    return tg
+
+
+def fan_graph(n, cost):
+    tg = TaskGraph()
+    for i in range(n):
+        tg.add_task(f"t{i}", "forward", cost, priority=0)
+    return tg
+
+
+def zero_overhead(cores=4, threads=4):
+    return MachineSpec(name="ideal", cores=cores, threads=threads, ghz=1.0,
+                       yield_tier1=0.0, sync_overhead=0.0)
+
+
+class TestExactSmallCases:
+    def test_chain_is_serial(self):
+        tg = chain_graph([10, 20, 30])
+        r = simulate_schedule(tg, zero_overhead(), 4)
+        assert r.makespan == pytest.approx(60.0)
+        assert r.speedup == pytest.approx(1.0)
+
+    def test_independent_tasks_perfect_speedup(self):
+        tg = fan_graph(8, 10.0)
+        r = simulate_schedule(tg, zero_overhead(4, 4), 4)
+        assert r.makespan == pytest.approx(20.0)
+        assert r.speedup == pytest.approx(4.0)
+
+    def test_quantization_effect(self):
+        """9 equal tasks on 4 workers need 3 waves."""
+        tg = fan_graph(9, 10.0)
+        r = simulate_schedule(tg, zero_overhead(4, 4), 4)
+        assert r.makespan == pytest.approx(30.0)
+
+    def test_single_thread_matches_total(self):
+        tg = fan_graph(5, 7.0)
+        r = simulate_schedule(tg, zero_overhead(), 1)
+        assert r.makespan == pytest.approx(35.0)
+
+    def test_priority_policy_prefers_urgent(self):
+        """Low-priority long task + high-priority chain: the priority
+        policy starts the chain immediately on 1 worker."""
+        tg = TaskGraph()
+        a = tg.add_task("chain0", "forward", 10, priority=0)
+        b = tg.add_task("chain1", "forward", 10, priority=0)
+        tg.add_dependency(a, b)
+        tg.add_task("bulk", "update", 10, priority=100)
+        r = simulate_schedule(tg, zero_overhead(), 1, policy="priority")
+        assert r.makespan == pytest.approx(30.0)
+
+    def test_sync_overhead_charged_per_task(self):
+        machine = MachineSpec(name="o", cores=1, threads=1, ghz=1.0,
+                              sync_overhead=5.0)
+        tg = fan_graph(4, 10.0)
+        r = simulate_schedule(tg, machine, 1)
+        assert r.makespan == pytest.approx(60.0)   # (10+5)*4
+        assert r.speedup == pytest.approx(40.0 / 60.0)
+
+    def test_empty_graph(self):
+        r = simulate_schedule(TaskGraph(), zero_overhead(), 2)
+        assert r.makespan == 0.0
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(fan_graph(2, 1.0), zero_overhead(), 0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(fan_graph(2, 1.0), zero_overhead(), 1,
+                              policy="magic")
+
+
+class TestInvariants:
+    @pytest.fixture(scope="class")
+    def paper_tg(self):
+        g = build_layered_network("CTMCT", width=4, kernel=3, window=2)
+        g.propagate_shapes(16)
+        return build_task_graph(g, conv_mode="direct")
+
+    def test_makespan_at_least_critical_path(self, paper_tg):
+        m = get_machine("xeon-18")
+        r = simulate_schedule(paper_tg, m, 36)
+        # critical path in time units at full per-thread speed
+        lower = paper_tg.critical_path_cost() / m.thread_speed(36)
+        assert r.makespan >= lower * 0.99
+
+    def test_makespan_at_most_serial(self, paper_tg):
+        m = get_machine("xeon-18")
+        r = simulate_schedule(paper_tg, m, 18)
+        serial = simulate_schedule(paper_tg, m, 1)
+        assert r.makespan <= serial.makespan
+
+    def test_speedup_monotone_in_threads_up_to_cores(self, paper_tg):
+        m = get_machine("xeon-18")
+        speedups = [simulate_schedule(paper_tg, m, w).speedup
+                    for w in (1, 2, 4, 9, 18)]
+        assert speedups == sorted(speedups)
+
+    def test_utilization_bounded(self, paper_tg):
+        r = simulate_schedule(paper_tg, get_machine("xeon-8"), 8)
+        assert 0 < r.utilization <= 1.0
+
+    @pytest.mark.parametrize("policy", ["priority", "fifo", "lifo",
+                                        "random"])
+    def test_all_policies_complete(self, paper_tg, policy):
+        r = simulate_schedule(paper_tg, get_machine("xeon-8"), 8,
+                              policy=policy)
+        assert r.tasks == len(paper_tg)
+        assert r.makespan > 0
+
+    def test_deterministic(self, paper_tg):
+        m = get_machine("xeon-8")
+        a = simulate_schedule(paper_tg, m, 8)
+        b = simulate_schedule(paper_tg, m, 8)
+        assert a.makespan == b.makespan

@@ -1,0 +1,84 @@
+"""Temporal-locality metric tests (Section VI-A claim)."""
+
+import pytest
+
+from repro.graph import build_task_graph
+from repro.simulate import (
+    accumulation_target,
+    get_machine,
+    locality_report,
+    simulate_schedule,
+)
+from repro.simulate.speedup import paper_graph_3d
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = paper_graph_3d(8)
+    tg = build_task_graph(graph, conv_mode="direct")
+    machine = get_machine("xeon-18")
+    return graph, tg, machine
+
+
+class TestAccumulationTarget:
+    def test_forward_task_targets_head_sum(self, setup):
+        graph, _, _ = setup
+        edge = next(e for e in graph.edges.values() if e.kind == "conv")
+        assert accumulation_target(f"fwd:{edge.name}", graph) \
+            == f"fwd-sum:{edge.dst}"
+
+    def test_backward_task_targets_tail_sum(self, setup):
+        graph, _, _ = setup
+        edge = next(e for e in graph.edges.values() if e.kind == "conv")
+        assert accumulation_target(f"bwd:{edge.name}", graph) \
+            == f"bwd-sum:{edge.src}"
+
+    def test_non_accumulating_tasks_none(self, setup):
+        graph, _, _ = setup
+        assert accumulation_target("provider", graph) is None
+        assert accumulation_target("upd:whatever", graph) is None
+        assert accumulation_target("fft_img:L0_0", graph) is None
+
+
+class TestReport:
+    def test_requires_timeline(self, setup):
+        graph, tg, machine = setup
+        result = simulate_schedule(tg, machine, 18)
+        with pytest.raises(ValueError):
+            locality_report(result, graph)
+
+    def test_counts(self, setup):
+        graph, tg, machine = setup
+        result = simulate_schedule(tg, machine, 18, record_timeline=True)
+        report = locality_report(result, graph)
+        expected = sum(1 for n in tg.names
+                       if accumulation_target(n, graph) is not None)
+        assert report.accumulating_tasks == expected
+        assert 0 <= report.switches < report.accumulating_tasks
+        assert report.mean_working_set >= 1.0
+
+    def test_priority_policy_beats_alternatives(self, setup):
+        """The paper's §VI-A design claim, quantified: the priority
+        schedule touches fewer distinct sums per span and switches sums
+        less often than FIFO/LIFO/random."""
+        graph, tg, machine = setup
+        rates = {}
+        working = {}
+        for policy in ("priority", "fifo", "lifo", "random"):
+            result = simulate_schedule(tg, machine, machine.threads,
+                                       policy=policy,
+                                       record_timeline=True)
+            report = locality_report(result, graph)
+            rates[policy] = report.switch_rate
+            working[policy] = report.mean_working_set
+        for other in ("fifo", "lifo", "random"):
+            assert rates["priority"] < rates[other]
+            assert working["priority"] < working[other]
+
+    def test_single_thread_priority_is_highly_local(self, setup):
+        """Serially, the priority queue drains one sum at a time."""
+        graph, tg, machine = setup
+        result = simulate_schedule(tg, machine, 1, record_timeline=True)
+        report = locality_report(result, graph)
+        # Far fewer switches than tasks: contributions grouped per sum.
+        assert report.switch_rate < 0.5

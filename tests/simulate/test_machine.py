@@ -1,0 +1,78 @@
+"""Machine model tests (Table V)."""
+
+import pytest
+
+from repro.simulate import MACHINES, MachineSpec, get_machine
+
+
+class TestCatalog:
+    def test_table_v_machines_present(self):
+        assert set(MACHINES) == {"xeon-8", "xeon-18", "xeon-40", "xeon-phi"}
+
+    def test_core_counts_match_table_v(self):
+        assert MACHINES["xeon-8"].cores == 8
+        assert MACHINES["xeon-18"].cores == 18
+        assert MACHINES["xeon-40"].cores == 40
+        assert MACHINES["xeon-phi"].cores == 60
+
+    def test_thread_counts_match_table_v(self):
+        assert MACHINES["xeon-8"].threads == 16
+        assert MACHINES["xeon-18"].threads == 36
+        assert MACHINES["xeon-40"].threads == 80
+        assert MACHINES["xeon-phi"].threads == 240
+
+    def test_get_machine(self):
+        assert get_machine("xeon-18").cores == 18
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_machine("epyc")
+
+
+class TestThroughputModel:
+    def test_linear_up_to_cores(self):
+        m = get_machine("xeon-8")
+        assert m.throughput(4) == 4.0
+        assert m.throughput(8) == 8.0
+
+    def test_sublinear_through_hyperthreads(self):
+        m = get_machine("xeon-8")
+        t8, t12, t16 = m.throughput(8), m.throughput(12), m.throughput(16)
+        assert t8 < t12 < t16
+        assert (t12 - t8) < 4.0  # marginal yield < 1 per thread
+
+    def test_saturates_beyond_hardware_threads(self):
+        m = get_machine("xeon-8")
+        assert m.throughput(16) == m.throughput(100)
+
+    def test_phi_three_regimes(self):
+        """Linear to 60, slower to 120, slowest to 240 (Section VIII)."""
+        m = get_machine("xeon-phi")
+        slope1 = m.throughput(60) - m.throughput(59)
+        slope2 = m.throughput(120) - m.throughput(119)
+        slope3 = m.throughput(240) - m.throughput(239)
+        assert slope1 > slope2 > slope3 > 0
+
+    def test_max_speedup_core_count_or_a_bit_larger(self):
+        """'The value of the maximal speedup is equal to the number of
+        cores or a bit larger.'"""
+        for key, m in MACHINES.items():
+            assert m.cores <= m.max_speedup() <= 2.0 * m.cores
+
+    def test_phi_max_speedup_over_90(self):
+        """The abstract's 'over 90x speedup on Knights Corner'."""
+        assert get_machine("xeon-phi").max_speedup() > 90
+
+    def test_thread_speed_decreases_with_oversubscription(self):
+        m = get_machine("xeon-18")
+        assert m.thread_speed(18) > m.thread_speed(36)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            get_machine("xeon-8").throughput(0)
+
+
+class TestValidation:
+    def test_invalid_machine_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", cores=8, threads=4, ghz=1.0)

@@ -1,0 +1,100 @@
+"""Speedup-sweep (Figs 5–7) tests — shape properties of the curves."""
+
+import pytest
+
+from repro.simulate import (
+    PAPER_WIDTHS,
+    SpeedupSweep,
+    default_thread_counts,
+    get_machine,
+    max_speedup_vs_width,
+    paper_graph_2d,
+    paper_graph_3d,
+    paper_task_graph,
+    simulate_schedule,
+    speedup_vs_threads,
+)
+
+
+class TestPaperNetworks:
+    def test_3d_output_patch_12(self):
+        g = paper_graph_3d(width=2)
+        out = g.output_nodes[0]
+        assert out.shape == (12, 12, 12)
+
+    def test_3d_input_is_37(self):
+        g = paper_graph_3d(width=2)
+        assert g.input_nodes[0].shape == (37, 37, 37)
+
+    def test_2d_output_patch_48(self):
+        g = paper_graph_2d(width=2)
+        assert g.output_nodes[0].shape == (1, 48, 48)
+
+    def test_3d_spec_structure(self):
+        """CTMCTMCTCT: 4 conv layers, 4 transfer, 2 max-filter."""
+        g = paper_graph_3d(width=3)
+        kinds = {}
+        for e in g.edges.values():
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        assert kinds["conv"] == 3 + 3 * 9
+        assert kinds["filter"] == 6
+        assert kinds["transfer"] == 12
+
+    def test_2d_uses_fft_3d_uses_direct(self):
+        tg2 = paper_task_graph(2, 2)
+        tg3 = paper_task_graph(3, 2)
+        assert any(n.startswith("prod_fwd") for n in tg2.names)
+        assert not any(n.startswith("prod_fwd") for n in tg3.names)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            paper_task_graph(4, 2)
+
+
+class TestSpeedupCurves:
+    @pytest.fixture(scope="class")
+    def tg20(self):
+        return paper_task_graph(3, 20)
+
+    def test_linear_ramp_to_cores(self, tg20):
+        """Fig 5: 'speedup increases linearly until the number of
+        worker threads equals the number of cores.'"""
+        m = get_machine("xeon-18")
+        curve = dict(speedup_vs_threads(tg20, m, [1, 9, 18]))
+        assert curve[9] > 0.85 * 9
+        assert curve[18] > 0.85 * 18
+
+    def test_slower_ramp_beyond_cores(self, tg20):
+        m = get_machine("xeon-18")
+        curve = dict(speedup_vs_threads(tg20, m, [18, 27, 36]))
+        gain_smt = curve[36] - curve[18]
+        assert 0 < gain_smt < 18  # positive but far sublinear
+
+    def test_wider_networks_reach_higher_speedup(self):
+        m = get_machine("xeon-40")
+        rows = dict(max_speedup_vs_width(3, [5, 40], m))
+        assert rows[40] > rows[5]
+
+    def test_phi_needs_width_80(self):
+        """Fig 7: the manycore CPU needs width >= 80 to approach its
+        ceiling."""
+        m = get_machine("xeon-phi")
+        rows = dict(max_speedup_vs_width(3, [10, 80], m))
+        assert rows[80] > 1.5 * rows[10]
+        assert rows[80] > 80  # 'over 90x' territory at high widths
+
+    def test_default_thread_counts_cover_regimes(self):
+        m = get_machine("xeon-18")
+        counts = default_thread_counts(m)
+        assert 1 in counts and m.cores in counts and m.threads in counts
+        assert counts == sorted(counts)
+
+    def test_sweep_runner(self):
+        sweep = SpeedupSweep.run("xeon-8", 3, widths=[5, 10],
+                                 thread_counts=[1, 8])
+        rows = sweep.rows()
+        assert len(rows) == 4
+        assert all(s > 0 for _, _, s in rows)
+
+    def test_paper_widths_constant(self):
+        assert PAPER_WIDTHS[0] == 5 and PAPER_WIDTHS[-1] == 120

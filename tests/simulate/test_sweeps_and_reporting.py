@@ -1,0 +1,66 @@
+"""Additional sweep-driver and reporting coverage."""
+
+import pytest
+
+from repro import reporting
+from repro.simulate import (
+    SpeedupSweep,
+    default_thread_counts,
+    get_machine,
+    speedup_vs_threads,
+    paper_task_graph,
+)
+
+
+class TestSpeedupSweep:
+    def test_rows_sorted_by_width(self):
+        sweep = SpeedupSweep.run("xeon-8", 3, widths=[10, 5],
+                                 thread_counts=[1, 8])
+        widths = [w for w, _, _ in sweep.rows()]
+        assert widths == sorted(widths)
+
+    def test_custom_policy(self):
+        sweep = SpeedupSweep.run("xeon-8", 3, widths=[5],
+                                 thread_counts=[8], policy="fifo")
+        assert sweep.rows()[0][2] > 1.0
+
+    def test_default_thread_counts_used(self):
+        sweep = SpeedupSweep.run("xeon-8", 3, widths=[5])
+        threads = sorted({t for _, t, _ in sweep.rows()})
+        assert threads == default_thread_counts(get_machine("xeon-8"))
+
+
+class TestSpeedupVsThreads:
+    def test_returns_pairs_in_input_order(self):
+        tg = paper_task_graph(3, 5)
+        machine = get_machine("xeon-8")
+        curve = speedup_vs_threads(tg, machine, [8, 1, 4])
+        assert [t for t, _ in curve] == [8, 1, 4]
+
+    def test_speedup_at_one_thread_close_to_one(self):
+        tg = paper_task_graph(3, 5)
+        machine = get_machine("xeon-8")
+        curve = dict(speedup_vs_threads(tg, machine, [1]))
+        assert 0.9 < curve[1] <= 1.0  # sync overhead keeps it under 1
+
+
+class TestReportingDrivers:
+    def test_figure5_values_numeric(self):
+        header, rows = reporting.figure5("xeon-8", 3, widths=(5,))
+        values = [float(v) for v in rows[0][1:]]
+        assert all(v > 0 for v in values)
+
+    def test_figure4_monotone_in_width(self):
+        header, rows = reporting.figure4(widths=(5, 40, 120))
+        for row in rows:
+            values = [float(v) for v in row[1:]]
+            assert values == sorted(values)
+
+    def test_figure8_winner_column_consistent(self):
+        header, rows = reporting.figure8(outputs=(8,))
+        for row in rows:
+            systems = header[2:-1]
+            seconds = {s: (None if v == "OOM" else float(v))
+                       for s, v in zip(systems, row[2:-1])}
+            valid = {s: v for s, v in seconds.items() if v is not None}
+            assert row[-1] == min(valid, key=valid.get)

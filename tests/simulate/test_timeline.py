@@ -1,0 +1,84 @@
+"""Schedule-timeline tests: the DES's placements must be a valid
+schedule."""
+
+import pytest
+
+from repro.graph import build_layered_network, build_task_graph
+from repro.simulate import get_machine, paper_task_graph, simulate_schedule
+
+
+@pytest.fixture(scope="module")
+def run():
+    tg = paper_task_graph(3, 5)
+    machine = get_machine("xeon-8")
+    result = simulate_schedule(tg, machine, 8, record_timeline=True)
+    return tg, result
+
+
+class TestTimelineValidity:
+    def test_every_task_placed_exactly_once(self, run):
+        tg, result = run
+        placed = [s.task_id for s in result.timeline]
+        assert sorted(placed) == list(range(len(tg)))
+
+    def test_no_worker_overlap(self, run):
+        _, result = run
+        by_worker = {}
+        for s in result.timeline:
+            by_worker.setdefault(s.worker, []).append(s)
+        for tasks in by_worker.values():
+            tasks.sort(key=lambda s: s.start)
+            for a, b in zip(tasks, tasks[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_dependencies_respected(self, run):
+        tg, result = run
+        finish = {s.task_id: s.end for s in result.timeline}
+        start = {s.task_id: s.start for s in result.timeline}
+        for tid, succs in enumerate(tg.successors):
+            for succ in succs:
+                assert finish[tid] <= start[succ] + 1e-9
+
+    def test_makespan_is_last_finish(self, run):
+        _, result = run
+        assert result.makespan == pytest.approx(
+            max(s.end for s in result.timeline))
+
+    def test_workers_within_bounds(self, run):
+        _, result = run
+        assert all(0 <= s.worker < 8 for s in result.timeline)
+
+    def test_busy_time_matches_durations(self, run):
+        _, result = run
+        total = sum(s.end - s.start for s in result.timeline)
+        assert total == pytest.approx(result.busy_time)
+
+
+class TestGantt:
+    def test_renders_lanes(self, run):
+        _, result = run
+        text = result.gantt(width=40, max_workers=3)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all("#" in line for line in lines)
+
+    def test_no_timeline_message(self):
+        tg = paper_task_graph(3, 5)
+        result = simulate_schedule(tg, get_machine("xeon-8"), 8)
+        assert "no timeline" in result.gantt()
+
+
+class TestTimelineOffByDefault:
+    def test_not_recorded_unless_requested(self):
+        tg = paper_task_graph(3, 5)
+        result = simulate_schedule(tg, get_machine("xeon-8"), 8)
+        assert result.timeline is None
+
+    def test_same_makespan_with_and_without(self):
+        g = build_layered_network("CTMCT", width=3, kernel=3, window=2)
+        g.propagate_shapes(16)
+        tg = build_task_graph(g, conv_mode="direct")
+        m = get_machine("xeon-18")
+        a = simulate_schedule(tg, m, 18)
+        b = simulate_schedule(tg, m, 18, record_timeline=True)
+        assert a.makespan == b.makespan

@@ -1,0 +1,130 @@
+"""OrderedSum (deterministic accumulation) tests."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sync import OrderedSum
+
+
+class TestBasics:
+    def test_in_order_reduction(self, rng):
+        s = OrderedSum(3)
+        arrays = [rng.standard_normal((3, 3, 3)) for _ in range(3)]
+        assert not s.add(arrays[2], 2)
+        assert not s.add(arrays[0], 0)
+        assert s.add(arrays[1], 1)
+        expected = arrays[0] + arrays[1] + arrays[2]
+        np.testing.assert_array_equal(s.get(), expected)  # bitwise
+
+    def test_arrival_order_irrelevant(self, rng):
+        arrays = [rng.standard_normal((4, 4, 4)) for _ in range(4)]
+        results = []
+        for order in ([0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1]):
+            s = OrderedSum(4)
+            for i in order:
+                s.add(arrays[i], i)
+            results.append(s.get())
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+    def test_missing_index_rejected(self, rng):
+        s = OrderedSum(2)
+        with pytest.raises(ValueError):
+            s.add(rng.standard_normal((2, 2, 2)))
+
+    def test_index_out_of_range(self, rng):
+        s = OrderedSum(2)
+        with pytest.raises(ValueError):
+            s.add(rng.standard_normal((2, 2, 2)), 2)
+
+    def test_duplicate_slot_rejected(self, rng):
+        s = OrderedSum(2)
+        s.add(rng.standard_normal((2, 2, 2)), 0)
+        with pytest.raises(RuntimeError):
+            s.add(rng.standard_normal((2, 2, 2)), 0)
+
+    def test_get_before_complete(self, rng):
+        s = OrderedSum(2)
+        s.add(rng.standard_normal((2, 2, 2)), 0)
+        with pytest.raises(RuntimeError):
+            s.get()
+
+    def test_reset_reuse(self, rng):
+        s = OrderedSum(2)
+        s.add(np.ones((2, 2, 2)), 0)
+        s.add(np.ones((2, 2, 2)), 1)
+        s.reset()
+        a, b = rng.standard_normal((2, 2, 2)), rng.standard_normal((2, 2, 2))
+        s.add(b, 1)
+        s.add(a, 0)
+        np.testing.assert_array_equal(s.get(), a + b)
+
+    def test_threaded_matches_serial_bitwise(self, rng):
+        arrays = [rng.standard_normal((8, 8, 8)) for _ in range(6)]
+        serial = OrderedSum(6)
+        for i, a in enumerate(arrays):
+            serial.add(a.copy(), i)
+
+        threaded = OrderedSum(6)
+        barrier = threading.Barrier(6)
+
+        def worker(i):
+            barrier.wait()
+            threaded.add(arrays[i].copy(), i)
+
+        ts = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        np.testing.assert_array_equal(serial.get(), threaded.get())
+
+
+class TestNetworkDeterminism:
+    def test_bitwise_identical_across_worker_counts(self, rng):
+        """The headline property: deterministic_sums=True makes full
+        FFT-mode training bitwise reproducible regardless of thread
+        count."""
+        from repro.core import Network, SGD
+        from repro.graph import build_layered_network
+
+        x = rng.standard_normal((12, 12, 12))
+
+        def run(workers):
+            graph = build_layered_network("CTMCT", width=4, kernel=2,
+                                          window=2, transfer="tanh")
+            net = Network(graph, input_shape=(12, 12, 12), seed=5,
+                          num_workers=workers, conv_mode="fft",
+                          deterministic_sums=True,
+                          optimizer=SGD(learning_rate=0.01))
+            targets = {n.name: np.zeros(n.shape)
+                       for n in net.output_nodes}
+            losses = [net.train_step(x, targets) for _ in range(3)]
+            net.synchronize()
+            kernels = net.kernels()
+            net.close()
+            return losses, kernels
+
+        losses1, kernels1 = run(1)
+        losses4, kernels4 = run(4)
+        assert losses1 == losses4  # float-exact
+        for k in kernels1:
+            np.testing.assert_array_equal(kernels1[k], kernels4[k])
+
+    def test_deterministic_matches_waitfree_approximately(self, rng):
+        from repro.core import Network
+        from repro.graph import build_layered_network
+
+        x = rng.standard_normal((10, 10, 10))
+
+        def out(det):
+            graph = build_layered_network("CTC", width=3, kernel=2)
+            net = Network(graph, input_shape=(10, 10, 10), seed=2,
+                          deterministic_sums=det)
+            return net.forward(x)
+
+        a, b = out(True), out(False)
+        for k in a:
+            np.testing.assert_allclose(a[k], b[k], atol=1e-10)

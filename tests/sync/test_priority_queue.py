@@ -1,0 +1,153 @@
+"""Heap-of-lists concurrent priority queue tests."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sync import HeapOfLists, QueueClosed
+
+
+class TestOrdering:
+    def test_lower_value_pops_first(self):
+        q = HeapOfLists()
+        q.push(5, "low-urgency")
+        q.push(1, "high-urgency")
+        assert q.pop(block=False) == (1, "high-urgency")
+
+    def test_fifo_within_priority(self):
+        q = HeapOfLists()
+        for i in range(5):
+            q.push(3, i)
+        assert [q.pop(block=False)[1] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_negative_priorities(self):
+        q = HeapOfLists()
+        q.push(0, "zero")
+        q.push(-1, "provider")
+        assert q.pop(block=False)[1] == "provider"
+
+    def test_interleaved_push_pop(self):
+        q = HeapOfLists()
+        q.push(2, "b")
+        q.push(1, "a")
+        assert q.pop(block=False)[1] == "a"
+        q.push(0, "c")
+        assert q.pop(block=False)[1] == "c"
+        assert q.pop(block=False)[1] == "b"
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=30))
+    def test_property_pops_sorted_stable(self, priorities):
+        q = HeapOfLists()
+        for i, p in enumerate(priorities):
+            q.push(p, i)
+        out = [q.pop(block=False) for _ in priorities]
+        # priorities nondecreasing; equal priorities in insertion order
+        assert all(out[i][0] <= out[i + 1][0] for i in range(len(out) - 1))
+        for p in set(priorities):
+            idxs = [item for prio, item in out if prio == p]
+            assert idxs == sorted(idxs)
+
+
+class TestEmptyAndClosed:
+    def test_pop_empty_nonblocking_raises(self):
+        with pytest.raises(IndexError):
+            HeapOfLists().pop(block=False)
+
+    def test_pop_timeout(self):
+        q = HeapOfLists()
+        with pytest.raises(IndexError):
+            q.pop(block=True, timeout=0.01)
+
+    def test_close_wakes_blocked_popper(self):
+        q = HeapOfLists()
+        errors = []
+
+        def popper():
+            try:
+                q.pop(block=True)
+            except QueueClosed:
+                errors.append("closed")
+
+        t = threading.Thread(target=popper)
+        t.start()
+        q.close()
+        t.join(timeout=2)
+        assert errors == ["closed"]
+
+    def test_push_after_close_raises(self):
+        q = HeapOfLists()
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.push(0, "x")
+
+    def test_drains_before_reporting_closed(self):
+        q = HeapOfLists()
+        q.push(0, "x")
+        q.close()
+        assert q.pop(block=False)[1] == "x"
+        with pytest.raises(QueueClosed):
+            q.pop(block=False)
+
+
+class TestLazyInvalidation:
+    def test_invalid_entries_skipped(self):
+        q = HeapOfLists()
+        alive = {"a": False, "b": True}
+        q.push(0, "a", is_valid=lambda: alive["a"])
+        q.push(1, "b", is_valid=lambda: alive["b"])
+        assert q.pop(block=False)[1] == "b"
+
+    def test_all_invalid_is_empty(self):
+        q = HeapOfLists()
+        q.push(0, "a", is_valid=lambda: False)
+        with pytest.raises(IndexError):
+            q.pop(block=False)
+
+
+class TestHeapOfListsStructure:
+    def test_distinct_priorities_counts_buckets(self):
+        q = HeapOfLists()
+        for i in range(100):
+            q.push(i % 4, i)
+        assert q.distinct_priorities() == 4  # K << N
+        assert len(q) == 100
+
+    def test_bucket_removed_when_empty(self):
+        q = HeapOfLists()
+        q.push(7, "x")
+        q.pop(block=False)
+        assert q.distinct_priorities() == 0
+
+
+class TestConcurrency:
+    def test_producers_and_consumers(self):
+        q = HeapOfLists()
+        produced = 200
+        consumed = []
+        lock = threading.Lock()
+
+        def producer(base):
+            for i in range(produced // 2):
+                q.push(i % 7, (base, i))
+
+        def consumer():
+            while True:
+                try:
+                    _, item = q.pop(block=True, timeout=0.5)
+                except (IndexError, QueueClosed):
+                    return
+                with lock:
+                    consumed.append(item)
+
+        ps = [threading.Thread(target=producer, args=(b,)) for b in range(2)]
+        cs = [threading.Thread(target=consumer) for _ in range(3)]
+        for t in ps + cs:
+            t.start()
+        for t in ps:
+            t.join()
+        for t in cs:
+            t.join()
+        assert len(consumed) == produced
+        assert len(set(consumed)) == produced

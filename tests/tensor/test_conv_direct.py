@@ -1,0 +1,217 @@
+"""Direct convolution tests — correctness against scipy and brute force,
+sparse/dilated behaviour, gradient identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy.signal import correlate as sp_correlate
+from scipy.signal import fftconvolve as sp_fftconvolve
+
+from repro.tensor import (
+    conv_backward_input,
+    conv_kernel_gradient,
+    convolve_full,
+    convolve_valid,
+    correlate_full,
+    correlate_valid,
+    dilate_kernel,
+    flip3,
+)
+
+
+@pytest.fixture
+def image(rng):
+    return rng.standard_normal((8, 9, 10))
+
+
+@pytest.fixture
+def kernel(rng):
+    return rng.standard_normal((3, 2, 4))
+
+
+class TestFlipAndDilate:
+    def test_flip_is_involution(self, kernel):
+        assert np.array_equal(flip3(flip3(kernel)), kernel)
+
+    def test_flip_reverses_all_axes(self):
+        k = np.arange(8.0).reshape(2, 2, 2)
+        assert flip3(k)[0, 0, 0] == k[1, 1, 1]
+
+    def test_dilate_identity_at_sparsity_one(self, kernel):
+        assert np.array_equal(dilate_kernel(kernel, 1), kernel)
+
+    def test_dilate_shape(self, kernel):
+        d = dilate_kernel(kernel, 2)
+        assert d.shape == (5, 3, 7)
+
+    def test_dilate_preserves_taps(self, kernel):
+        d = dilate_kernel(kernel, 3)
+        assert np.array_equal(d[::3, ::3, ::3], kernel)
+
+    def test_dilate_zeros_between_taps(self, kernel):
+        d = dilate_kernel(kernel, 2)
+        assert d[1, 0, 0] == 0.0 and d[0, 1, 0] == 0.0
+
+
+class TestCorrelateValid:
+    def test_matches_scipy(self, image, kernel):
+        ours = correlate_valid(image, kernel)
+        ref = sp_correlate(image, kernel, mode="valid")
+        np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+    def test_output_shape(self, image, kernel):
+        assert correlate_valid(image, kernel).shape == (6, 8, 7)
+
+    def test_identity_kernel(self, image):
+        one = np.ones((1, 1, 1))
+        np.testing.assert_allclose(correlate_valid(image, one), image)
+
+    def test_brute_force_single_voxel(self, rng):
+        img = rng.standard_normal((3, 3, 3))
+        ker = rng.standard_normal((3, 3, 3))
+        out = correlate_valid(img, ker)
+        assert out.shape == (1, 1, 1)
+        assert np.isclose(out[0, 0, 0], np.sum(img * ker))
+
+    def test_sparse_equals_dilated_dense(self, image, kernel):
+        ours = correlate_valid(image, kernel, 2)
+        ref = correlate_valid(image, dilate_kernel(kernel, 2))
+        np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+    def test_anisotropic_sparsity(self, rng):
+        img = rng.standard_normal((9, 9, 9))
+        ker = rng.standard_normal((2, 2, 2))
+        ours = correlate_valid(img, ker, (1, 2, 3))
+        ref = correlate_valid(img, dilate_kernel(ker, (1, 2, 3)))
+        np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+    def test_2d_input_promoted(self, rng):
+        img = rng.standard_normal((5, 5))
+        ker = rng.standard_normal((2, 2))
+        out = correlate_valid(img, ker)
+        assert out.shape == (1, 4, 4)
+
+    def test_kernel_larger_than_image_raises(self, rng):
+        with pytest.raises(ValueError):
+            correlate_valid(rng.standard_normal((3, 3, 3)),
+                            rng.standard_normal((4, 4, 4)))
+
+    def test_linearity_in_image(self, image, kernel):
+        a = correlate_valid(image, kernel)
+        b = correlate_valid(2.0 * image, kernel)
+        np.testing.assert_allclose(b, 2.0 * a, atol=1e-12)
+
+
+class TestConvolveAndFull:
+    def test_convolve_valid_is_flipped_correlation(self, image, kernel):
+        np.testing.assert_allclose(convolve_valid(image, kernel),
+                                   correlate_valid(image, flip3(kernel)),
+                                   atol=1e-12)
+
+    def test_convolve_full_matches_scipy(self, image, kernel):
+        ref = sp_fftconvolve(image, kernel, mode="full")
+        np.testing.assert_allclose(convolve_full(image, kernel), ref,
+                                   atol=1e-10)
+
+    def test_correlate_full_matches_scipy(self, image, kernel):
+        ref = sp_correlate(image, kernel, mode="full")
+        np.testing.assert_allclose(correlate_full(image, kernel), ref,
+                                   atol=1e-10)
+
+    def test_full_shape(self, image, kernel):
+        assert convolve_full(image, kernel).shape == (10, 10, 13)
+
+    def test_full_sparse_shape(self, image, kernel):
+        assert convolve_full(image, kernel, 2).shape == (12, 11, 16)
+
+    def test_commutativity_of_full_convolution(self, rng):
+        a = rng.standard_normal((4, 4, 4))
+        b = rng.standard_normal((3, 3, 3))
+        np.testing.assert_allclose(convolve_full(a, b), convolve_full(b, a),
+                                   atol=1e-12)
+
+
+class TestGradients:
+    """The backward ops must be the true adjoints of the forward op:
+    <corr(I,K), dO> == <I, bwd(dO,K)> == <K, kgrad(I,dO)>."""
+
+    @pytest.mark.parametrize("sparsity", [1, 2, (1, 2, 3)])
+    def test_backward_input_is_adjoint(self, rng, sparsity):
+        img = rng.standard_normal((9, 10, 11))
+        ker = rng.standard_normal((2, 3, 2))
+        out = correlate_valid(img, ker, sparsity)
+        grad = rng.standard_normal(out.shape)
+        lhs = np.sum(out * grad)
+        rhs = np.sum(img * conv_backward_input(grad, ker, sparsity))
+        assert np.isclose(lhs, rhs)
+
+    @pytest.mark.parametrize("sparsity", [1, 2, (1, 2, 3)])
+    def test_kernel_gradient_is_adjoint(self, rng, sparsity):
+        img = rng.standard_normal((9, 10, 11))
+        ker = rng.standard_normal((2, 3, 2))
+        out = correlate_valid(img, ker, sparsity)
+        grad = rng.standard_normal(out.shape)
+        lhs = np.sum(out * grad)
+        rhs = np.sum(ker * conv_kernel_gradient(img, grad, sparsity))
+        assert np.isclose(lhs, rhs)
+
+    def test_kernel_gradient_shape(self, rng):
+        img = rng.standard_normal((8, 8, 8))
+        grad = rng.standard_normal((6, 6, 6))
+        assert conv_kernel_gradient(img, grad).shape == (3, 3, 3)
+
+    def test_kernel_gradient_shape_sparse(self, rng):
+        img = rng.standard_normal((9, 9, 9))
+        grad = rng.standard_normal((5, 5, 5))  # eff kernel 5 = (3-1)*2+1
+        assert conv_kernel_gradient(img, grad, 2).shape == (3, 3, 3)
+
+    def test_numeric_kernel_gradient(self, rng):
+        img = rng.standard_normal((6, 6, 6))
+        ker = rng.standard_normal((2, 2, 2))
+        grad = rng.standard_normal((5, 5, 5))
+        analytic = conv_kernel_gradient(img, grad)
+        eps = 1e-6
+        for idx in [(0, 0, 0), (1, 1, 1), (0, 1, 0)]:
+            k2 = ker.copy()
+            k2[idx] += eps
+            numeric = np.sum(
+                (correlate_valid(img, k2) - correlate_valid(img, ker))
+                * grad) / eps
+            assert np.isclose(analytic[idx], numeric, atol=1e-4)
+
+    def test_backward_input_shape_restores(self, rng):
+        img = rng.standard_normal((10, 10, 10))
+        ker = rng.standard_normal((3, 3, 3))
+        out = correlate_valid(img, ker, 2)
+        back = conv_backward_input(rng.standard_normal(out.shape), ker, 2)
+        assert back.shape == img.shape
+
+
+@given(n=st.integers(4, 10), k=st.integers(1, 3), s=st.integers(1, 2),
+       seed=st.integers(0, 1000))
+def test_property_valid_full_roundtrip_shapes(n, k, s, seed):
+    """full(valid shapes) restores the input shape for all (n, k, s)."""
+    eff = (k - 1) * s + 1
+    if eff > n:
+        return
+    rng = np.random.default_rng(seed)
+    img = rng.standard_normal((n, n, n))
+    ker = rng.standard_normal((k, k, k))
+    out = correlate_valid(img, ker, s)
+    back = conv_backward_input(rng.standard_normal(out.shape), ker, s)
+    assert back.shape == img.shape
+
+
+@given(seed=st.integers(0, 10_000))
+def test_property_adjoint_identity(seed):
+    """<corr(I,K), G> == <I, bwd(G,K)> for random sizes."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 9))
+    k = int(rng.integers(1, 4))
+    img = rng.standard_normal((n, n, n))
+    ker = rng.standard_normal((k, k, k))
+    out = correlate_valid(img, ker)
+    grad = rng.standard_normal(out.shape)
+    assert np.isclose(np.sum(out * grad),
+                      np.sum(img * conv_backward_input(grad, ker)))

@@ -1,0 +1,120 @@
+"""TransformCache (FFT memoization) tests."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.tensor import TransformCache
+
+
+def make(value):
+    return lambda: np.full((2, 2, 2), float(value))
+
+
+class TestBasics:
+    def test_computes_once_per_round(self):
+        cache = TransformCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.zeros((2, 2, 2))
+
+        cache.get_or_compute("img", "a", compute)
+        cache.get_or_compute("img", "a", compute)
+        assert len(calls) == 1
+        assert cache.stats.computed == 1
+        assert cache.stats.reused == 1
+
+    def test_distinct_keys_distinct_entries(self):
+        cache = TransformCache()
+        a = cache.get_or_compute("img", "a", make(1))
+        b = cache.get_or_compute("img", "b", make(2))
+        assert a[0, 0, 0] == 1 and b[0, 0, 0] == 2
+        assert len(cache) == 2
+
+    def test_kind_disambiguates(self):
+        cache = TransformCache()
+        cache.get_or_compute("img", "a", make(1))
+        g = cache.get_or_compute("grad", "a", make(2))
+        assert g[0, 0, 0] == 2
+
+    def test_next_round_evicts(self):
+        cache = TransformCache()
+        cache.get_or_compute("img", "a", make(1))
+        cache.next_round()
+        assert len(cache) == 0
+        assert cache.stats.evicted == 1
+        v = cache.get_or_compute("img", "a", make(3))
+        assert v[0, 0, 0] == 3
+
+    def test_invalidate_single_entry(self):
+        cache = TransformCache()
+        cache.get_or_compute("ker", "e", make(1))
+        cache.invalidate("ker", "e")
+        v = cache.get_or_compute("ker", "e", make(9))
+        assert v[0, 0, 0] == 9
+
+    def test_round_counter(self):
+        cache = TransformCache()
+        assert cache.round == 0
+        assert cache.next_round() == 1
+        assert cache.round == 1
+
+
+class TestDisabled:
+    def test_always_computes(self):
+        cache = TransformCache(enabled=False)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.zeros((1, 1, 1))
+
+        cache.get_or_compute("img", "a", compute)
+        cache.get_or_compute("img", "a", compute)
+        assert len(calls) == 2
+        assert cache.stats.computed == 2
+        assert cache.stats.reused == 0
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_reuse_fraction(self):
+        cache = TransformCache()
+        cache.get_or_compute("img", "a", make(1))
+        cache.get_or_compute("img", "a", make(1))
+        cache.get_or_compute("img", "a", make(1))
+        assert cache.stats.reuse_fraction == pytest.approx(2 / 3)
+
+    def test_empty_fraction_zero(self):
+        assert TransformCache().stats.reuse_fraction == 0.0
+
+    def test_snapshot_keys(self):
+        snap = TransformCache().stats.snapshot()
+        assert set(snap) == {"computed", "reused", "evicted",
+                             "reuse_fraction"}
+
+
+class TestThreadSafety:
+    def test_concurrent_get_or_compute_single_value(self):
+        """Racing threads may both compute, but all observers see one
+        stored array (setdefault semantics)."""
+        cache = TransformCache()
+        results = []
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            v = cache.get_or_compute("img", "x", make(i))
+            results.append(v)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        first = results[0]
+        assert all(r is first for r in results)

@@ -1,0 +1,128 @@
+"""Fourier helper tests: fast lengths and padded-transform exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensor.conv_direct import (
+    conv_backward_input,
+    conv_kernel_gradient,
+    correlate_valid,
+)
+from repro.tensor.conv_fft import FftConvPlan
+from repro.tensor.fourier import (
+    crop_head,
+    crop_valid_tail,
+    fast_transform_shape,
+    forward_transform,
+    inverse_transform,
+    next_fast_len,
+    pad_to,
+    rfft_shape,
+)
+
+
+class TestNextFastLen:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6),
+        (7, 8), (11, 12), (13, 15), (17, 18), (23, 24),
+        (97, 100), (101, 108), (127, 128), (241, 243),
+    ])
+    def test_known_values(self, n, expected):
+        assert next_fast_len(n) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_fast_len(0)
+
+    @given(n=st.integers(1, 5000))
+    def test_property_5smooth_and_minimal(self, n):
+        m = next_fast_len(n)
+        assert m >= n
+        # 5-smooth
+        x = m
+        for p in (2, 3, 5):
+            while x % p == 0:
+                x //= p
+        assert x == 1
+        # no smaller 5-smooth number in [n, m)
+        for candidate in range(n, m):
+            y = candidate
+            for p in (2, 3, 5):
+                while y % p == 0:
+                    y //= p
+            assert y != 1
+
+    def test_fast_transform_shape(self):
+        assert fast_transform_shape((7, 11, 13)) == (8, 12, 15)
+
+
+class TestTransformHelpers:
+    def test_rfft_shape(self):
+        assert rfft_shape((4, 6, 9)) == (4, 6, 5)
+
+    def test_pad_to(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        p = pad_to(a, (4, 4, 4))
+        assert p.shape == (4, 4, 4)
+        np.testing.assert_array_equal(p[:2, :3, :4], a)
+        assert p[3].sum() == 0
+
+    def test_pad_too_small_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pad_to(rng.standard_normal((5, 5, 5)), (4, 5, 5))
+
+    def test_roundtrip_transform(self, rng):
+        a = rng.standard_normal((6, 7, 8))
+        spec = forward_transform(a, (6, 7, 8))
+        back = inverse_transform(spec, (6, 7, 8))
+        np.testing.assert_allclose(back, a, atol=1e-12)
+
+    def test_crops(self, rng):
+        a = rng.standard_normal((6, 6, 6))
+        np.testing.assert_array_equal(crop_head(a, (2, 3, 4)),
+                                      a[:2, :3, :4])
+        np.testing.assert_array_equal(crop_valid_tail(a, (2, 3, 4)),
+                                      a[4:, 3:, 2:])
+
+
+class TestOversizedTransformExactness:
+    """Any transform size >= the image size is exact for all three
+    convolution passes — the property that makes fast-size padding
+    safe."""
+
+    @given(n=st.integers(5, 12), k=st.integers(1, 3),
+           pad=st.integers(0, 5), seed=st.integers(0, 500))
+    def test_property_all_passes(self, n, k, pad, seed):
+        if k > n:
+            return
+        rng = np.random.default_rng(seed)
+        img = rng.standard_normal((n, n, n))
+        ker = rng.standard_normal((k, k, k))
+        plan = FftConvPlan((n, n, n), (k, k, k))
+        # manually enlarge the transform
+        object.__setattr__ if False else setattr(
+            plan, "transform_shape", (n + pad, n + pad, n + pad))
+        out = correlate_valid(img, ker)
+        grad = rng.standard_normal(out.shape)
+        fi = plan.image_spectrum(img)
+        fk = plan.kernel_spectrum(ker)
+        fg = plan.grad_spectrum(grad)
+        np.testing.assert_allclose(plan.forward(fi, fk), out, atol=1e-9)
+        np.testing.assert_allclose(plan.backward(fg, fk),
+                                   conv_backward_input(grad, ker),
+                                   atol=1e-9)
+        np.testing.assert_allclose(plan.kernel_gradient(fi, fg),
+                                   conv_kernel_gradient(img, grad),
+                                   atol=1e-9)
+
+    def test_fast_sizes_plan(self, rng):
+        plan = FftConvPlan((11, 13, 17), (3, 3, 3), fast_sizes=True)
+        assert plan.transform_shape == (12, 15, 18)
+        img = rng.standard_normal((11, 13, 17))
+        ker = rng.standard_normal((3, 3, 3))
+        np.testing.assert_allclose(
+            plan.forward(plan.image_spectrum(img),
+                         plan.kernel_spectrum(ker)),
+            correlate_valid(img, ker), atol=1e-9)

@@ -1,0 +1,107 @@
+"""Transfer function tests: values, derivative-from-output, bias."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensor import (
+    LINEAR,
+    LOGISTIC,
+    RELU,
+    TANH,
+    TRANSFER_FUNCTIONS,
+    get_transfer,
+)
+
+ALL = sorted(TRANSFER_FUNCTIONS)
+
+
+class TestRegistry:
+    def test_contains_paper_functions(self):
+        # logistic, tanh, half-wave rectification (Section II)
+        assert {"logistic", "tanh", "relu"} <= set(TRANSFER_FUNCTIONS)
+
+    def test_get_by_name(self):
+        assert get_transfer("relu") is RELU
+
+    def test_get_passthrough(self):
+        assert get_transfer(TANH) is TANH
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_transfer("swish")
+
+
+class TestValues:
+    def test_relu_clamps(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(RELU.forward(x),
+                                      [[0.0, 0.0, 2.0]])
+
+    def test_logistic_range_and_symmetry(self, rng):
+        x = rng.standard_normal((4, 4, 4)) * 10
+        y = LOGISTIC.forward(x)
+        assert np.all((y > 0) & (y < 1))
+        np.testing.assert_allclose(LOGISTIC.forward(-x), 1 - y, atol=1e-12)
+
+    def test_logistic_extreme_values_stable(self):
+        y = LOGISTIC.forward(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(y).all()
+        np.testing.assert_allclose(y, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh(self, rng):
+        x = rng.standard_normal((3, 3, 3))
+        np.testing.assert_allclose(TANH.forward(x), np.tanh(x))
+
+    def test_linear_identity(self, rng):
+        x = rng.standard_normal((3, 3, 3))
+        np.testing.assert_array_equal(LINEAR.forward(x), x)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_nondecreasing(self, name, rng):
+        """The paper requires nondecreasing nonlinearities."""
+        f = get_transfer(name)
+        x = np.sort(rng.standard_normal(100) * 3)
+        y = f.forward(x)
+        assert np.all(np.diff(y) >= -1e-12)
+
+
+class TestBiasAndApply:
+    def test_apply_adds_bias_before_nonlinearity(self):
+        x = np.array([[-0.5]])
+        assert RELU.apply(x, bias=1.0)[0, 0] == 0.5
+        assert RELU.apply(x, bias=0.0)[0, 0] == 0.0
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("name", ALL)
+    def test_derivative_from_output_matches_numeric(self, name, rng):
+        f = get_transfer(name)
+        x = rng.standard_normal((5, 5, 5))
+        y = f.forward(x)
+        d = f.derivative_from_output(y)
+        numeric = (f.forward(x + 1e-6) - f.forward(x - 1e-6)) / 2e-6
+        np.testing.assert_allclose(d, numeric, atol=1e-5)
+
+    def test_backward_scales_gradient(self, rng):
+        x = rng.standard_normal((4, 4, 4))
+        y = TANH.forward(x)
+        grad = rng.standard_normal((4, 4, 4))
+        np.testing.assert_allclose(TANH.backward(grad, y),
+                                   grad * (1 - y ** 2), atol=1e-12)
+
+    def test_relu_derivative_zero_in_dead_zone(self):
+        y = RELU.forward(np.array([-2.0, 3.0]))
+        np.testing.assert_array_equal(RELU.derivative_from_output(y),
+                                      [0.0, 1.0])
+
+
+@given(name=st.sampled_from(ALL), seed=st.integers(0, 999),
+       bias=st.floats(-2, 2))
+def test_property_apply_equals_forward_of_shifted(name, seed, bias):
+    rng = np.random.default_rng(seed)
+    f = get_transfer(name)
+    x = rng.standard_normal((3, 3, 3))
+    np.testing.assert_allclose(f.apply(x, bias), f.forward(x + bias),
+                               atol=1e-12)

@@ -1,0 +1,162 @@
+"""CLI and reporting tests."""
+
+import numpy as np
+import pytest
+
+from repro import reporting
+from repro.cli import build_parser, main
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = reporting.render_table("T", ["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "bb" in lines[1]
+        assert "30" in lines[4]
+
+    def test_figure4_structure(self):
+        header, rows = reporting.figure4(widths=(5, 20))
+        assert header == ["P", "w=5", "w=20"]
+        assert len(rows) == 5  # FIG4_PROCESSORS
+
+    def test_figure5_structure(self):
+        header, rows = reporting.figure5("xeon-8", 3, widths=(5,))
+        assert header[0] == "width"
+        assert len(rows) == 1
+
+    def test_figure6_7(self):
+        header, rows = reporting.figure6_7(3, widths=(5,),
+                                           machine_keys=("xeon-8",))
+        assert rows[0][0] == "xeon-8"
+        assert float(rows[0][1]) > 1.0
+
+    def test_figure8_has_oom(self):
+        header, rows = reporting.figure8(outputs=(8,))
+        flat = [c for row in rows for c in row]
+        assert "OOM" in flat
+
+    def test_figure9_winners(self):
+        header, rows = reporting.figure9()
+        winners = {row[-1] for row in rows}
+        assert winners == {"theano", "znn"}
+
+    def test_table5(self):
+        header, rows = reporting.table5()
+        assert len(rows) == 4
+
+
+class TestCliCommands:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out and "Xeon Phi" in out
+
+    @pytest.mark.parametrize("number", ["4", "8", "9"])
+    def test_figures_fast(self, number, capsys):
+        assert main(["figure", number]) == 0
+        out = capsys.readouterr().out
+        assert "Fig" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5", "--machine", "xeon-8",
+                     "--dims", "3"]) == 0
+        assert "xeon-8" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--machine", "xeon-8", "--width", "5",
+                     "--threads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_simulate_default_threads(self, capsys):
+        assert main(["simulate", "--machine", "xeon-8", "--width", "5"]) == 0
+        assert "threads   16" in capsys.readouterr().out
+
+    def test_autotune(self, capsys):
+        assert main(["autotune", "--image", "12", "--kernels", "2",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen" in out
+
+    def test_train_default_network(self, capsys, tmp_path):
+        ckpt = tmp_path / "model.npz"
+        assert main(["train", "--rounds", "2", "--input-size", "20",
+                     "--volume-size", "32", "--conv-mode", "direct",
+                     "--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "loss/voxel" in out
+        assert ckpt.exists()
+
+    def test_train_from_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "net.cfg"
+        spec.write_text("[layered]\nspec = CTC\nwidth = 2 1\nkernel = 2\n"
+                        "transfer = tanh\nfinal_transfer = linear\n")
+        assert main(["train", "--spec", str(spec), "--rounds", "2",
+                     "--input-size", "10", "--volume-size", "24",
+                     "--conv-mode", "direct"]) == 0
+        assert "loss/voxel" in capsys.readouterr().out
+
+    def test_train_checkpoint_loadable(self, tmp_path, capsys):
+        ckpt = tmp_path / "model.npz"
+        main(["train", "--rounds", "1", "--input-size", "20",
+              "--volume-size", "32", "--conv-mode", "direct",
+              "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        from repro.core import Network, load_network
+        from repro.graph import build_layered_network
+
+        graph = build_layered_network("CTMCTCT", width=6, kernel=3,
+                                      window=2, transfer="tanh",
+                                      final_transfer="linear",
+                                      skip_kernels=True, output_nodes=1)
+        net = Network(graph, input_shape=(20, 20, 20), seed=5)
+        assert load_network(net, ckpt) == 1
+
+
+class TestGradcheckCommand:
+    def test_passing_network(self, capsys, tmp_path):
+        spec = tmp_path / "net.cfg"
+        spec.write_text("[layered]\nspec = CTC\nwidth = 2 1\nkernel = 2\n"
+                        "transfer = tanh\n")
+        assert main(["gradcheck", "--spec", str(spec),
+                     "--input-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_fft_mode(self, capsys, tmp_path):
+        spec = tmp_path / "net.cfg"
+        spec.write_text("[layered]\nspec = CT\nwidth = 1\nkernel = 2\n"
+                        "transfer = logistic\n")
+        assert main(["gradcheck", "--spec", str(spec), "--input-size", "8",
+                     "--conv-mode", "fft"]) == 0
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        chart = reporting.ascii_chart(
+            {"a": [(0, 0.0), (10, 5.0)], "b": [(0, 5.0), (10, 0.0)]},
+            width=30, height=8)
+        assert "*" in chart and "o" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_empty(self):
+        assert reporting.ascii_chart({}) == "(no data)"
+
+    def test_constant_series_no_crash(self):
+        chart = reporting.ascii_chart({"flat": [(0, 1.0), (5, 1.0)]})
+        assert "flat" in chart
+
+    def test_axis_labels(self):
+        chart = reporting.ascii_chart({"a": [(0, 0), (1, 1)]},
+                                      x_label="width", y_label="speedup")
+        assert "width" in chart and "speedup" in chart
+
+    def test_cli_chart_flag(self, capsys):
+        assert main(["figure", "7", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "network width" in out

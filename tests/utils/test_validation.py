@@ -1,0 +1,78 @@
+"""Validation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation as v
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert v.check_positive_int(3, "x") == 3
+
+    def test_accepts_float_integral(self):
+        assert v.check_positive_int(3.0, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            v.check_positive_int(0, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises((TypeError, ValueError)):
+            v.check_positive_int("many", "x")
+
+
+class TestCheckNonnegative:
+    def test_zero_ok(self):
+        assert v.check_nonnegative(0, "x") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            v.check_nonnegative(-0.1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_in_range(self, p):
+        assert v.check_probability(p, "p") == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01])
+    def test_out_of_range(self, p):
+        with pytest.raises(ValueError):
+            v.check_probability(p, "p")
+
+
+class TestCheckArray3:
+    def test_promotes_1d(self):
+        a = v.check_array3(np.ones(4), "a")
+        assert a.shape == (1, 1, 4)
+
+    def test_promotes_2d(self):
+        a = v.check_array3(np.ones((3, 4)), "a")
+        assert a.shape == (1, 3, 4)
+
+    def test_3d_contiguous(self):
+        base = np.ones((4, 4, 8))[:, :, ::2]
+        a = v.check_array3(base, "a")
+        assert a.flags["C_CONTIGUOUS"]
+
+    def test_4d_rejected(self):
+        with pytest.raises(ValueError):
+            v.check_array3(np.ones((2, 2, 2, 2)), "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            v.check_array3(np.ones((0, 3, 3)), "a")
+
+    def test_dtype_default_float64(self):
+        a = v.check_array3(np.ones((2, 2, 2), dtype=np.float32), "a")
+        assert a.dtype == np.float64
+
+
+class TestCheckChoice:
+    def test_valid(self):
+        assert v.check_choice("a", "x", ("a", "b")) == "a"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            v.check_choice("c", "x", ("a", "b"))

@@ -14,6 +14,7 @@ from _bench_utils import fmt, print_table
 from repro.core import Network, SGD
 from repro.graph import build_layered_network
 from repro.memory import PoolAllocator, ThreadLocalAllocator
+from repro.observability import get_registry, render_metrics
 from repro.scheduler import TraceRecorder, select_strategy
 
 
@@ -86,8 +87,31 @@ def test_thread_local_allocator_report():
     assert tl.local_hit_rate > 0.9
 
 
+def test_print_metrics_registry_snapshot():
+    """A traced run's registry snapshot — the same counters the CLI's
+    ``repro metrics`` command prints."""
+    reg = get_registry()
+    reg.reset()
+    traced_training(num_workers=1, rounds=1)
+    snap = reg.snapshot()
+    print(render_metrics(snap, title="registry after one traced round"))
+    assert snap.get("queue.pop", 0) > 0
+    assert any(name.startswith("engine.tasks") for name in snap)
+
+
 def test_bench_traced_round(benchmark):
     benchmark(traced_training, 1, 1)
+
+
+def test_bench_traced_round_metrics_disabled(benchmark):
+    """Same round with the registry in no-op mode — compare against
+    test_bench_traced_round to bound instrumentation overhead (<5%)."""
+    reg = get_registry()
+    reg.disable()
+    try:
+        benchmark(traced_training, 1, 1)
+    finally:
+        reg.enable()
 
 
 def test_bench_autoselect(benchmark):

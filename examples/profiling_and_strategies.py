@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""Engine introspection: traced training, automatic strategy selection,
-and checkpointing.
+"""Engine introspection: traced training, the metrics registry,
+Chrome-trace export, automatic strategy selection, and checkpointing.
 
 Demonstrates the infrastructure around the core trainer:
 
 1. attach a TraceRecorder and see where one round of gradient learning
-   spends its time (forward / backward / update / loss tasks);
-2. let the Section X future-work selector pick a scheduling strategy
+   spends its time (forward / backward / update / loss tasks), including
+   queue waits;
+2. read the process-global metrics registry — queue traffic, FFT-cache
+   hit rate, allocator pressure — and export the trace as
+   ``chrome://tracing`` JSON;
+3. let the Section X future-work selector pick a scheduling strategy
    for this network by simulating its task graph under every policy;
-3. checkpoint the trained network and restore it into a fresh instance.
+4. checkpoint the trained network and restore it into a fresh instance.
 
 Run:  python examples/profiling_and_strategies.py
 """
@@ -20,6 +24,11 @@ import numpy as np
 
 from repro import Network, RandomProvider, SGD, Trainer, build_layered_network
 from repro.core import load_network, save_network
+from repro.observability import (
+    get_registry,
+    render_metrics,
+    write_chrome_trace,
+)
 from repro.scheduler import TraceRecorder, select_strategy
 
 
@@ -29,7 +38,7 @@ def main() -> None:
                                   final_transfer="linear", output_nodes=1)
     graph.propagate_shapes((26, 26, 26))
 
-    # -- 2. pick a scheduling strategy by simulation -------------------
+    # -- 3. pick a scheduling strategy by simulation -------------------
     choice = select_strategy(graph, num_workers=2)
     print("strategy selection (simulated makespans, FLOP-units):")
     for policy, makespan in sorted(choice.policy_makespans.items(),
@@ -38,6 +47,8 @@ def main() -> None:
     print(f"  -> chosen scheduler: {choice.scheduler}\n")
 
     # -- 1. traced training --------------------------------------------
+    registry = get_registry()
+    registry.reset()  # start the counters from zero for this run
     recorder = TraceRecorder()
     net = Network(graph, input_shape=(26, 26, 26), conv_mode="auto",
                   seed=0, num_workers=2, scheduler=choice.scheduler,
@@ -52,12 +63,22 @@ def main() -> None:
     total = sum(summary.time_per_family.values())
     print(f"traced {summary.tasks} tasks over {summary.span:.3f}s "
           f"({summary.workers} workers, "
-          f"utilization {summary.utilization:.0%}):")
+          f"utilization {summary.utilization:.0%}, "
+          f"mean queue wait {summary.mean_queue_wait * 1e3:.2f}ms):")
     for family, seconds in sorted(summary.time_per_family.items(),
                                   key=lambda kv: -kv[1]):
         print(f"  {family:>10}: {seconds:7.3f}s ({seconds / total:5.1%})")
 
-    # -- 3. checkpoint round-trip ---------------------------------------
+    # -- 2. metrics registry + Chrome-trace export ----------------------
+    print()
+    print(render_metrics(registry=registry,
+                         title="metrics after 5 training rounds"))
+    trace_path = os.path.join(tempfile.gettempdir(), "repro_example.trace.json")
+    write_chrome_trace(recorder, trace_path)
+    print(f"\nChrome trace written to {trace_path} "
+          "(load it in chrome://tracing or https://ui.perfetto.dev)")
+
+    # -- 4. checkpoint round-trip ---------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "model.npz")
         save_network(net, path)

@@ -22,6 +22,9 @@ Subpackages
     Wait-free concurrent summation; heap-of-lists priority queue.
 ``repro.memory``
     Pooled power-of-two allocators.
+``repro.observability``
+    Metrics registry (thread-safe counters/gauges/histograms) fed by
+    every subsystem above, plus Chrome-trace and snapshot exporters.
 ``repro.pram``
     FLOP cost model (Tables I–IV) and Brent-bound speedups (Fig 4).
 ``repro.simulate``
@@ -60,7 +63,13 @@ from repro.graph import (
     build_task_graph,
     pool_to_filter_spec,
 )
-from repro.scheduler import SerialEngine, TaskEngine
+from repro.observability import (
+    MetricsRegistry,
+    get_registry,
+    metrics_snapshot,
+    write_chrome_trace,
+)
+from repro.scheduler import SerialEngine, TaskEngine, TraceRecorder
 from repro.simulate import MACHINES, get_machine, simulate_schedule
 
 __version__ = "1.0.0"
@@ -84,6 +93,11 @@ __all__ = [
     "pool_to_filter_spec",
     "SerialEngine",
     "TaskEngine",
+    "TraceRecorder",
+    "MetricsRegistry",
+    "get_registry",
+    "metrics_snapshot",
+    "write_chrome_trace",
     "MACHINES",
     "get_machine",
     "simulate_schedule",

@@ -15,7 +15,15 @@ Commands
     kernel sizes.
 ``train``
     Train a network from a spec file (or the built-in 3D benchmark) on
-    synthetic boundary-detection data, with optional checkpointing.
+    synthetic boundary-detection data, with optional checkpointing and
+    (``--trace-out``) a Chrome-trace of every executed task.
+``metrics``
+    Run a short instrumented training workload and print the metrics
+    registry snapshot (queue / engine / FFT-cache / allocator /
+    trainer counters — see docs/observability.md).
+``trace``
+    Run a short traced training workload and write ``chrome://tracing``
+    JSON.
 ``gradcheck``
     Finite-difference verification of a spec-file network's gradients
     (use after adding custom ops).
@@ -82,6 +90,37 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint", default=None,
                        help="write a .npz checkpoint here when done")
     train.add_argument("--volume-size", type=int, default=48)
+    train.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write a chrome://tracing JSON of every "
+                            "executed task to FILE")
+    train.add_argument("--metrics", action="store_true",
+                       help="print the metrics-registry snapshot after "
+                            "training")
+
+    met = sub.add_parser("metrics",
+                         help="run a short instrumented training "
+                              "workload and print the metrics snapshot")
+    met.add_argument("--rounds", type=int, default=3)
+    met.add_argument("--workers", type=int, default=1)
+    met.add_argument("--input-size", type=int, default=20)
+    met.add_argument("--volume-size", type=int, default=32)
+    met.add_argument("--conv-mode", default="fft",
+                     choices=("auto", "direct", "fft"))
+    met.add_argument("--seed", type=int, default=0)
+    met.add_argument("--json", action="store_true",
+                     help="emit the snapshot as JSON instead of a table")
+
+    tr = sub.add_parser("trace",
+                        help="run a short traced training workload and "
+                             "write chrome://tracing JSON")
+    tr.add_argument("--out", default="trace.json", metavar="FILE")
+    tr.add_argument("--rounds", type=int, default=3)
+    tr.add_argument("--workers", type=int, default=2)
+    tr.add_argument("--input-size", type=int, default=20)
+    tr.add_argument("--volume-size", type=int, default=32)
+    tr.add_argument("--conv-mode", default="fft",
+                    choices=("auto", "direct", "fft"))
+    tr.add_argument("--seed", type=int, default=0)
 
     gc = sub.add_parser("gradcheck",
                         help="finite-difference check of a spec file's "
@@ -100,7 +139,7 @@ def _cmd_info(_args) -> int:
     print(f"repro {repro.__version__} — ZNN reproduction "
           f"(Zlateski, Lee & Seung, IPDPS 2016)")
     print("subsystems: core tensor graph scheduler sync memory pram "
-          "simulate baselines data")
+          "simulate baselines data observability")
     header, rows = reporting.table5()
     print(reporting.render_table("Table V — machine models", header, rows))
     return 0
@@ -173,6 +212,7 @@ def _cmd_train(args) -> int:
     from repro.core.serialization import save_network
     from repro.data import PatchProvider, make_cell_volume
     from repro.graph import build_layered_network, load_spec
+    from repro.scheduler import TraceRecorder
 
     if args.spec:
         graph = load_spec(args.spec)
@@ -181,9 +221,11 @@ def _cmd_train(args) -> int:
                                       window=2, transfer="tanh",
                                       final_transfer="linear",
                                       skip_kernels=True, output_nodes=1)
+    recorder = TraceRecorder() if args.trace_out else None
     net = Network(graph, input_shape=(args.input_size,) * 3,
                   conv_mode=args.conv_mode, loss="binary-logistic",
                   num_workers=args.workers, seed=args.seed,
+                  recorder=recorder,
                   optimizer=SGD(learning_rate=args.learning_rate,
                                 momentum=args.momentum))
     out_shape = net.output_nodes[0].shape
@@ -195,7 +237,7 @@ def _cmd_train(args) -> int:
     volume.image[:] = ((volume.image - volume.image.mean())
                        / volume.image.std())
     provider = PatchProvider(volume, (args.input_size,) * 3, out_shape,
-                             seed=args.seed + 2)
+                             seed=args.seed + 2, pooled=True)
     voxels = float(np.prod(out_shape))
     report = Trainer(net, provider).run(
         rounds=args.rounds,
@@ -208,6 +250,83 @@ def _cmd_train(args) -> int:
         save_network(net, args.checkpoint)
         print(f"checkpoint written to {args.checkpoint}")
     net.close()
+    if recorder is not None:
+        from repro.observability import write_chrome_trace
+
+        write_chrome_trace(recorder, args.trace_out)
+        s = recorder.summary()
+        print(f"trace written to {args.trace_out} "
+              f"({s.tasks} tasks, {s.workers} workers, "
+              f"utilization {s.utilization:.0%}, {s.failed} failed)")
+    if args.metrics:
+        from repro.observability import render_metrics
+
+        print(render_metrics())
+    return 0
+
+
+def _training_workload(args, recorder=None) -> None:
+    """A small instrumented training run shared by ``repro metrics``
+    and ``repro trace`` (exercises queue, engine, FFT cache, pooled
+    allocator and trainer metrics)."""
+    from repro.core import Network, SGD, Trainer
+    from repro.data import PatchProvider, make_cell_volume
+    from repro.graph import build_layered_network
+
+    graph = build_layered_network("CTMCT", width=3, kernel=3, window=2,
+                                  transfer="tanh", final_transfer="linear",
+                                  skip_kernels=True, output_nodes=1)
+    net = Network(graph, input_shape=(args.input_size,) * 3,
+                  conv_mode=args.conv_mode, loss="binary-logistic",
+                  num_workers=args.workers, seed=args.seed,
+                  recorder=recorder,
+                  optimizer=SGD(learning_rate=1e-3, momentum=0.9))
+    volume = make_cell_volume(shape=args.volume_size, num_cells=8,
+                              noise=0.08, seed=args.seed + 1)
+    provider = PatchProvider(volume, (args.input_size,) * 3,
+                             net.output_nodes[0].shape,
+                             seed=args.seed + 2, pooled=True)
+    Trainer(net, provider).run(rounds=args.rounds)
+    net.close()
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.observability import get_registry, render_metrics
+
+    registry = get_registry()
+    if not registry.enabled:  # e.g. REPRO_METRICS=0; the user asked anyway
+        print("note: metrics registry was disabled; enabling for this run",
+              file=sys.stderr)
+        registry.enable()
+    registry.reset()
+    _training_workload(args)
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(render_metrics(
+            registry=registry,
+            title=f"metrics after {args.rounds} training rounds "
+                  f"({args.workers} workers, {args.conv_mode})"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.observability import write_chrome_trace
+    from repro.scheduler import TraceRecorder
+
+    recorder = TraceRecorder()
+    _training_workload(args, recorder=recorder)
+    write_chrome_trace(recorder, args.out)
+    s = recorder.summary()
+    print(f"trace written to {args.out}")
+    print(f"{s.tasks} tasks over {s.span:.3f}s on {s.workers} worker(s); "
+          f"utilization {s.utilization:.0%}, "
+          f"mean queue wait {s.mean_queue_wait * 1e3:.2f}ms, "
+          f"{s.failed} failed")
+    print("open chrome://tracing (or https://ui.perfetto.dev) and load "
+          "the file to inspect the task cascade")
     return 0
 
 
@@ -241,6 +360,8 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "autotune": _cmd_autotune,
     "train": _cmd_train,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "gradcheck": _cmd_gradcheck,
 }
 

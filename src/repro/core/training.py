@@ -16,6 +16,7 @@ from typing import Iterable, List, Optional, Protocol, Tuple
 import numpy as np
 
 from repro.core.network import Network
+from repro.observability.metrics import get_registry
 
 __all__ = ["Sample", "DataProvider", "Trainer", "TrainingReport",
            "measure_seconds_per_update"]
@@ -89,6 +90,10 @@ class Trainer:
             raise ValueError("rounds and warmup must be >= 0")
         if validate_every and val_provider is None:
             raise ValueError("validate_every needs a val_provider")
+        reg = get_registry()
+        m_rounds = reg.counter("train.rounds")
+        m_loss = reg.gauge("train.loss")
+        m_seconds = reg.histogram("train.seconds_per_update")
         for _ in range(warmup):
             inputs, targets = self.provider.sample()
             self.network.train_step(inputs, targets)
@@ -99,8 +104,12 @@ class Trainer:
             inputs, targets = self.provider.sample()
             t0 = time.perf_counter()
             loss = self.network.train_step(inputs, targets)
-            report.round_seconds.append(time.perf_counter() - t0)
+            seconds = time.perf_counter() - t0
+            report.round_seconds.append(seconds)
             report.losses.append(loss)
+            m_rounds.inc()
+            m_loss.set(loss)
+            m_seconds.observe(seconds)
             if callback is not None:
                 callback(i, loss)
             if validate_every and (i + 1) % validate_every == 0:

@@ -79,17 +79,28 @@ class PatchProvider:
         If given, the target is the dense window's boundary subsampled
         on this lattice — matching a max-pooling network trained
         sparsely (output voxels on a period-``s`` grid).
+    pooled:
+        Serve sample buffers from the global pooled image allocator
+        (Section VII-C), recycling the previous sample's chunks — the
+        paper's pattern where the data-provider task hands pooled
+        images to the network.  Each ``sample()`` call *invalidates the
+        arrays returned by the previous call*, which is safe for
+        training loops (the network copies its inputs and consumes
+        targets within the round) but not for callers that hold
+        samples across rounds.
     """
 
     def __init__(self, volume: CellVolume, input_shape, output_shape,
                  lattice_period: Optional[int | Sequence[int]] = None,
-                 seed: SeedLike = None) -> None:
+                 seed: SeedLike = None, pooled: bool = False) -> None:
         self.volume = volume
         self.input_shape = as_shape3(input_shape, name="input_shape")
         self.output_shape = as_shape3(output_shape, name="output_shape")
         self.period = (as_shape3(lattice_period, name="lattice_period")
                        if lattice_period is not None else None)
         self.rng = as_generator(seed)
+        self.pooled = bool(pooled)
+        self._pooled_live: List[np.ndarray] = []
 
         vshape = volume.shape
         if any(i > v for i, v in zip(self.input_shape, vshape)):
@@ -122,4 +133,23 @@ class PatchProvider:
         if self.period is not None:
             target = target[:: self.period[0], :: self.period[1],
                             :: self.period[2]]
+        if self.pooled:
+            return self._pooled_copy(patch), self._pooled_copy(target)
         return np.ascontiguousarray(patch), np.ascontiguousarray(target)
+
+    def _pooled_copy(self, source: np.ndarray) -> np.ndarray:
+        """Copy *source* into a chunk from the global image allocator,
+        first returning the previous sample's chunks to their pools."""
+        from repro.memory.pools import image_allocator
+
+        alloc = image_allocator()
+        if len(self._pooled_live) >= 2:  # one (patch, target) generation
+            for old in self._pooled_live:
+                owner = getattr(old, "_allocator", None)
+                if owner is not None:  # survives reset_global_allocators()
+                    owner.deallocate_array(old)
+            self._pooled_live = []
+        buf = alloc.allocate_array(source.shape, dtype=np.float64)
+        np.copyto(buf, source)
+        self._pooled_live.append(buf)
+        return buf

@@ -28,6 +28,8 @@ from typing import Deque, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.observability.metrics import get_registry
+
 __all__ = [
     "AllocatorStats",
     "PoolAllocator",
@@ -127,6 +129,12 @@ class PoolAllocator:
         # Stats mutation is the only shared-state write outside the
         # (atomic) deque ops; a tiny lock keeps counters exact.
         self._stats_lock = threading.Lock()
+        reg = get_registry()
+        self._m_alloc = reg.counter("pool.alloc", pool=name)
+        self._m_reuse = reg.counter("pool.reuse", pool=name)
+        self._m_free = reg.counter("pool.free", pool=name)
+        self._m_held = reg.gauge("pool.held_bytes", pool=name)
+        self._m_outstanding = reg.gauge("pool.outstanding", pool=name)
 
     # ------------------------------------------------------------------
 
@@ -163,6 +171,13 @@ class PoolAllocator:
             else:
                 self.stats.system_allocations += 1
                 self.stats.bytes_from_system += size
+            held = self.stats.bytes_from_system
+        self._m_alloc.inc()
+        if hit:
+            self._m_reuse.inc()
+        else:
+            self._m_held.set(held)
+        self._m_outstanding.inc()
         return chunk, index
 
     def deallocate(self, chunk: np.ndarray, pool_index: int) -> None:
@@ -176,6 +191,8 @@ class PoolAllocator:
         self._pools[pool_index].append(chunk)
         with self._stats_lock:
             self.stats.deallocations += 1
+        self._m_free.inc()
+        self._m_outstanding.dec()
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Unified observability: metrics registry + trace/snapshot exporters.
+
+The measurement substrate behind the paper's Sections VIII–IX numbers:
+every subsystem on a hot path (scheduler queue, task engine, FFT
+memoization cache, pooled allocators, training loop) publishes counters,
+gauges and histograms into a process-global :class:`MetricsRegistry`,
+and recorded task spans export to ``chrome://tracing`` JSON.
+
+See ``docs/observability.md`` for the metric-name catalog and usage.
+"""
+
+from repro.observability.export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_snapshot,
+    render_metrics,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "chrome_trace",
+    "chrome_trace_events",
+    "metrics_snapshot",
+    "render_metrics",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

@@ -1,0 +1,133 @@
+"""Exporters: Chrome-trace JSON from a recorded span, metrics snapshots.
+
+Two consumable artifacts come out of an instrumented run:
+
+* a **trace** — the :class:`repro.scheduler.TraceRecorder`'s per-task
+  records rendered as Chrome Trace Event JSON.  Load the file in
+  ``chrome://tracing`` (or https://ui.perfetto.dev) to see the paper's
+  Fig 3 task cascade laid out per worker, with queue-wait and status
+  attached to every slice;
+* a **metrics snapshot** — the registry's counters/gauges/histograms as
+  a plain dict, JSON file, or fixed-width text table (via
+  :func:`repro.reporting.render_table`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_snapshot",
+    "render_metrics",
+    "write_metrics_json",
+]
+
+
+def chrome_trace_events(records: Sequence) -> List[dict]:
+    """Convert :class:`repro.scheduler.TaskRecord` entries to Chrome
+    Trace Event dicts (complete events, ``ph="X"``).
+
+    Timestamps are microseconds relative to the earliest recorded start,
+    one trace thread per worker.  Queue wait and task status travel in
+    ``args`` so they show up in the trace viewer's detail pane.
+    """
+    if not records:
+        return []
+    t0 = min(r.start for r in records)
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": "repro task engine"}},
+    ]
+    for worker in sorted({r.worker for r in records}):
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": worker, "args": {"name": f"worker-{worker}"}})
+    for r in records:
+        event = {
+            "name": r.name or "(anonymous)",
+            "cat": r.family,
+            "ph": "X",
+            "pid": 0,
+            "tid": r.worker,
+            "ts": (r.start - t0) * 1e6,
+            "dur": r.duration * 1e6,
+            "args": {
+                "queue_wait_us": getattr(r, "queue_wait", 0.0) * 1e6,
+                "status": getattr(r, "status", "ok"),
+            },
+        }
+        if getattr(r, "status", "ok") != "ok":
+            event["cname"] = "terrible"  # red slice in the viewer
+        events.append(event)
+    return events
+
+
+def chrome_trace(recorder_or_records) -> dict:
+    """The full Chrome-trace JSON object for a recorder or record list."""
+    records = (recorder_or_records.records()
+               if hasattr(recorder_or_records, "records")
+               else list(recorder_or_records))
+    return {"traceEvents": chrome_trace_events(records),
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder_or_records, path: str) -> str:
+    """Write ``chrome://tracing`` JSON for a recorded span; returns
+    *path*."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(recorder_or_records), fh)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Metrics snapshots
+# ---------------------------------------------------------------------------
+
+
+def metrics_snapshot(registry: Optional[MetricsRegistry] = None
+                     ) -> Dict[str, object]:
+    """Point-in-time values of every metric in *registry* (default: the
+    process-global registry)."""
+    return (registry if registry is not None else get_registry()).snapshot()
+
+
+def _format_value(value) -> str:
+    if isinstance(value, dict):  # histogram
+        mean = value.get("mean", 0.0) or 0.0
+        vmax = value.get("max")
+        vmax_s = f"{vmax:.6g}" if vmax is not None else "-"
+        return (f"count={value.get('count', 0)} "
+                f"sum={value.get('sum', 0.0):.6g} "
+                f"mean={mean:.6g} max={vmax_s}")
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_metrics(snapshot: Optional[Dict[str, object]] = None,
+                   registry: Optional[MetricsRegistry] = None,
+                   title: str = "metrics snapshot") -> str:
+    """Fixed-width text table of a snapshot (computed from *registry*
+    when not given)."""
+    from repro import reporting
+
+    if snapshot is None:
+        snapshot = metrics_snapshot(registry)
+    header, rows = reporting.metrics_table(snapshot)
+    return reporting.render_table(title, header, rows)
+
+
+def write_metrics_json(path: str,
+                       snapshot: Optional[Dict[str, object]] = None,
+                       registry: Optional[MetricsRegistry] = None) -> str:
+    """Dump a snapshot as JSON; returns *path*."""
+    if snapshot is None:
+        snapshot = metrics_snapshot(registry)
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+    return path

@@ -1,0 +1,371 @@
+"""Thread-safe metrics primitives and the process-global registry.
+
+The paper's whole evaluation (Sections VIII–IX) is about *measured*
+per-subsystem behaviour — queue contention, worker utilization, FFT
+memoization effectiveness, allocator pressure.  This module provides the
+dependency-free substrate those measurements hang off:
+
+* :class:`Counter` — monotonically increasing count (int or float, e.g.
+  accumulated busy seconds), incremented wait-free via per-thread
+  shards (the same idea as the paper's Algorithm 4 summation);
+* :class:`Gauge` — a value that can go up and down (queue depth,
+  memoized bytes, outstanding pooled chunks);
+* :class:`Histogram` — observations bucketed into fixed boundaries
+  (per-task queue wait, seconds per training round);
+* :class:`MetricsRegistry` — a labeled-family registry handing out the
+  above, with a :meth:`~MetricsRegistry.snapshot` for exporters.
+
+A process-global registry (:func:`get_registry`) is what the
+instrumented subsystems (``sync.priority_queue``, ``scheduler.engine``,
+``tensor.fft_cache``, ``memory.pools``, ``core.training``) write to by
+default.  Set the environment variable ``REPRO_METRICS=0`` (or call
+``get_registry().disable()``) to turn every metric operation into a
+no-op — benchmarks use this to measure instrumentation overhead.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import threading
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default histogram boundaries — latencies in seconds, spanning the
+#: sub-millisecond queue waits of Section VII-A up to multi-second
+#: training rounds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+def _render_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Metric:
+    """Shared machinery: a lock and a reference to the owning registry
+    (whose ``enabled`` flag gates every mutation)."""
+
+    __slots__ = ("name", "_lock", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._registry = registry
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter (ints or float quantities such
+    as accumulated seconds).
+
+    Increments are *wait-free*, in the spirit of the paper's Algorithm 4
+    summation: each thread accumulates into its own shard (keyed by
+    thread id), so the hot path takes no lock and concurrent totals stay
+    exact — only the owning thread ever read-modify-writes its shard.
+    ``value`` sums the shards.
+    """
+
+    __slots__ = ("_shards",)
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self._shards: Dict[int, int | float] = {}
+
+    def inc(self, amount: int | float = 1) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        shards = self._shards
+        tid = threading.get_ident()
+        shards[tid] = shards.get(tid, 0) + amount
+
+    @property
+    def value(self) -> int | float:
+        while True:  # a new thread may add its shard mid-iteration
+            try:
+                return sum(self._shards.values())
+            except RuntimeError:
+                continue
+
+    def reset(self) -> None:
+        self._shards.clear()
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge(_Metric):
+    """A value that can move both ways (depth, bytes, outstanding)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, registry)
+        self._value = 0
+
+    def set(self, value: int | float) -> None:
+        if not self._registry.enabled:
+            return
+        self._value = value  # single store: atomic under the GIL
+
+    def inc(self, amount: int | float = 1) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class _HistogramShard:
+    """One thread's private accumulation state."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+
+class Histogram(_Metric):
+    """Observations bucketed into fixed boundaries.
+
+    ``buckets`` are the inclusive upper bounds of each bucket; an
+    implicit ``+inf`` bucket catches the rest.  ``snapshot`` reports the
+    per-bucket counts plus count/sum/min/max/mean.  Like
+    :class:`Counter`, observations go into per-thread shards so the hot
+    path is wait-free and concurrent counts stay exact; readers merge
+    the shards.
+    """
+
+    __slots__ = ("buckets", "_shards")
+
+    def __init__(self, name: str, registry: "MetricsRegistry",
+                 buckets: Optional[Iterable[float]] = None) -> None:
+        super().__init__(name, registry)
+        bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        self.buckets = bounds
+        self._shards: Dict[int, _HistogramShard] = {}
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        value = float(value)
+        tid = threading.get_ident()
+        shard = self._shards.get(tid)
+        if shard is None:
+            shard = self._shards[tid] = _HistogramShard(len(self.buckets) + 1)
+        shard.counts[bisect.bisect_left(self.buckets, value)] += 1
+        shard.count += 1
+        shard.sum += value
+        if shard.min is None or value < shard.min:
+            shard.min = value
+        if shard.max is None or value > shard.max:
+            shard.max = value
+
+    def _merged(self) -> _HistogramShard:
+        total = _HistogramShard(len(self.buckets) + 1)
+        while True:  # a new thread may add its shard mid-iteration
+            try:
+                shards = list(self._shards.values())
+                break
+            except RuntimeError:
+                continue
+        for shard in shards:
+            total.counts = [a + b for a, b in zip(total.counts, shard.counts)]
+            total.count += shard.count
+            total.sum += shard.sum
+            if shard.min is not None and (total.min is None
+                                          or shard.min < total.min):
+                total.min = shard.min
+            if shard.max is not None and (total.max is None
+                                          or shard.max > total.max):
+                total.max = shard.max
+        return total
+
+    @property
+    def count(self) -> int:
+        return self._merged().count
+
+    @property
+    def sum(self) -> float:
+        return self._merged().sum
+
+    @property
+    def mean(self) -> float:
+        merged = self._merged()
+        return merged.sum / merged.count if merged.count else 0.0
+
+    def reset(self) -> None:
+        self._shards.clear()
+
+    def snapshot(self) -> dict:
+        merged = self._merged()
+        labels = [f"le={b:g}" for b in self.buckets] + ["le=+inf"]
+        return {
+            "count": merged.count,
+            "sum": merged.sum,
+            "mean": merged.sum / merged.count if merged.count else 0.0,
+            "min": merged.min,
+            "max": merged.max,
+            "buckets": dict(zip(labels, merged.counts)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"sum={self.sum:.6g})")
+
+
+class MetricsRegistry:
+    """Process-wide home of labeled metric families.
+
+    ``counter/gauge/histogram`` return the existing metric when called
+    again with the same name and labels, so instrumentation sites can
+    fetch them cheaply at construction time and callers elsewhere (e.g.
+    exporters) can look the same family up by name::
+
+        reg = get_registry()
+        pops = reg.counter("queue.pop")
+        fwd = reg.counter("engine.tasks", family="fwd")
+
+    When ``enabled`` is False every metric mutation is a no-op (the
+    objects stay registered, so re-enabling resumes counting).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], _Metric] = {}
+        self.enabled = bool(enabled)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn every metric operation into a no-op (benchmark mode)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every registered metric (registrations survive)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    # -- factories -----------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str],
+                       **kwargs) -> _Metric:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(_render_name(name, key[1]), self, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}")
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Optional[Iterable[float]] = None,
+                  **labels: str) -> Histogram:
+        metric = self._get_or_create(Histogram, name, labels, buckets=buckets)
+        if buckets is not None and metric.buckets != tuple(
+                sorted(float(b) for b in buckets)):
+            raise ValueError(
+                f"histogram {metric.name!r} already registered with "
+                f"buckets {metric.buckets}")
+        return metric
+
+    # -- introspection -------------------------------------------------
+
+    def metrics(self) -> Dict[str, _Metric]:
+        """All registered metrics keyed by rendered name."""
+        with self._lock:
+            return {m.name: m for m in self._metrics.values()}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time values: numbers for counters/gauges, dicts for
+        histograms; sorted by rendered name."""
+        return {name: metric.snapshot()
+                for name, metric in sorted(self.metrics().items())}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetricsRegistry(enabled={self.enabled}, "
+                f"metrics={len(self)})")
+
+
+# ---------------------------------------------------------------------------
+# The process-global registry the instrumented subsystems default to.
+# ---------------------------------------------------------------------------
+
+_global_registry = MetricsRegistry(
+    enabled=os.environ.get("REPRO_METRICS", "1").lower()
+    not in ("0", "false", "off", "no"))
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (what instrumented code defaults to)."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (tests); returns the previous one.
+
+    Instrumented objects capture their metrics at construction time, so
+    swap *before* building engines/networks whose metrics you care
+    about.
+    """
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry
+    return previous

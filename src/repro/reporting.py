@@ -12,6 +12,7 @@ from typing import List, Sequence, Tuple
 __all__ = [
     "render_table",
     "ascii_chart",
+    "metrics_table",
     "figure4",
     "figure5",
     "figure6_7",
@@ -38,6 +39,30 @@ def render_table(title: str, header: Sequence, rows: Sequence[Sequence],
     for row in rows:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def metrics_table(snapshot: dict) -> Table:
+    """A metrics-registry snapshot as (header, rows) for
+    :func:`render_table`.
+
+    Counters and gauges render as plain numbers; histogram snapshots
+    (dicts) as ``count / sum / mean / max`` summaries.
+    """
+    rows: List[List[str]] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, dict):  # histogram snapshot
+            vmax = value.get("max")
+            rows.append([name, "histogram",
+                         f"count={value.get('count', 0)} "
+                         f"sum={value.get('sum', 0.0):.6g} "
+                         f"mean={value.get('mean') or 0.0:.6g} "
+                         f"max={f'{vmax:.6g}' if vmax is not None else '-'}"])
+        elif isinstance(value, float):
+            rows.append([name, "value", f"{value:.6g}"])
+        else:
+            rows.append([name, "value", str(value)])
+    return ["metric", "kind", "value"], rows
 
 
 def _fmt(value, digits: int = 4) -> str:

@@ -12,13 +12,20 @@ for their inner loops, so workers do overlap real work on multi-core
 hosts.  The scalability *measurements* of the paper are reproduced by
 the discrete-event simulator (:mod:`repro.simulate`) which schedules the
 identical task graph with this engine's policy — see DESIGN.md.
+
+Every executed task feeds the observability registry: per-family
+``engine.tasks`` counters, ``engine.failed``, and accumulated
+``engine.busy_seconds`` / ``engine.idle_seconds`` per worker — the live
+counterpart of the utilization quantities behind Figs 5–7.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.observability.metrics import Counter, get_registry
 from repro.scheduler.task import Task, force
 from repro.sync.priority_queue import HeapOfLists, QueueClosed
 
@@ -27,6 +34,12 @@ __all__ = ["TaskEngine", "LOWEST_PRIORITY"]
 #: Priority value assigned to update tasks — strictly less urgent than
 #: any forward/backward priority the graph can produce (Section VI-A).
 LOWEST_PRIORITY = 2**31
+
+
+def task_family(name: str) -> str:
+    """Task-name prefix before the first colon ('fwd', 'upd', …)."""
+    head, _, _ = name.partition(":")
+    return head or "anonymous"
 
 
 class TaskEngine:
@@ -62,6 +75,13 @@ class TaskEngine:
         self._lock = threading.Lock()
         self._executed = 0
         self._errors: List[BaseException] = []
+        self._errors_noted = False
+        reg = get_registry()
+        self._metrics = reg
+        self._m_failed = reg.counter("engine.failed")
+        self._m_busy = reg.counter("engine.busy_seconds")
+        self._m_idle = reg.counter("engine.idle_seconds")
+        self._m_families: Dict[str, Counter] = {}
 
     # ------------------------------------------------------------------
 
@@ -78,13 +98,27 @@ class TaskEngine:
         return self
 
     def shutdown(self) -> None:
-        """Close the queue and join all workers."""
+        """Close the queue and join all workers.
+
+        If workers failed, the first exception is raised with every
+        later one attached as an exception note (so multi-worker
+        failures are not swallowed) and available via :attr:`errors`.
+        """
         self.queue.close()
         for t in self._threads:
             t.join()
         self._threads.clear()
         if self._errors:
-            raise self._errors[0]
+            primary = self._errors[0]
+            with self._lock:
+                note_rest = not self._errors_noted
+                self._errors_noted = True
+            if note_rest:
+                for extra in self._errors[1:]:
+                    primary.add_note(
+                        "additional worker error (see TaskEngine.errors): "
+                        f"{type(extra).__name__}: {extra}")
+            raise primary
 
     def __enter__(self) -> "TaskEngine":
         return self.start()
@@ -97,6 +131,7 @@ class TaskEngine:
     def submit(self, task: Task) -> Task:
         """Enqueue *task* at its own priority."""
         task.mark_queued()
+        task.queued_at = time.perf_counter()
         self.queue.push(task.priority, task, is_valid=task.is_queued)
         return task
 
@@ -124,28 +159,45 @@ class TaskEngine:
         with self._lock:
             return list(self._errors)
 
+    def _family_counter(self, family: str) -> Counter:
+        counter = self._m_families.get(family)
+        if counter is None:
+            counter = self._metrics.counter("engine.tasks", family=family)
+            self._m_families[family] = counter
+        return counter
+
     def _worker_loop(self) -> None:
         worker_index = int(threading.current_thread().name.rsplit("-", 1)[-1])
+        t_wait = time.perf_counter()
         while True:
             try:
                 _, task = self.queue.pop(block=True, timeout=None)
             except QueueClosed:
                 return
             except IndexError:  # pragma: no cover - timeout unused here
+                t_wait = time.perf_counter()
                 continue
+            t0 = time.perf_counter()
+            self._m_idle.inc(t0 - t_wait)
+            queue_wait = t0 - task.queued_at if task.queued_at else 0.0
+            error: Optional[BaseException] = None
             try:
-                if self.recorder is not None:
-                    import time
-                    t0 = time.perf_counter()
-                    task.execute()
-                    self.recorder.record(task.name, worker_index, t0,
-                                         time.perf_counter())
-                else:
-                    task.execute()
-                with self._lock:
-                    self._executed += 1
+                task.execute()
             except BaseException as exc:  # propagate via shutdown()
+                error = exc
+            t1 = time.perf_counter()
+            self._m_busy.inc(t1 - t0)
+            self._family_counter(task_family(task.name)).inc()
+            if self.recorder is not None:
+                self.recorder.record(task.name, worker_index, t0, t1,
+                                     queue_wait=queue_wait,
+                                     status="ok" if error is None else "error")
+            if error is not None:
+                self._m_failed.inc()
                 with self._lock:
-                    self._errors.append(exc)
+                    self._errors.append(error)
                 self.queue.close()
                 return
+            with self._lock:
+                self._executed += 1
+            t_wait = t1  # idle clock restarts where the task ended

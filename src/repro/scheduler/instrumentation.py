@@ -2,12 +2,15 @@
 
 Attach a :class:`TraceRecorder` to a :class:`repro.scheduler.TaskEngine`
 (or :class:`SerialEngine`) via its ``recorder`` attribute and every
-executed task is logged with wall-clock start/end and the worker that
-ran it.  The summary gives the quantities the paper's Section VIII
-discussion is about — per-worker busy time, utilization over the traced
-span, and the split of time between forward / backward / update / other
-task families (task names are prefixed ``fwd:``, ``bwd:``, ``upd:``…
-by the network).
+executed task is logged with wall-clock start/end, the worker that ran
+it, how long it waited in the queue, and whether it succeeded.  The
+summary gives the quantities the paper's Section VIII discussion is
+about — per-worker busy time, utilization over the traced span, and the
+split of time between forward / backward / update / other task families
+(task names are prefixed ``fwd:``, ``bwd:``, ``upd:``… by the network).
+
+Recorded spans export to ``chrome://tracing`` JSON via
+:func:`repro.observability.write_chrome_trace`.
 """
 
 from __future__ import annotations
@@ -27,10 +30,20 @@ class TaskRecord:
     worker: int
     start: float
     end: float
+    #: Seconds the task spent queued before a worker picked it up
+    #: (0.0 when the engine could not attribute a queue entry, e.g.
+    #: FORCEd subtasks that never waited).
+    queue_wait: float = 0.0
+    #: ``"ok"`` or ``"error"`` (the task body raised).
+    status: str = "ok"
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
 
     @property
     def family(self) -> str:
@@ -47,6 +60,10 @@ class TraceSummary:
     span: float
     busy_per_worker: Dict[int, float]
     time_per_family: Dict[str, float]
+    #: Tasks whose body raised (still counted in ``tasks``).
+    failed: int = 0
+    #: Total seconds tasks spent queued before execution.
+    total_queue_wait: float = 0.0
 
     @property
     def workers(self) -> int:
@@ -60,6 +77,10 @@ class TraceSummary:
         return sum(self.busy_per_worker.values()) / (
             self.span * len(self.busy_per_worker))
 
+    @property
+    def mean_queue_wait(self) -> float:
+        return self.total_queue_wait / self.tasks if self.tasks else 0.0
+
 
 class TraceRecorder:
     """Thread-safe sink for :class:`TaskRecord` entries."""
@@ -68,12 +89,15 @@ class TraceRecorder:
         self._lock = threading.Lock()
         self._records: List[TaskRecord] = []
 
-    def record(self, name: str, worker: int, start: float,
-               end: float) -> None:
+    def record(self, name: str, worker: int, start: float, end: float,
+               queue_wait: float = 0.0, status: str = "ok") -> None:
         if end < start:
             raise ValueError(f"task {name!r} ends before it starts")
+        if queue_wait < 0:
+            queue_wait = 0.0
         with self._lock:
-            self._records.append(TaskRecord(name, worker, start, end))
+            self._records.append(
+                TaskRecord(name, worker, start, end, queue_wait, status))
 
     def records(self) -> List[TaskRecord]:
         with self._lock:
@@ -95,8 +119,13 @@ class TraceRecorder:
         t1 = max(r.end for r in records)
         busy: Dict[int, float] = {}
         families: Dict[str, float] = {}
+        failed = 0
+        wait = 0.0
         for r in records:
             busy[r.worker] = busy.get(r.worker, 0.0) + r.duration
             families[r.family] = families.get(r.family, 0.0) + r.duration
+            failed += r.failed
+            wait += r.queue_wait
         return TraceSummary(tasks=len(records), span=t1 - t0,
-                            busy_per_worker=busy, time_per_family=families)
+                            busy_per_worker=busy, time_per_family=families,
+                            failed=failed, total_queue_wait=wait)

@@ -8,8 +8,10 @@ execution mode that makes unit-testing the graph logic easy.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Optional
 
+from repro.observability.metrics import get_registry
 from repro.scheduler.task import Task, force
 from repro.sync.priority_queue import HeapOfLists
 
@@ -32,6 +34,11 @@ class SerialEngine:
         #: Optional repro.scheduler.TraceRecorder logging every task.
         self.recorder = recorder
         self._executed = 0
+        reg = get_registry()
+        self._metrics = reg
+        self._m_failed = reg.counter("engine.failed")
+        self._m_busy = reg.counter("engine.busy_seconds")
+        self._m_families: dict = {}
 
     def start(self) -> "SerialEngine":
         return self
@@ -50,6 +57,7 @@ class SerialEngine:
 
     def submit(self, task: Task) -> Task:
         task.mark_queued()
+        task.queued_at = time.perf_counter()
         self.queue.push(task.priority, task, is_valid=task.is_queued)
         return task
 
@@ -66,19 +74,41 @@ class SerialEngine:
 
         Returns the number of tasks executed by this call.
         """
+        from repro.scheduler.engine import task_family
+
         count = 0
         while True:
             try:
                 _, task = self.queue.pop(block=False)
             except IndexError:
                 break
+            t0 = time.perf_counter()
+            queue_wait = t0 - task.queued_at if task.queued_at else 0.0
+            try:
+                task.execute()
+            except BaseException:
+                # Record the failure before propagating so traces don't
+                # silently under-count work.
+                t1 = time.perf_counter()
+                self._m_busy.inc(t1 - t0)
+                self._m_failed.inc()
+                if self.recorder is not None:
+                    self.recorder.record(task.name, 0, t0, t1,
+                                         queue_wait=queue_wait,
+                                         status="error")
+                self._executed += count
+                raise
+            t1 = time.perf_counter()
+            self._m_busy.inc(t1 - t0)
+            family = task_family(task.name)
+            counter = self._m_families.get(family)
+            if counter is None:
+                counter = self._metrics.counter("engine.tasks", family=family)
+                self._m_families[family] = counter
+            counter.inc()
             if self.recorder is not None:
-                import time
-                t0 = time.perf_counter()
-                task.execute()
-                self.recorder.record(task.name, 0, t0, time.perf_counter())
-            else:
-                task.execute()
+                self.recorder.record(task.name, 0, t0, t1,
+                                     queue_wait=queue_wait)
             count += 1
         self._executed += count
         return count

@@ -61,8 +61,8 @@ class Task:
         Diagnostic label ("fwd conv1:3→7" etc.).
     """
 
-    __slots__ = ("fn", "priority", "name", "task_id", "_state", "_lock",
-                 "_attached")
+    __slots__ = ("fn", "priority", "name", "task_id", "queued_at",
+                 "_state", "_lock", "_attached")
 
     def __init__(self, fn: Callable[[], Any], priority: int = 0,
                  name: str = "") -> None:
@@ -70,6 +70,9 @@ class Task:
         self.priority = int(priority)
         self.name = name
         self.task_id = next(_task_ids)
+        #: perf_counter timestamp set by the engine at submit time; the
+        #: worker that pops the task derives its queue wait from it.
+        self.queued_at: Optional[float] = None
         self._state = TaskState.PENDING
         self._lock = threading.Lock()
         self._attached: Optional["Task"] = None

@@ -17,14 +17,22 @@ be *invalidated* without scanning the deques — the FORCE protocol steals
 an update task by flipping its state, and a popped entry whose
 ``is_valid`` callback fails is skipped.  ``close`` wakes all blocked
 workers for shutdown.
+
+The queue publishes ``queue.push`` / ``queue.pop`` / ``queue.skipped``
+counters, a ``queue.depth`` gauge and a ``queue.wait_seconds`` histogram
+(enqueue-to-dequeue latency) into the observability registry — the raw
+material for the Section VII-A contention discussion.
 """
 
 from __future__ import annotations
 
 import heapq
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.observability.metrics import MetricsRegistry, get_registry
 
 __all__ = ["HeapOfLists", "QueueClosed"]
 
@@ -41,18 +49,26 @@ class HeapOfLists:
     items are dropped at pop time.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._heap: list[int] = []            # distinct priorities present
-        self._lists: Dict[int, Deque[Tuple[Any, Optional[Callable[[], bool]]]]] = {}
+        self._lists: Dict[int, Deque[Tuple[Any, Optional[Callable[[], bool]], float]]] = {}
         self._size = 0                        # counts valid + invalidated
         self._closed = False
+        reg = metrics if metrics is not None else get_registry()
+        self._m_reg = reg
+        self._m_push = reg.counter("queue.push")
+        self._m_pop = reg.counter("queue.pop")
+        self._m_skipped = reg.counter("queue.skipped")
+        self._m_depth = reg.gauge("queue.depth")
+        self._m_wait = reg.histogram("queue.wait_seconds")
 
     def push(self, priority: int, item: Any,
              is_valid: Optional[Callable[[], bool]] = None) -> None:
         """Insert *item* at *priority* (lower pops first)."""
         priority = int(priority)
+        enqueued = time.perf_counter() if self._m_reg.enabled else 0.0
         with self._lock:
             if self._closed:
                 raise QueueClosed("push after close")
@@ -61,9 +77,11 @@ class HeapOfLists:
                 bucket = deque()
                 self._lists[priority] = bucket
                 heapq.heappush(self._heap, priority)  # O(log K)
-            bucket.append((item, is_valid))
+            bucket.append((item, is_valid, enqueued))
             self._size += 1
+            self._m_depth.set(self._size)
             self._not_empty.notify()
+        self._m_push.inc()
 
     def pop(self, block: bool = True,
             timeout: Optional[float] = None) -> Tuple[int, Any]:
@@ -91,13 +109,18 @@ class HeapOfLists:
             priority = self._heap[0]
             bucket = self._lists[priority]
             while bucket:
-                item, is_valid = bucket.popleft()
+                item, is_valid, enqueued = bucket.popleft()
                 self._size -= 1
+                self._m_depth.set(self._size)
                 if is_valid is None or is_valid():
                     if not bucket:
                         heapq.heappop(self._heap)     # O(log K)
                         del self._lists[priority]
+                    self._m_pop.inc()
+                    if enqueued:
+                        self._m_wait.observe(time.perf_counter() - enqueued)
                     return priority, item
+                self._m_skipped.inc()
             heapq.heappop(self._heap)
             del self._lists[priority]
         return None

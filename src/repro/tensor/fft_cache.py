@@ -30,6 +30,8 @@ from typing import Callable, Dict, Hashable, Tuple
 
 import numpy as np
 
+from repro.observability.metrics import get_registry
+
 __all__ = ["CacheStats", "TransformCache"]
 
 
@@ -75,7 +77,14 @@ class TransformCache:
         self._lock = threading.Lock()
         self._store: Dict[Tuple[Hashable, ...], np.ndarray] = {}
         self._round = 0
+        self._bytes = 0
         self.stats = CacheStats()
+        reg = get_registry()
+        self._m_hit = reg.counter("fft_cache.hit")
+        self._m_miss = reg.counter("fft_cache.miss")
+        self._m_evicted = reg.counter("fft_cache.evicted")
+        self._m_bytes = reg.gauge("fft_cache.bytes")
+        self._m_entries = reg.gauge("fft_cache.entries")
 
     # ------------------------------------------------------------------
 
@@ -92,15 +101,26 @@ class TransformCache:
         change with the next sample.
         """
         with self._lock:
-            self.stats.evicted += len(self._store)
+            evicted = len(self._store)
+            self.stats.evicted += evicted
             self._store.clear()
+            self._bytes = 0
             self._round += 1
+            if evicted:
+                self._m_evicted.inc(evicted)
+            self._m_bytes.set(0)
+            self._m_entries.set(0)
             return self._round
 
     def invalidate(self, kind: str, name: Hashable) -> None:
         """Drop a single entry (e.g. a kernel spectrum after its update)."""
         with self._lock:
-            self._store.pop((self._round, kind, name), None)
+            dropped = self._store.pop((self._round, kind, name), None)
+            if dropped is not None:
+                self._bytes -= dropped.nbytes
+                self._m_evicted.inc()
+                self._m_bytes.set(self._bytes)
+                self._m_entries.set(len(self._store))
 
     def get_or_compute(self, kind: str, name: Hashable,
                        compute: Callable[[], np.ndarray]) -> np.ndarray:
@@ -120,13 +140,19 @@ class TransformCache:
             if cached is not None:
                 with self._lock:
                     self.stats.reused += 1
+                self._m_hit.inc()
                 return cached
         value = compute()
         with self._lock:
             self.stats.computed += 1
             if self.enabled:
-                self._store.setdefault(key, value)
+                if key not in self._store:
+                    self._store[key] = value
+                    self._bytes += value.nbytes
+                    self._m_bytes.set(self._bytes)
+                    self._m_entries.set(len(self._store))
                 value = self._store[key]
+        self._m_miss.inc()
         return value
 
     def __len__(self) -> int:

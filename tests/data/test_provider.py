@@ -107,3 +107,46 @@ class TestPatchProvider:
         p = PatchProvider(volume, (8, 8, 8), (4, 4, 4), seed=0)
         patches = [p.sample()[0] for _ in range(5)]
         assert any(not np.array_equal(patches[0], q) for q in patches[1:])
+
+
+class TestPooledPatchProvider:
+    @pytest.fixture
+    def volume(self):
+        from repro.data import make_cell_volume
+        return make_cell_volume((24, 24, 24), seed=7)
+
+    def test_pooled_matches_unpooled_values(self, volume):
+        plain = PatchProvider(volume, (12, 12, 12), (6, 6, 6), seed=3)
+        pooled = PatchProvider(volume, (12, 12, 12), (6, 6, 6), seed=3,
+                               pooled=True)
+        for _ in range(3):
+            x0, t0 = plain.sample()
+            x1, t1 = pooled.sample()
+            np.testing.assert_array_equal(x0, x1)
+            np.testing.assert_array_equal(t0, t1)
+
+    def test_pooled_buffers_come_from_image_allocator(self, volume):
+        from repro.memory.pools import image_allocator
+
+        p = PatchProvider(volume, (12, 12, 12), (6, 6, 6), seed=0,
+                          pooled=True)
+        x, t = p.sample()
+        assert getattr(x, "_allocator", None) is image_allocator()
+        assert getattr(t, "_allocator", None) is image_allocator()
+
+    def test_next_sample_recycles_previous_buffers(self, volume):
+        from repro.memory.pools import image_allocator
+
+        p = PatchProvider(volume, (12, 12, 12), (6, 6, 6), seed=0,
+                          pooled=True)
+        p.sample()
+        before = image_allocator().stats.pool_hits
+        p.sample()  # same shapes -> previous chunks come straight back
+        assert image_allocator().stats.pool_hits >= before + 2
+
+    def test_unpooled_default_keeps_samples_valid(self, volume):
+        p = PatchProvider(volume, (12, 12, 12), (6, 6, 6), seed=0)
+        x0, _ = p.sample()
+        snapshot = x0.copy()
+        p.sample()
+        np.testing.assert_array_equal(x0, snapshot)

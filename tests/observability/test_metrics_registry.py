@@ -1,0 +1,240 @@
+"""Metrics registry tests: primitives, labeled families, no-op mode,
+and exact counting under thread contention."""
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.observability.metrics import DEFAULT_BUCKETS
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        c.inc(0.5)
+        assert c.value == pytest.approx(6.5)
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = MetricsRegistry().counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_snapshot_is_value(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(3.5)
+        assert g.snapshot() == 3.5
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 10.0])
+        for v in (0.5, 1.0, 2.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # le boundaries are inclusive upper bounds; 1.0 lands in le=1.
+        assert snap["buckets"] == {"le=1": 2, "le=10": 1, "le=+inf": 1}
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(103.5)
+        assert snap["mean"] == pytest.approx(103.5 / 4)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 100.0
+
+    def test_empty_snapshot(self):
+        snap = MetricsRegistry().histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_default_buckets_sorted(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=[])
+
+    def test_conflicting_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=[5.0])
+
+    def test_reset(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0])
+        h.observe(0.5)
+        h.reset()
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["sum"] == 0.0
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", a="1") is reg.counter("x", a="1")
+        assert reg.counter("x") is not reg.counter("x", a="1")
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a="1", b="2") is reg.counter("x", b="2", a="1")
+
+    def test_rendered_label_names(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.tasks", family="fwd")
+        reg.counter("plain")
+        names = set(reg.metrics())
+        assert names == {"engine.tasks{family=fwd}", "plain"}
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.5)
+        reg.histogram("c", buckets=[1.0]).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["a"] == 1.5
+        assert snap["b"] == 2
+        assert isinstance(snap["c"], dict)
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(7)
+        reg.reset()
+        assert reg.counter("x") is c
+        assert c.value == 0
+
+    def test_len(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.counter("a")  # same family, no new metric
+        reg.gauge("b")
+        assert len(reg) == 2
+
+
+class TestNoOpMode:
+    def test_disabled_registry_ignores_mutations(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c")
+        g = reg.gauge("g")
+        h = reg.histogram("h", buckets=[1.0])
+        c.inc(5)
+        g.set(3)
+        h.observe(0.5)
+        assert c.value == 0
+        assert g.value == 0
+        assert h.count == 0
+
+    def test_reenable_resumes_counting(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        reg.disable()
+        c.inc(10)
+        reg.enable()
+        c.inc(1)
+        assert c.value == 1
+
+    def test_env_gate_names(self):
+        # the module-level gate accepts several falsey spellings
+        import repro.observability.metrics as m
+
+        for spelling in ("0", "false", "off", "no", "False", "OFF"):
+            assert spelling.lower() in ("0", "false", "off", "no")
+        assert isinstance(m.get_registry(), MetricsRegistry)
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestConcurrency:
+    N_THREADS = 8
+    N_INCS = 2000
+
+    def _hammer(self, target):
+        threads = [threading.Thread(target=target)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_sum_exactly(self):
+        c = MetricsRegistry().counter("c")
+
+        def work():
+            for _ in range(self.N_INCS):
+                c.inc()
+
+        self._hammer(work)
+        assert c.value == self.N_THREADS * self.N_INCS
+
+    def test_histogram_counts_exactly(self):
+        h = MetricsRegistry().histogram("h", buckets=[0.5])
+
+        def work():
+            for i in range(self.N_INCS):
+                h.observe(i % 2)  # alternates buckets
+
+        self._hammer(work)
+        total = self.N_THREADS * self.N_INCS
+        snap = h.snapshot()
+        assert snap["count"] == total
+        assert snap["buckets"]["le=0.5"] == total // 2
+        assert snap["buckets"]["le=+inf"] == total // 2
+
+    def test_concurrent_family_creation_yields_one_metric(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def work():
+            seen.append(reg.counter("shared", family="fwd"))
+
+        self._hammer(work)
+        assert len({id(m) for m in seen}) == 1
+
+
+def test_counter_gauge_histogram_exported():
+    # the package re-exports the primitives for direct construction
+    assert Counter is not None and Gauge is not None and Histogram is not None

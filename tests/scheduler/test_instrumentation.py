@@ -44,6 +44,59 @@ class TestRecorder:
         rec.record("provider", 0, 0.0, 1.0)
         assert rec.summary().time_per_family == {"provider": 1.0}
 
+    def test_single_task_span(self):
+        rec = TraceRecorder()
+        rec.record("fwd:only", 3, 5.0, 5.25, queue_wait=0.1)
+        s = rec.summary()
+        assert s.tasks == 1
+        assert s.span == pytest.approx(0.25)
+        assert s.workers == 1
+        assert s.utilization == pytest.approx(1.0)
+        assert s.mean_queue_wait == pytest.approx(0.1)
+
+    def test_zero_duration_task(self):
+        rec = TraceRecorder()
+        rec.record("fwd:instant", 0, 1.0, 1.0)
+        s = rec.summary()
+        assert s.tasks == 1 and s.span == 0.0
+        assert s.utilization == 0.0  # zero span guards the division
+
+    def test_overlapping_workers_full_utilization(self):
+        rec = TraceRecorder()
+        rec.record("fwd:a", 0, 0.0, 1.0)
+        rec.record("fwd:b", 1, 0.0, 1.0)
+        rec.record("fwd:c", 2, 0.0, 1.0)
+        s = rec.summary()
+        assert s.workers == 3
+        assert s.utilization == pytest.approx(1.0)
+
+    def test_out_of_order_records(self):
+        """Records arriving in non-chronological order (as they do from
+        racing workers) still produce the correct span and totals."""
+        rec = TraceRecorder()
+        rec.record("fwd:late", 0, 2.0, 3.0, queue_wait=0.2)
+        rec.record("fwd:early", 1, 0.0, 1.0, queue_wait=0.1)
+        rec.record("fwd:mid", 0, 1.0, 2.0)
+        s = rec.summary()
+        assert s.span == pytest.approx(3.0)
+        assert s.busy_per_worker == {0: 2.0, 1: 1.0}
+        assert s.total_queue_wait == pytest.approx(0.3)
+        assert s.mean_queue_wait == pytest.approx(0.1)
+
+    def test_negative_queue_wait_clamped(self):
+        rec = TraceRecorder()
+        rec.record("fwd:x", 0, 0.0, 1.0, queue_wait=-0.5)
+        assert rec.records()[0].queue_wait == 0.0
+
+    def test_failed_status_counted(self):
+        rec = TraceRecorder()
+        rec.record("fwd:ok", 0, 0.0, 1.0)
+        rec.record("fwd:bad", 0, 1.0, 2.0, status="error")
+        s = rec.summary()
+        assert s.failed == 1
+        assert s.tasks == 2  # failed tasks still count
+        assert rec.records()[1].failed
+
 
 class TestEngineIntegration:
     def test_serial_engine_records(self):
@@ -87,3 +140,66 @@ class TestEngineIntegration:
         # updates may run inline via FORCE (then they appear as part of
         # the forcing task) or as their own queued tasks
         assert rec.summary().tasks >= len(net.edges) * 2
+
+    def test_threaded_engine_records_queue_wait(self):
+        rec = TraceRecorder()
+        done = threading.Semaphore(0)
+        with TaskEngine(num_workers=1, recorder=rec) as engine:
+            for i in range(4):
+                engine.spawn(done.release, name=f"fwd:t{i}")
+            for _ in range(4):
+                assert done.acquire(timeout=5)
+        assert all(r.queue_wait >= 0.0 for r in rec.records())
+        assert rec.summary().total_queue_wait >= 0.0
+
+
+class TestFailureRecording:
+    def _boom(self):
+        raise RuntimeError("boom")
+
+    def test_threaded_engine_records_failed_task(self):
+        rec = TraceRecorder()
+        engine = TaskEngine(num_workers=1, recorder=rec).start()
+        engine.spawn(self._boom, name="upd:bad")
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.shutdown()
+        records = rec.records()
+        assert len(records) == 1
+        assert records[0].status == "error" and records[0].failed
+        assert rec.summary().failed == 1
+
+    def test_serial_engine_records_failed_task_then_raises(self):
+        rec = TraceRecorder()
+        engine = SerialEngine(recorder=rec)
+        engine.spawn(self._boom, name="upd:bad")
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run_until_idle()
+        records = rec.records()
+        assert len(records) == 1
+        assert records[0].status == "error"
+
+    def test_shutdown_notes_additional_errors(self):
+        """With several workers failing, shutdown raises the first error
+        and attaches the others as exception notes instead of dropping
+        them (all stay reachable via ``engine.errors``)."""
+        barrier = threading.Barrier(2, timeout=10)
+
+        def fail(tag):
+            def body():
+                barrier.wait()  # both workers mid-task before either closes
+                raise RuntimeError(f"boom-{tag}")
+            return body
+
+        engine = TaskEngine(num_workers=2).start()
+        engine.spawn(fail("a"), name="upd:a")
+        engine.spawn(fail("b"), name="upd:b")
+        with pytest.raises(RuntimeError, match="boom-") as excinfo:
+            engine.shutdown()
+        assert len(engine.errors) == 2
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert len(notes) == 1
+        assert "additional worker error" in notes[0]
+        # a second shutdown must not duplicate the notes
+        with pytest.raises(RuntimeError):
+            engine.shutdown()
+        assert len(getattr(excinfo.value, "__notes__", [])) == 1

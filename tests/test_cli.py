@@ -118,6 +118,53 @@ class TestCliCommands:
         assert load_network(net, ckpt) == 1
 
 
+class TestObservabilityCommands:
+    _SIZE = ["--input-size", "20", "--volume-size", "32"]
+
+    def test_metrics_table(self, capsys):
+        assert main(["metrics", "--rounds", "1", *self._SIZE,
+                     "--conv-mode", "fft"]) == 0
+        out = capsys.readouterr().out
+        assert "queue.pop" in out
+        assert "fft_cache.hit" in out and "fft_cache.miss" in out
+        assert "pool.alloc" in out
+
+    def test_metrics_json(self, capsys):
+        import json
+
+        assert main(["metrics", "--rounds", "1", *self._SIZE,
+                     "--conv-mode", "direct", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["queue.pop"] > 0
+        assert snap["train.rounds"] == 1
+
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(out_file), "--rounds", "1",
+                     "--workers", "2", *self._SIZE]) == 0
+        with open(out_file) as fh:
+            doc = json.load(fh)
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert slices
+        assert all({"name", "ts", "dur", "tid"} <= set(e) for e in slices)
+
+    def test_train_trace_out_and_metrics(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(["train", "--rounds", "2", *self._SIZE,
+                     "--conv-mode", "fft", "--trace-out", str(out_file),
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "loss/voxel" in out
+        assert "queue.pop" in out  # --metrics table
+        with open(out_file) as fh:
+            doc = json.load(fh)
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
 class TestGradcheckCommand:
     def test_passing_network(self, capsys, tmp_path):
         spec = tmp_path / "net.cfg"

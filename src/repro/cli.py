@@ -89,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--checkpoint", default=None,
                        help="write a .npz checkpoint here when done")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="write an atomic checkpoint to "
+                            "--checkpoint-dir every N rounds (also "
+                            "enables NaN/Inf rollback)")
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for periodic checkpoints / resume")
+    train.add_argument("--resume", action="store_true",
+                       help="restart from the latest checkpoint in "
+                            "--checkpoint-dir (no-op when none exists)")
+    train.add_argument("--task-retries", type=int, default=0, metavar="K",
+                       help="retry failed engine tasks up to K times "
+                            "with exponential backoff")
+    train.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="watchdog timeout per task (parallel engine; "
+                            "advisory on the serial engine)")
     train.add_argument("--volume-size", type=int, default=48)
     train.add_argument("--trace-out", default=None, metavar="FILE",
                        help="write a chrome://tracing JSON of every "
@@ -209,11 +226,24 @@ def _cmd_train(args) -> int:
     import numpy as np
 
     from repro.core import Network, SGD, Trainer
-    from repro.core.serialization import save_network
+    from repro.core.serialization import load_latest_checkpoint, save_network
     from repro.data import PatchProvider, make_cell_volume
     from repro.graph import build_layered_network, load_spec
+    from repro.resilience import (RECOVERY_METRICS, RetryPolicy,
+                                  recovery_summary)
     from repro.scheduler import TraceRecorder
 
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+    retry_policy = None
+    if args.task_retries or args.task_timeout:
+        retry_policy = RetryPolicy(max_retries=args.task_retries,
+                                   timeout=args.task_timeout)
     if args.spec:
         graph = load_spec(args.spec)
     else:
@@ -225,12 +255,23 @@ def _cmd_train(args) -> int:
     net = Network(graph, input_shape=(args.input_size,) * 3,
                   conv_mode=args.conv_mode, loss="binary-logistic",
                   num_workers=args.workers, seed=args.seed,
-                  recorder=recorder,
+                  recorder=recorder, retry_policy=retry_policy,
                   optimizer=SGD(learning_rate=args.learning_rate,
                                 momentum=args.momentum))
     out_shape = net.output_nodes[0].shape
     print(f"network: {len(net.nodes)} nodes, {len(net.edges)} edges; "
           f"input {(args.input_size,) * 3} -> output {out_shape}")
+
+    rounds = args.rounds
+    if args.resume:
+        resumed = load_latest_checkpoint(net, args.checkpoint_dir)
+        if resumed is None:
+            print(f"no checkpoint in {args.checkpoint_dir}; "
+                  "starting from scratch")
+        else:
+            rounds = max(0, args.rounds - net.rounds)
+            print(f"resumed from {resumed} (round {net.rounds}; "
+                  f"{rounds} rounds remaining)")
 
     volume = make_cell_volume(shape=args.volume_size, num_cells=16,
                               noise=0.08, seed=args.seed + 1)
@@ -240,16 +281,29 @@ def _cmd_train(args) -> int:
                              seed=args.seed + 2, pooled=True)
     voxels = float(np.prod(out_shape))
     report = Trainer(net, provider).run(
-        rounds=args.rounds,
+        rounds=rounds,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
         callback=lambda i, l: print(f"round {i:4d}  loss/voxel "
                                     f"{l / voxels:.4f}")
-        if i % max(args.rounds // 10, 1) == 0 else None)
+        if i % max(rounds // 10, 1) == 0 else None)
     print(f"mean seconds/update: {report.mean_seconds_per_update:.4f}")
-    print(f"final loss/voxel: {report.losses[-1] / voxels:.4f}")
+    if report.losses:
+        print(f"final loss/voxel: {report.losses[-1] / voxels:.4f}")
+    if report.checkpoints:
+        print(f"latest checkpoint: {report.checkpoints[-1]}")
     if args.checkpoint:
         save_network(net, args.checkpoint)
         print(f"checkpoint written to {args.checkpoint}")
     net.close()
+    recovery = {RECOVERY_METRICS[family]: count
+                for family, count in recovery_summary().items() if count}
+    if recovery:
+        print("recovery events: "
+              + ", ".join(f"{label} {int(count)}"
+                          for label, count in recovery.items()))
+    else:
+        print("recovery events: none")
     if recorder is not None:
         from repro.observability import write_chrome_trace
 

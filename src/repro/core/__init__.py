@@ -50,12 +50,19 @@ from repro.core.multiscale import (
 from repro.core.network import Network
 from repro.core.nodes import RuntimeNode
 from repro.core.optimizer import SGD, UpdateState
-from repro.core.serialization import load_network, network_state, save_network
+from repro.core.serialization import (
+    latest_checkpoint,
+    load_latest_checkpoint,
+    load_network,
+    network_state,
+    save_network,
+)
 from repro.core.tiling import field_of_view_of, tile_plan, tiled_forward
 from repro.core.training import (
     DataProvider,
     Sample,
     Trainer,
+    TrainingDiverged,
     TrainingReport,
     measure_seconds_per_update,
 )
@@ -99,6 +106,8 @@ __all__ = [
     "RuntimeNode",
     "SGD",
     "UpdateState",
+    "latest_checkpoint",
+    "load_latest_checkpoint",
     "load_network",
     "network_state",
     "save_network",
@@ -108,6 +117,7 @@ __all__ = [
     "DataProvider",
     "Sample",
     "Trainer",
+    "TrainingDiverged",
     "TrainingReport",
     "measure_seconds_per_update",
 ]

@@ -20,11 +20,21 @@ image/gradient/kernel spectra through the network-wide
 of Table II; kernels may be *shared* between edges
 (:class:`SharedKernel`) for scale-invariant multi-scale networks, in
 which case the parameter step runs under the kernel's lock.
+
+FFT mode **degrades gracefully** (see ``docs/robustness.md``): the
+first FFT failure on an edge permanently flips that edge to direct
+convolution (``resilience.fft_fallback`` counter, a warning, and the
+edge's ``on_degrade`` callback so the network can record the new mode
+in its autotune state).  When the neighbouring node sums contributions
+in the spectral domain, the fallback result is wrapped with a forward
+transform — exact by linearity, since the node's finaliser is inverse
+transform + head crop.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
@@ -37,8 +47,10 @@ from repro.tensor.conv_direct import (
     conv_kernel_gradient,
     correlate_valid,
 )
+from repro.observability.metrics import get_registry
 from repro.tensor.conv_fft import FftConvPlan
 from repro.tensor.fft_cache import TransformCache
+from repro.tensor.fourier import forward_transform
 from repro.tensor.filtering import max_filter_backward, max_filter_forward
 from repro.tensor.pooling import max_pool_backward, max_pool_forward
 from repro.tensor.transfer import get_transfer
@@ -129,6 +141,31 @@ class ConvEdge(RuntimeEdge):
         self.plan = FftConvPlan(src.shape, spec.kernel, spec.sparsity,
                                 fast_sizes=fast_sizes) \
             if mode == "fft" else None
+        #: False once an FFT failure degraded this edge to direct
+        #: convolution (the plan is kept: neighbouring spectral-domain
+        #: nodes still finalize through it).
+        self.fft_ok = True
+        #: Called with this edge on first degradation (Network records
+        #: the effective mode in its autotune state).
+        self.on_degrade: Optional[Callable[["ConvEdge"], None]] = None
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Flip this edge to direct convolution after an FFT failure."""
+        self.fft_ok = False
+        get_registry().counter("resilience.fft_fallback").inc()
+        warnings.warn(
+            f"FFT convolution failed on edge {self.name!r} "
+            f"({type(exc).__name__}: {exc}); falling back to direct "
+            "convolution for the rest of the run", RuntimeWarning,
+            stacklevel=3)
+        if self.on_degrade is not None:
+            self.on_degrade(self)
+
+    @property
+    def effective_mode(self) -> str:
+        """The mode actually executing: ``mode`` unless degraded."""
+        return "direct" if self.mode == "direct" or not self.fft_ok \
+            else "fft"
 
     # -- spectra (FFT mode) -------------------------------------------------
 
@@ -147,46 +184,70 @@ class ConvEdge(RuntimeEdge):
     # -- transforms -----------------------------------------------------------
 
     def forward(self, image: np.ndarray) -> np.ndarray:
-        if self.mode == "direct":
-            return correlate_valid(image, self.kernel.array, self.sparsity)
-        product = self.plan.forward_product(self._image_spectrum(image),
-                                            self._kernel_spectrum())
-        if self.dst.forward_domain == "spectral":
-            return product
-        return self.plan.finalize_forward(product)
+        if self.mode == "fft" and self.fft_ok:
+            try:
+                product = self.plan.forward_product(
+                    self._image_spectrum(image), self._kernel_spectrum())
+                if self.dst.forward_domain == "spectral":
+                    return product
+                return self.plan.finalize_forward(product)
+            except Exception as exc:
+                self._degrade(exc)
+        result = correlate_valid(image, self.kernel.array, self.sparsity)
+        if self.mode == "fft" and self.dst.forward_domain == "spectral":
+            # The node sums spectra; contribute the exact spectrum of
+            # the direct result (finalize = inverse + head crop undoes
+            # the zero padding).
+            return forward_transform(result, self.plan.transform_shape)
+        return result
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self.mode == "direct":
-            return conv_backward_input(grad, self.kernel.array, self.sparsity)
-        product = self.plan.backward_product(self._grad_spectrum(grad),
-                                             self._kernel_spectrum())
-        if self.src.backward_domain == "spectral":
-            return product
-        return self.plan.finalize_backward(product)
+        if self.mode == "fft" and self.fft_ok:
+            try:
+                product = self.plan.backward_product(
+                    self._grad_spectrum(grad), self._kernel_spectrum())
+                if self.src.backward_domain == "spectral":
+                    return product
+                return self.plan.finalize_backward(product)
+            except Exception as exc:
+                self._degrade(exc)
+        result = conv_backward_input(grad, self.kernel.array, self.sparsity)
+        if self.mode == "fft" and self.src.backward_domain == "spectral":
+            return forward_transform(result, self.plan.transform_shape)
+        return result
 
     def capture_update(self, optimizer: SGD) -> Callable[[], None]:
         kernel = self.kernel
-        if self.mode == "direct":
-            image = self.src.fwd_image
-            grad = self.dst.bwd_image
-            sparsity = self.sparsity
+        image = self.src.fwd_image
+        grad = self.dst.bwd_image
+        sparsity = self.sparsity
+        if self.mode == "fft" and self.fft_ok:
+            try:
+                # Memoized spectra: both exist in this round's cache
+                # (the forward pass computed FI, this backward pass
+                # computed FdO).
+                plan = self.plan
+                image_spec = self._image_spectrum(image)
+                grad_spec = self._grad_spectrum(grad)
 
-            def update() -> None:
-                g = conv_kernel_gradient(image, grad, sparsity)
-                with kernel.lock:
-                    optimizer.update(kernel.array, g, kernel.state, kernel.eta)
-        else:
-            # Memoized spectra: both exist in this round's cache (the
-            # forward pass computed FI, this backward pass computed FdO).
-            plan = self.plan
-            image_spec = self._image_spectrum(self.src.fwd_image)
-            grad_spec = self._grad_spectrum(self.dst.bwd_image)
+                def update() -> None:
+                    try:
+                        g = plan.finalize_update(
+                            plan.update_product(image_spec, grad_spec))
+                    except Exception as exc:
+                        self._degrade(exc)
+                        g = conv_kernel_gradient(image, grad, sparsity)
+                    with kernel.lock:
+                        optimizer.update(kernel.array, g, kernel.state,
+                                         kernel.eta)
+                return update
+            except Exception as exc:
+                self._degrade(exc)
 
-            def update() -> None:
-                g = plan.finalize_update(plan.update_product(image_spec,
-                                                             grad_spec))
-                with kernel.lock:
-                    optimizer.update(kernel.array, g, kernel.state, kernel.eta)
+        def update() -> None:
+            g = conv_kernel_gradient(image, grad, sparsity)
+            with kernel.lock:
+                optimizer.update(kernel.array, g, kernel.state, kernel.eta)
         return update
 
 

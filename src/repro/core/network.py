@@ -32,16 +32,21 @@ autotuning, Section IV); FFT mode memoizes spectra in a
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.core.edges import RuntimeEdge, SharedKernel, make_runtime_edge
+from repro.core.edges import ConvEdge, RuntimeEdge, SharedKernel, \
+    make_runtime_edge
 from repro.core.loss import Loss, get_loss
 from repro.core.nodes import RuntimeNode
 from repro.core.optimizer import SGD
 from repro.graph.computation_graph import ComputationGraph
 from repro.graph.ordering import backward_priorities, forward_priorities
+from repro.observability.metrics import get_registry
+from repro.resilience.faults import active_plan
+from repro.resilience.retry import RetryPolicy
 from repro.scheduler.engine import LOWEST_PRIORITY, TaskEngine
 from repro.scheduler.serial import SerialEngine
 from repro.scheduler.strategies import make_scheduler
@@ -92,6 +97,11 @@ class Network:
         (:class:`repro.sync.OrderedSum`) so results are bitwise
         identical across worker counts and schedules, at slightly
         higher memory (all contributions held until a node completes).
+    retry_policy:
+        Optional :class:`repro.resilience.RetryPolicy` handed to the
+        engine: failed tasks re-execute with exponential backoff and
+        (threaded engine only) tasks stuck past ``timeout`` are
+        abandoned and re-issued.  See ``docs/robustness.md``.
     """
 
     def __init__(self, graph: ComputationGraph,
@@ -105,7 +115,8 @@ class Network:
                  seed: SeedLike = None,
                  recorder=None,
                  fft_fast_sizes: bool = False,
-                 deterministic_sums: bool = False) -> None:
+                 deterministic_sums: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         graph.validate()
         graph.propagate_shapes(input_shape)
         self.graph = graph
@@ -142,6 +153,9 @@ class Network:
             self.nodes[spec.dst].in_edges.append(edge)
         for node in self.nodes.values():
             node.wire(deterministic=deterministic_sums)
+        for edge in self.edges.values():
+            if isinstance(edge, ConvEdge):
+                edge.on_degrade = self._record_degraded_edge
 
         fp = forward_priorities(graph)
         bp = backward_priorities(graph)
@@ -156,12 +170,31 @@ class Network:
         self.num_workers = int(num_workers)
         if self.num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-        sched = make_scheduler(scheduler, self.num_workers)
         if self.num_workers == 1:
-            self.engine = SerialEngine(scheduler=sched, recorder=recorder)
+            self.engine = SerialEngine(
+                scheduler=make_scheduler(scheduler, 1), recorder=recorder,
+                retry_policy=retry_policy)
         else:
-            self.engine = TaskEngine(self.num_workers, scheduler=sched,
-                                     recorder=recorder).start()
+            try:
+                plan = active_plan()
+                if plan is not None:
+                    plan.check("engine-start", "engine-start")
+                self.engine = TaskEngine(
+                    self.num_workers,
+                    scheduler=make_scheduler(scheduler, self.num_workers),
+                    recorder=recorder, retry_policy=retry_policy).start()
+            except Exception as exc:
+                # Graceful degradation: a broken parallel runtime must
+                # not kill the run — fall back to the serial engine.
+                get_registry().counter("resilience.engine_degraded").inc()
+                warnings.warn(
+                    f"parallel engine failed to start "
+                    f"({type(exc).__name__}: {exc}); degrading to the "
+                    "serial engine", RuntimeWarning, stacklevel=2)
+                self.num_workers = 1
+                self.engine = SerialEngine(
+                    scheduler=make_scheduler(scheduler, 1),
+                    recorder=recorder, retry_policy=retry_policy)
 
         # Round bookkeeping.
         self._lock = threading.Lock()
@@ -309,6 +342,12 @@ class Network:
 
         self.optimizer = dataclasses.replace(self.optimizer,
                                              learning_rate=learning_rate)
+
+    def _record_degraded_edge(self, edge: ConvEdge) -> None:
+        """FFT-fallback hook: keep the autotune state (``conv_modes``)
+        in sync with the mode each edge actually executes, so
+        inspection and re-planning tooling see the truth."""
+        self.conv_modes[edge.name] = "direct"
 
     def set_training(self, training: bool) -> None:
         """Toggle train/inference behaviour of dropout edges."""

@@ -6,49 +6,105 @@ biases) plus momentum velocities and the round counter to a compressed
 architecture (edge names and kernel shapes) does.  The ZNN release
 persisted networks the same way — parameters by edge, architecture from
 the spec file.
+
+Writes are **atomic**: the state is serialized to a temporary file in
+the checkpoint's directory and moved into place with ``os.replace``, so
+a crash mid-save can never leave a torn, unloadable checkpoint — the
+invariant the Trainer's rollback and ``repro train --resume`` depend on
+(see ``docs/robustness.md``).
+
+Velocity keys: a kernel shared by several edges (weight sharing) stores
+its momentum velocity once, under ``kvel::`` + the *alphabetically
+first* sharing edge's name — a stable id, so restoring cannot silently
+drop momentum however the edge dict happens to be ordered.  Bias
+velocities live under ``bvel::`` + edge name.  Checkpoints written by
+older versions (a single order-dependent ``velocity::`` key per
+parameter) still load.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+import re
+import tempfile
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.network import Network
 
-__all__ = ["save_network", "load_network", "network_state"]
+__all__ = [
+    "save_network",
+    "load_network",
+    "network_state",
+    "latest_checkpoint",
+    "load_latest_checkpoint",
+]
 
 _KERNEL = "kernel::"
 _BIAS = "bias::"
-_VELOCITY = "velocity::"
+_KERNEL_VELOCITY = "kvel::"
+_BIAS_VELOCITY = "bvel::"
+_LEGACY_VELOCITY = "velocity::"
 _META = "__meta__"
+
+
+def _kernel_groups(network: Network) -> Dict[int, List[str]]:
+    """id(kernel) -> sorted names of the edges sharing that kernel."""
+    groups: Dict[int, List[str]] = {}
+    for name, edge in network.edges.items():
+        if hasattr(edge, "kernel"):
+            groups.setdefault(id(edge.kernel), []).append(name)
+    return {kid: sorted(names) for kid, names in groups.items()}
 
 
 def network_state(network: Network) -> Dict[str, np.ndarray]:
     """Flat name->array mapping of every persistent quantity."""
     state: Dict[str, np.ndarray] = {}
+    groups = _kernel_groups(network)
     seen_kernels = set()
     for name, edge in network.edges.items():
         if hasattr(edge, "kernel"):
             state[_KERNEL + name] = np.array(edge.kernel.array)
-            if (id(edge.kernel) not in seen_kernels
+            kid = id(edge.kernel)
+            if (kid not in seen_kernels
                     and edge.kernel.state.velocity is not None):
-                state[_VELOCITY + name] = np.array(
+                state[_KERNEL_VELOCITY + groups[kid][0]] = np.array(
                     edge.kernel.state.velocity)
-            seen_kernels.add(id(edge.kernel))
+            seen_kernels.add(kid)
         if hasattr(edge, "bias"):
             state[_BIAS + name] = np.array(edge.bias)
             if isinstance(edge.state.velocity, float):
-                state[_VELOCITY + name] = np.array(edge.state.velocity)
+                state[_BIAS_VELOCITY + name] = np.array(edge.state.velocity)
     state[_META] = np.array([network.rounds], dtype=np.int64)
     return state
 
 
 def save_network(network: Network, path) -> None:
-    """Write a checkpoint; pending updates are drained first so the
-    snapshot is consistent."""
+    """Write a checkpoint atomically; pending updates are drained first
+    so the snapshot is consistent.
+
+    The bytes land in a temporary file in the target directory which is
+    fsynced and then ``os.replace``d over *path*: readers only ever see
+    the old complete checkpoint or the new complete one.
+    """
     network.synchronize()
-    np.savez_compressed(path, **network_state(network))
+    state = network_state(network)
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **state)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
 
 
 def load_network(network: Network, path) -> int:
@@ -58,6 +114,8 @@ def load_network(network: Network, path) -> int:
     checkpoint misses a trainable edge of the network and ``ValueError``
     on shape mismatches.
     """
+    groups = _kernel_groups(network)
+    restored_kernels = set()
     with np.load(path) as data:
         for name, edge in network.edges.items():
             if hasattr(edge, "kernel"):
@@ -70,17 +128,65 @@ def load_network(network: Network, path) -> int:
                         f"kernel {name!r}: checkpoint shape {kernel.shape} "
                         f"!= network {edge.kernel.array.shape}")
                 edge.kernel.array[...] = kernel
-                vkey = _VELOCITY + name
-                if vkey in data:
-                    edge.kernel.state.velocity = np.array(data[vkey])
+                kid = id(edge.kernel)
+                if kid not in restored_kernels:
+                    restored_kernels.add(kid)
+                    members = groups[kid]
+                    vkey = _KERNEL_VELOCITY + members[0]
+                    if vkey in data:
+                        edge.kernel.state.velocity = np.array(data[vkey])
+                    else:
+                        # Legacy checkpoints keyed the velocity under
+                        # whichever sharing edge the saver visited
+                        # first; scan every member.
+                        for member in members:
+                            legacy = _LEGACY_VELOCITY + member
+                            if legacy in data:
+                                edge.kernel.state.velocity = np.array(
+                                    data[legacy])
+                                break
             if hasattr(edge, "bias"):
                 key = _BIAS + name
                 if key not in data:
                     raise KeyError(f"checkpoint missing bias for {name!r}")
                 edge.bias = float(data[key])
-                vkey = _VELOCITY + name
-                if vkey in data:
-                    edge.state.velocity = float(data[vkey])
+                for vkey in (_BIAS_VELOCITY + name, _LEGACY_VELOCITY + name):
+                    if vkey in data:
+                        edge.state.velocity = float(data[vkey])
+                        break
         rounds = int(data[_META][0]) if _META in data else 0
     network.rounds = rounds
     return rounds
+
+
+def latest_checkpoint(directory) -> Optional[str]:
+    """Path of the newest ``.npz`` checkpoint in *directory*, by the
+    round number embedded in the filename (``ckpt-00000042.npz``) with
+    modification time as tiebreaker; None when there is none."""
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return None
+    entries = []
+    for fname in os.listdir(directory):
+        if not fname.endswith(".npz"):
+            continue
+        full = os.path.join(directory, fname)
+        digits = re.findall(r"(\d+)", fname)
+        round_no = int(digits[-1]) if digits else -1
+        entries.append((round_no, os.path.getmtime(full), full))
+    if not entries:
+        return None
+    return max(entries)[2]
+
+
+def load_latest_checkpoint(network: Network, directory) -> Optional[str]:
+    """Restore *network* from the newest checkpoint in *directory*.
+
+    Returns the loaded checkpoint's path, or None when the directory
+    holds no checkpoint (the network is left untouched).
+    """
+    path = latest_checkpoint(directory)
+    if path is None:
+        return None
+    load_network(network, path)
+    return path

@@ -17,6 +17,16 @@ Every executed task feeds the observability registry: per-family
 ``engine.tasks`` counters, ``engine.failed``, and accumulated
 ``engine.busy_seconds`` / ``engine.idle_seconds`` per worker — the live
 counterpart of the utilization quantities behind Figs 5–7.
+
+Beyond the paper, the engine is fault-tolerant (see
+``docs/robustness.md``): an optional
+:class:`repro.resilience.RetryPolicy` re-executes failed tasks with
+exponential backoff (``engine.tasks.retried``) before the failure
+propagates, and its watchdog abandons tasks stuck past ``timeout``
+(``engine.tasks.timed_out``), replacing both the task and the stuck
+worker.  An installed :class:`repro.resilience.FaultPlan` injects
+failures/hangs per task family for chaos testing; with no plan the
+hot path pays a single global read.
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.observability.metrics import Counter, get_registry
+from repro.resilience.faults import active_plan
+from repro.resilience.retry import RetryPolicy, TaskTimeout
 from repro.scheduler.task import Task, force
 from repro.sync.priority_queue import HeapOfLists, QueueClosed
 
@@ -53,6 +65,10 @@ class TaskEngine:
         Scheduling structure implementing ``push(priority, item,
         is_valid)``, ``pop(block, timeout)``, ``close()``.  Defaults to
         a fresh :class:`repro.sync.HeapOfLists`.
+    retry_policy:
+        Optional :class:`repro.resilience.RetryPolicy`.  Without one
+        (the default) the first task failure closes the queue and
+        propagates on :meth:`shutdown`, exactly the paper's behaviour.
 
     Use as a context manager to guarantee shutdown::
 
@@ -63,25 +79,36 @@ class TaskEngine:
 
     def __init__(self, num_workers: int = 1,
                  scheduler: Optional[Any] = None,
-                 recorder: Optional[Any] = None) -> None:
+                 recorder: Optional[Any] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
         self.queue = scheduler if scheduler is not None else HeapOfLists()
         #: Optional repro.scheduler.TraceRecorder logging every task.
         self.recorder = recorder
+        self.retry_policy = retry_policy
         self._threads: List[threading.Thread] = []
+        self._lost_threads: List[threading.Thread] = []
         self._started = False
         self._lock = threading.Lock()
         self._executed = 0
         self._errors: List[BaseException] = []
         self._errors_noted = False
+        self._next_worker = 0
+        #: worker index -> (task, start time), for the watchdog.
+        self._executing: Dict[int, tuple] = {}
+        self._abandoned: set = set()
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
         reg = get_registry()
         self._metrics = reg
         self._m_failed = reg.counter("engine.failed")
         self._m_busy = reg.counter("engine.busy_seconds")
         self._m_idle = reg.counter("engine.idle_seconds")
+        self._m_timed_out = reg.counter("engine.tasks.timed_out")
         self._m_families: Dict[str, Counter] = {}
+        self._m_retried: Dict[str, Counter] = {}
 
     # ------------------------------------------------------------------
 
@@ -90,12 +117,24 @@ class TaskEngine:
             if self._started:
                 return self
             self._started = True
-        for i in range(self.num_workers):
-            t = threading.Thread(target=self._worker_loop,
-                                 name=f"znn-worker-{i}", daemon=True)
-            t.start()
-            self._threads.append(t)
+        for _ in range(self.num_workers):
+            self._spawn_worker()
+        if self.retry_policy is not None and self.retry_policy.timeout:
+            self._watchdog = threading.Thread(target=self._watchdog_loop,
+                                              name="znn-watchdog",
+                                              daemon=True)
+            self._watchdog.start()
         return self
+
+    def _spawn_worker(self) -> None:
+        with self._lock:
+            index = self._next_worker
+            self._next_worker += 1
+        t = threading.Thread(target=self._worker_loop,
+                             name=f"znn-worker-{index}", daemon=True)
+        t.start()
+        with self._lock:
+            self._threads.append(t)
 
     def shutdown(self) -> None:
         """Close the queue and join all workers.
@@ -103,11 +142,24 @@ class TaskEngine:
         If workers failed, the first exception is raised with every
         later one attached as an exception note (so multi-worker
         failures are not swallowed) and available via :attr:`errors`.
+        Workers abandoned by the watchdog are daemon threads and are
+        only joined briefly — a genuinely hung body cannot block
+        shutdown.
         """
         self.queue.close()
-        for t in self._threads:
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join()
+            self._watchdog = None
+        with self._lock:
+            threads = list(self._threads)
+            self._threads.clear()
+            lost = list(self._lost_threads)
+            self._lost_threads.clear()
+        for t in threads:
             t.join()
-        self._threads.clear()
+        for t in lost:
+            t.join(timeout=0.1)
         if self._errors:
             primary = self._errors[0]
             with self._lock:
@@ -166,6 +218,16 @@ class TaskEngine:
             self._m_families[family] = counter
         return counter
 
+    def _retried_counter(self, family: str) -> Counter:
+        counter = self._m_retried.get(family)
+        if counter is None:
+            counter = self._metrics.counter("engine.tasks.retried",
+                                            family=family)
+            self._m_retried[family] = counter
+        return counter
+
+    # ------------------------------------------------------------------
+
     def _worker_loop(self) -> None:
         worker_index = int(threading.current_thread().name.rsplit("-", 1)[-1])
         t_wait = time.perf_counter()
@@ -181,23 +243,111 @@ class TaskEngine:
             self._m_idle.inc(t0 - t_wait)
             queue_wait = t0 - task.queued_at if task.queued_at else 0.0
             error: Optional[BaseException] = None
+            executed = False
+            with self._lock:
+                self._executing[worker_index] = (task, t0)
             try:
-                task.execute()
+                plan = active_plan()
+                if plan is not None:
+                    plan.check(task_family(task.name), task.name)
+                # An injected hang may have let the watchdog abandon
+                # this task; the replacement owns it now.
+                if not task.abandoned:
+                    task.execute()
+                    executed = True
             except BaseException as exc:  # propagate via shutdown()
                 error = exc
+            finally:
+                with self._lock:
+                    self._executing.pop(worker_index, None)
+                    worker_abandoned = worker_index in self._abandoned
             t1 = time.perf_counter()
             self._m_busy.inc(t1 - t0)
-            self._family_counter(task_family(task.name)).inc()
-            if self.recorder is not None:
-                self.recorder.record(task.name, worker_index, t0, t1,
-                                     queue_wait=queue_wait,
-                                     status="ok" if error is None else "error")
+            family = task_family(task.name)
+            self._family_counter(family).inc()
+            if worker_abandoned:
+                # The watchdog spawned a replacement worker while this
+                # one was stuck; it has already accounted for the task.
+                return
             if error is not None:
+                if (self.retry_policy is not None
+                        and self.retry_policy.should_retry(error,
+                                                           task.attempts)
+                        and task.reset_for_retry()):
+                    self._retried_counter(family).inc()
+                    if self.recorder is not None:
+                        self.recorder.record(task.name, worker_index, t0, t1,
+                                             queue_wait=queue_wait,
+                                             status="retried")
+                    time.sleep(self.retry_policy.backoff(task.attempts - 1))
+                    try:
+                        self.submit(task)
+                    except QueueClosed:
+                        pass  # another worker failed fatally; so do we
+                    else:
+                        t_wait = time.perf_counter()
+                        continue
                 self._m_failed.inc()
+                if self.recorder is not None:
+                    self.recorder.record(task.name, worker_index, t0, t1,
+                                         queue_wait=queue_wait,
+                                         status="error")
                 with self._lock:
                     self._errors.append(error)
                 self.queue.close()
                 return
-            with self._lock:
-                self._executed += 1
+            if self.recorder is not None:
+                self.recorder.record(task.name, worker_index, t0, t1,
+                                     queue_wait=queue_wait, status="ok")
+            if executed:
+                with self._lock:
+                    self._executed += 1
             t_wait = t1  # idle clock restarts where the task ended
+
+    # -- watchdog ------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        timeout = self.retry_policy.timeout
+        interval = max(min(timeout / 4.0, 0.05), 0.001)
+        while not self._watchdog_stop.wait(interval):
+            now = time.perf_counter()
+            with self._lock:
+                overdue = [(w, task) for w, (task, t0)
+                           in self._executing.items()
+                           if now - t0 > timeout]
+            for worker_index, task in overdue:
+                self._handle_timeout(worker_index, task)
+
+    def _handle_timeout(self, worker_index: int, task: Task) -> None:
+        """Abandon a stuck (task, worker) pair; speculatively re-submit
+        the task on a fresh worker while retry budget remains, else
+        record a :class:`TaskTimeout` and close the queue."""
+        with self._lock:
+            if worker_index in self._abandoned:
+                return
+            current = self._executing.get(worker_index)
+            if current is None or current[0] is not task:
+                return  # finished between scan and handling
+            self._abandoned.add(worker_index)
+            task.abandoned = True
+            self._executing.pop(worker_index, None)
+            name = f"znn-worker-{worker_index}"
+            for t in list(self._threads):
+                if t.name == name:
+                    self._threads.remove(t)
+                    self._lost_threads.append(t)
+        self._m_timed_out.inc()
+        timeout_error = TaskTimeout(
+            f"task {task.name!r} exceeded {self.retry_policy.timeout}s "
+            f"(attempt {task.attempts + 1})")
+        if self.retry_policy.should_retry(timeout_error, task.attempts):
+            self._retried_counter(task_family(task.name)).inc()
+            self._spawn_worker()
+            try:
+                self.submit(task.clone_for_retry())
+            except QueueClosed:
+                pass
+            return
+        with self._lock:
+            self._errors.append(timeout_error)
+        self.queue.close()

@@ -4,6 +4,13 @@ Executes the same task objects as :class:`repro.scheduler.TaskEngine`
 but on the calling thread, draining the queue in priority order.  This
 is both the speedup denominator of Section VIII and a deterministic
 execution mode that makes unit-testing the graph logic easy.
+
+Like the threaded engine it honours an optional
+:class:`repro.resilience.RetryPolicy` (failed tasks re-execute in place
+after backoff) and an installed :class:`repro.resilience.FaultPlan`.
+A serial engine cannot preempt its own thread, so ``timeout`` is
+advisory here: overruns are counted in ``engine.tasks.timed_out`` but
+never abort the task.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ import time
 from typing import Any, Callable, Optional
 
 from repro.observability.metrics import get_registry
+from repro.resilience.faults import active_plan
+from repro.resilience.retry import RetryPolicy
 from repro.scheduler.task import Task, force
 from repro.sync.priority_queue import HeapOfLists
 
@@ -28,17 +37,21 @@ class SerialEngine:
     """
 
     def __init__(self, scheduler: Optional[Any] = None,
-                 recorder: Optional[Any] = None) -> None:
+                 recorder: Optional[Any] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.num_workers = 1
         self.queue = scheduler if scheduler is not None else HeapOfLists()
         #: Optional repro.scheduler.TraceRecorder logging every task.
         self.recorder = recorder
+        self.retry_policy = retry_policy
         self._executed = 0
         reg = get_registry()
         self._metrics = reg
         self._m_failed = reg.counter("engine.failed")
         self._m_busy = reg.counter("engine.busy_seconds")
+        self._m_timed_out = reg.counter("engine.tasks.timed_out")
         self._m_families: dict = {}
+        self._m_retried: dict = {}
 
     def start(self) -> "SerialEngine":
         return self
@@ -69,38 +82,70 @@ class SerialEngine:
               name: str = "") -> None:
         force(update_task, Task(fn, name=name))
 
+    def _retried_counter(self, family: str):
+        counter = self._m_retried.get(family)
+        if counter is None:
+            counter = self._metrics.counter("engine.tasks.retried",
+                                            family=family)
+            self._m_retried[family] = counter
+        return counter
+
     def run_until_idle(self) -> int:
         """Execute queued tasks (and everything they spawn) to quiescence.
 
-        Returns the number of tasks executed by this call.
+        Returns the number of tasks executed by this call.  With a
+        retry policy, a failing task re-executes in place (after
+        backoff) until it succeeds or the retry budget is exhausted;
+        only then does the failure propagate.
         """
         from repro.scheduler.engine import task_family
 
+        policy = self.retry_policy
         count = 0
         while True:
             try:
                 _, task = self.queue.pop(block=False)
             except IndexError:
                 break
-            t0 = time.perf_counter()
-            queue_wait = t0 - task.queued_at if task.queued_at else 0.0
-            try:
-                task.execute()
-            except BaseException:
-                # Record the failure before propagating so traces don't
-                # silently under-count work.
-                t1 = time.perf_counter()
-                self._m_busy.inc(t1 - t0)
-                self._m_failed.inc()
-                if self.recorder is not None:
-                    self.recorder.record(task.name, 0, t0, t1,
-                                         queue_wait=queue_wait,
-                                         status="error")
-                self._executed += count
-                raise
+            family = task_family(task.name)
+            while True:
+                t0 = time.perf_counter()
+                queue_wait = t0 - task.queued_at if task.queued_at else 0.0
+                try:
+                    plan = active_plan()
+                    if plan is not None:
+                        plan.check(family, task.name)
+                    task.execute()
+                except BaseException as exc:
+                    t1 = time.perf_counter()
+                    self._m_busy.inc(t1 - t0)
+                    if (policy is not None
+                            and policy.should_retry(exc, task.attempts)
+                            and task.reset_for_retry()):
+                        self._retried_counter(family).inc()
+                        if self.recorder is not None:
+                            self.recorder.record(task.name, 0, t0, t1,
+                                                 queue_wait=queue_wait,
+                                                 status="retried")
+                        time.sleep(policy.backoff(task.attempts - 1))
+                        task.mark_queued()  # re-execute in place
+                        continue
+                    # Record the failure before propagating so traces
+                    # don't silently under-count work.
+                    self._m_failed.inc()
+                    if self.recorder is not None:
+                        self.recorder.record(task.name, 0, t0, t1,
+                                             queue_wait=queue_wait,
+                                             status="error")
+                    self._executed += count
+                    raise
+                break
             t1 = time.perf_counter()
             self._m_busy.inc(t1 - t0)
-            family = task_family(task.name)
+            if policy is not None and policy.timeout is not None \
+                    and t1 - t0 > policy.timeout:
+                # Advisory only: the serial engine cannot preempt itself.
+                self._m_timed_out.inc()
             counter = self._m_families.get(family)
             if counter is None:
                 counter = self._metrics.counter("engine.tasks", family=family)

@@ -62,7 +62,7 @@ class Task:
     """
 
     __slots__ = ("fn", "priority", "name", "task_id", "queued_at",
-                 "_state", "_lock", "_attached")
+                 "attempts", "abandoned", "_state", "_lock", "_attached")
 
     def __init__(self, fn: Callable[[], Any], priority: int = 0,
                  name: str = "") -> None:
@@ -73,6 +73,11 @@ class Task:
         #: perf_counter timestamp set by the engine at submit time; the
         #: worker that pops the task derives its queue wait from it.
         self.queued_at: Optional[float] = None
+        #: Failed execution attempts so far (retry bookkeeping).
+        self.attempts = 0
+        #: Set by the watchdog when the task overran its timeout and a
+        #: replacement was issued; the stuck worker must not execute it.
+        self.abandoned = False
         self._state = TaskState.PENDING
         self._lock = threading.Lock()
         self._attached: Optional["Task"] = None
@@ -125,6 +130,33 @@ class Task:
                     f"task {self.name!r} already has an attached subtask")
             self._attached = subtask
             return True
+
+    # -- retry support ---------------------------------------------------
+
+    def reset_for_retry(self) -> bool:
+        """Return a failed task to PENDING so the engine can re-submit
+        it (counting the attempt).
+
+        Succeeds only when the failure happened in *this* task's body
+        (state QUEUED — the injected-fault-before-begin case — or
+        EXECUTING).  A COMPLETED task whose *attached* subtask failed is
+        not resettable: re-running it would double-execute the parent
+        body.
+        """
+        with self._lock:
+            if self._state not in (TaskState.QUEUED, TaskState.EXECUTING):
+                return False
+            self._state = TaskState.PENDING
+            self.attempts += 1
+            return True
+
+    def clone_for_retry(self) -> "Task":
+        """A fresh task with the same body for speculative re-execution
+        after a timeout (the original may still be running; its state
+        machine must stay untouched)."""
+        clone = Task(self.fn, priority=self.priority, name=self.name)
+        clone.attempts = self.attempts + 1
+        return clone
 
     # -- execution -------------------------------------------------------
 

@@ -30,6 +30,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.resilience.faults import active_plan
 from repro.tensor.conv_direct import dilate_kernel
 from repro.tensor.fourier import (
     crop_head,
@@ -166,16 +167,25 @@ class FftConvPlan:
                         kernel_spec: np.ndarray) -> np.ndarray:
         """Spectrum of the valid correlation (to be node-summed, then
         finalised with :meth:`finalize_forward`)."""
+        fault = active_plan()
+        if fault is not None:
+            fault.check("fft", "fft:forward_product")
         return np.conj(kernel_spec) * image_spec
 
     def backward_product(self, grad_spec: np.ndarray,
                          kernel_spec: np.ndarray) -> np.ndarray:
         """Spectrum of the full convolution of the output gradient."""
+        fault = active_plan()
+        if fault is not None:
+            fault.check("fft", "fft:backward_product")
         return kernel_spec * grad_spec
 
     def update_product(self, image_spec: np.ndarray,
                        grad_spec: np.ndarray) -> np.ndarray:
         """Spectrum whose inverse holds the kernel gradient lags."""
+        fault = active_plan()
+        if fault is not None:
+            fault.check("fft", "fft:update_product")
         return np.conj(grad_spec) * image_spec
 
     # -- finalisers (inverse transform + crop), applied once per node sum ----

@@ -45,7 +45,36 @@ class TestState:
         net = make_net(momentum=0.9)
         train_a_bit(net, rng)
         state = network_state(net)
-        assert any(k.startswith("velocity::") for k in state)
+        assert any(k.startswith("kvel::") for k in state)
+        assert any(k.startswith("bvel::") for k in state)
+
+    def test_no_velocity_without_momentum(self, rng):
+        net = make_net(momentum=0.0)
+        train_a_bit(net, rng)
+        state = network_state(net)
+        assert not any(k.startswith(("kvel::", "bvel::", "velocity::"))
+                       for k in state)
+
+    def test_shared_kernel_velocity_keyed_by_first_sharing_edge(self, rng):
+        graph = build_layered_network("CTC", width=2, kernel=2,
+                                      transfer="tanh")
+        net = Network(graph, input_shape=(8, 8, 8), seed=0,
+                      optimizer=SGD(learning_rate=0.05, momentum=0.9))
+        # The first layer's edges (input -> both width-2 nodes) have
+        # equal kernel shapes; share them in *reverse* name order so a
+        # stable key cannot come from dict/iteration order by accident.
+        first_layer = sorted(n for n in net.edges
+                             if n.startswith("conv_L1_"))[::-1]
+        assert len(first_layer) >= 2
+        net.share_kernels(first_layer)
+        train_a_bit(net, rng)
+        state = network_state(net)
+        canonical = sorted(first_layer)[0]
+        assert f"kvel::{canonical}" in state
+        # The velocity of a shared kernel is stored exactly once.
+        others = [n for n in first_layer if n != canonical]
+        for name in others:
+            assert f"kvel::{name}" not in state
 
 
 class TestRoundtrip:
@@ -89,6 +118,91 @@ class TestRoundtrip:
         b = fresh.forward(x)
         for k in a:
             np.testing.assert_array_equal(a[k], b[k])
+
+
+class TestAtomicWrites:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        net = make_net()
+        save_network(net, tmp_path / "ckpt.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+    def test_failed_save_preserves_previous_checkpoint(self, rng, tmp_path,
+                                                       monkeypatch):
+        import repro.core.serialization as ser
+
+        net = make_net(seed=1)
+        path = tmp_path / "ckpt.npz"
+        save_network(net, path)
+        good = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ser.np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            save_network(net, path)
+        # The old checkpoint is untouched and no temp residue remains.
+        assert path.read_bytes() == good
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+
+class TestLatestCheckpoint:
+    def test_empty_or_missing_directory(self, tmp_path):
+        from repro.core import latest_checkpoint, load_latest_checkpoint
+
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "nope") is None
+        net = make_net()
+        assert load_latest_checkpoint(net, tmp_path) is None
+
+    def test_picks_highest_round_number(self, tmp_path):
+        from repro.core import latest_checkpoint
+
+        net = make_net()
+        for r in (2, 10, 9):  # lexicographic order would pick 9
+            net.rounds = r
+            save_network(net, tmp_path / f"ckpt-{r:08d}.npz")
+        assert latest_checkpoint(tmp_path).endswith("ckpt-00000010.npz")
+
+    def test_load_latest_restores_rounds(self, rng, tmp_path):
+        from repro.core import load_latest_checkpoint
+
+        net = make_net(seed=1)
+        train_a_bit(net, rng)
+        save_network(net, tmp_path / f"ckpt-{net.rounds:08d}.npz")
+        fresh = make_net(seed=2)
+        path = load_latest_checkpoint(fresh, tmp_path)
+        assert path is not None
+        assert fresh.rounds == net.rounds
+        for name, edge in net.edges.items():
+            if hasattr(edge, "kernel"):
+                np.testing.assert_array_equal(
+                    edge.kernel.array, fresh.edges[name].kernel.array)
+
+
+class TestLegacyVelocityKeys:
+    def test_legacy_velocity_keys_still_load(self, rng, tmp_path):
+        net = make_net(seed=1, momentum=0.9)
+        train_a_bit(net, rng)
+        state = network_state(net)
+        legacy = {}
+        for key, value in state.items():
+            if key.startswith("kvel::") or key.startswith("bvel::"):
+                legacy["velocity::" + key.split("::", 1)[1]] = value
+            else:
+                legacy[key] = value
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, **legacy)
+
+        fresh = make_net(seed=2, momentum=0.9)
+        load_network(fresh, path)
+        for name, edge in net.edges.items():
+            other = fresh.edges[name]
+            if hasattr(edge, "kernel") and edge.kernel.state.velocity is not None:
+                np.testing.assert_array_equal(
+                    edge.kernel.state.velocity, other.kernel.state.velocity)
+            if hasattr(edge, "bias"):
+                assert edge.state.velocity == other.state.velocity
 
 
 class TestErrors:

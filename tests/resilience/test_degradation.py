@@ -1,0 +1,135 @@
+"""Graceful degradation: FFT→direct fallback and engine fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core import Network, SGD
+from repro.graph import build_layered_network
+from repro.observability import MetricsRegistry, set_registry
+from repro.resilience import FaultPlan, clear_plan, install_plan
+from repro.scheduler import SerialEngine
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def make_net(conv_mode, seed=0, num_workers=1):
+    graph = build_layered_network("CTC", width=2, kernel=2,
+                                  transfer="tanh")
+    return Network(graph, input_shape=(8, 8, 8), seed=seed,
+                   conv_mode=conv_mode, num_workers=num_workers,
+                   optimizer=SGD(learning_rate=0.01, momentum=0.9))
+
+
+class TestFftFallback:
+    def test_forward_fault_degrades_edge_and_matches_direct(self, rng,
+                                                            registry):
+        x = rng.standard_normal((8, 8, 8))
+        reference = make_net("direct", seed=5).forward(x)
+
+        install_plan(FaultPlan.from_string("fail:fft:1"))
+        net = make_net("fft", seed=5)
+        with pytest.warns(RuntimeWarning, match="falling back to direct"):
+            out = net.forward(x)
+        degraded = [name for name, e in net.edges.items()
+                    if getattr(e, "mode", None) == "fft" and not e.fft_ok]
+        assert len(degraded) == 1
+        # The autotune state records the mode actually executing.
+        assert net.conv_modes[degraded[0]] == "direct"
+        assert net.edges[degraded[0]].effective_mode == "direct"
+        assert registry.snapshot()["resilience.fft_fallback"] == 1
+        # The fallback contribution is exact: outputs match the
+        # direct-mode network (other edges still ran FFT).
+        for name in reference:
+            np.testing.assert_allclose(out[name], reference[name],
+                                       atol=1e-10)
+
+    def test_training_continues_through_fft_faults(self, rng, registry):
+        install_plan(FaultPlan.from_string("fail:fft:2,fail:fft:5"))
+        net = make_net("fft", seed=1)
+        x = rng.standard_normal((8, 8, 8))
+        t = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+        with pytest.warns(RuntimeWarning):
+            for _ in range(3):
+                loss = net.train_step(x, t)
+                assert np.isfinite(loss)
+        net.synchronize()
+        assert registry.snapshot()["resilience.fft_fallback"] >= 1
+
+    def test_degraded_edge_stays_direct(self, rng):
+        install_plan(FaultPlan.from_string("fail:fft:1"))
+        net = make_net("fft", seed=2)
+        x = rng.standard_normal((8, 8, 8))
+        with pytest.warns(RuntimeWarning):
+            net.forward(x)
+        install_plan(FaultPlan.from_string("fail:nothing:1"))
+        net.forward(x)  # no further faults, no further warnings
+        # The degraded edge never re-enters the FFT path, so the "fft"
+        # family sees fewer checks than a healthy network would make.
+        assert any(not e.fft_ok for e in net.edges.values()
+                   if getattr(e, "mode", None) == "fft")
+
+    def test_gradients_stay_correct_after_degradation(self, rng):
+        """Training after a backward-pass degradation converges on the
+        same parameters as a direct-mode twin."""
+        x = rng.standard_normal((8, 8, 8))
+        t = None
+
+        def run(conv_mode, plan_text=None):
+            clear_plan()
+            if plan_text:
+                install_plan(FaultPlan.from_string(plan_text))
+            net = make_net(conv_mode, seed=7)
+            nonlocal t
+            if t is None:
+                t = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+            for _ in range(2):
+                net.train_step(x, t)
+            net.synchronize()
+            return net.kernels()
+
+        # "1x500" fails every fft product check, degrading every site
+        direct = run("direct")
+        with pytest.warns(RuntimeWarning):
+            chaos = run("fft", "fail:fft:1x500")
+        for name in direct:
+            np.testing.assert_allclose(chaos[name], direct[name],
+                                       atol=1e-10)
+
+
+class TestEngineDegradation:
+    def test_engine_start_fault_degrades_to_serial(self, registry):
+        install_plan(FaultPlan.from_string("fail:engine-start:1"))
+        with pytest.warns(RuntimeWarning, match="degrading to the serial"):
+            net = make_net("direct", num_workers=4)
+        assert isinstance(net.engine, SerialEngine)
+        assert net.num_workers == 1
+        assert registry.snapshot()["resilience.engine_degraded"] == 1
+
+    def test_degraded_network_still_trains(self, rng, registry):
+        install_plan(FaultPlan.from_string("fail:engine-start:1"))
+        with pytest.warns(RuntimeWarning):
+            net = make_net("direct", num_workers=4)
+        x = rng.standard_normal((8, 8, 8))
+        t = {n.name: np.zeros(n.shape) for n in net.output_nodes}
+        loss = net.train_step(x, t)
+        assert np.isfinite(loss)
+        net.close()
+
+    def test_no_fault_keeps_parallel_engine(self):
+        net = make_net("direct", num_workers=2)
+        assert not isinstance(net.engine, SerialEngine)
+        assert net.num_workers == 2
+        net.close()

@@ -1,0 +1,171 @@
+"""Fault-injection plan tests: parsing, determinism, injection sites."""
+
+import time
+
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    install_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_global_plan():
+    """Every test starts and ends with injection off."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultSpecParsing:
+    def test_kind_and_family(self):
+        spec = FaultSpec.parse("fail:fwd")
+        assert (spec.kind, spec.family) == ("fail", "fwd")
+        assert spec.occurrence == 1 and spec.count == 1 and spec.rate is None
+
+    def test_occurrence(self):
+        spec = FaultSpec.parse("hang:upd:3")
+        assert spec.occurrence == 3 and spec.count == 1
+
+    def test_occurrence_with_count(self):
+        spec = FaultSpec.parse("fail:bwd:2x4")
+        assert spec.occurrence == 2 and spec.count == 4
+
+    def test_rate(self):
+        spec = FaultSpec.parse("fail:fwd:~0.25")
+        assert spec.rate == 0.25
+
+    @pytest.mark.parametrize("bad", [
+        "fail", "explode:fwd", "fail::", "fail:fwd:0", "fail:fwd:~1.5",
+        "fail:fwd:1:2",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+    def test_plan_string_with_options(self):
+        plan = FaultPlan.from_string("fail:fwd:3,corrupt:loss:2,"
+                                     "hang=0.05,seed=7")
+        assert len(plan.specs) == 2
+        assert plan.hang_seconds == 0.05
+        assert plan.seed == 7
+
+    def test_plan_string_without_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_string("seed=3")
+
+
+class TestTriggering:
+    def test_fail_on_nth_occurrence_only(self):
+        plan = FaultPlan([FaultSpec.parse("fail:fwd:3")])
+        plan.check("fwd")
+        plan.check("fwd")
+        with pytest.raises(InjectedFault):
+            plan.check("fwd", name="fwd:conv_L1_0_0")
+        plan.check("fwd")  # past the window: clean again
+        assert plan.occurrences("fwd") == 4
+        assert [e.occurrence for e in plan.events] == [3]
+
+    def test_families_counted_independently(self):
+        plan = FaultPlan([FaultSpec.parse("fail:fwd:2")])
+        plan.check("bwd")
+        plan.check("fwd")
+        plan.check("bwd")
+        with pytest.raises(InjectedFault):
+            plan.check("fwd")
+
+    def test_count_window(self):
+        plan = FaultPlan([FaultSpec.parse("fail:upd:2x2")])
+        plan.check("upd")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.check("upd")
+        plan.check("upd")
+
+    def test_hang_sleeps(self):
+        plan = FaultPlan([FaultSpec.parse("hang:fwd:1")], hang_seconds=0.05)
+        t0 = time.perf_counter()
+        plan.check("fwd")  # no exception
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_corrupt_only_fires_on_values(self):
+        import math
+
+        plan = FaultPlan([FaultSpec.parse("corrupt:loss:2")])
+        plan.check("loss")  # occurrence 1; corrupt never raises in check()
+        assert math.isnan(plan.corrupt("loss", 1.25))  # occurrence 2
+        events = plan.events
+        assert len(events) == 1 and events[0].kind == "corrupt"
+
+    def test_corrupt_returns_nan_then_passthrough(self):
+        import math
+
+        plan = FaultPlan([FaultSpec.parse("corrupt:loss:1")])
+        assert math.isnan(plan.corrupt("loss", 3.0))
+        assert plan.corrupt("loss", 3.0) == 3.0
+
+    def test_probabilistic_replay_is_deterministic(self):
+        def run(seed):
+            plan = FaultPlan([FaultSpec.parse("fail:fwd:~0.3")], seed=seed)
+            fired = []
+            for i in range(50):
+                try:
+                    plan.check("fwd")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert any(run(7))
+
+
+class TestGlobalPlan:
+    def test_off_by_default(self):
+        assert active_plan() is None
+
+    def test_install_and_clear(self):
+        plan = FaultPlan([FaultSpec.parse("fail:fwd:1")])
+        install_plan(plan)
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is None
+
+    def test_env_resolution(self, monkeypatch):
+        import repro.resilience.faults as faults
+
+        monkeypatch.setenv("REPRO_FAULTS", "fail:fwd:2,seed=3")
+        monkeypatch.setattr(faults, "_plan", None)
+        monkeypatch.setattr(faults, "_env_resolved", False)
+        plan = active_plan()
+        assert plan is not None
+        assert plan.seed == 3
+        clear_plan()
+
+    def test_empty_env_means_off(self, monkeypatch):
+        import repro.resilience.faults as faults
+
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        monkeypatch.setattr(faults, "_plan", None)
+        monkeypatch.setattr(faults, "_env_resolved", False)
+        assert active_plan() is None
+
+    def test_injected_counter(self):
+        from repro.observability import MetricsRegistry, set_registry
+
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            plan = FaultPlan([FaultSpec.parse("fail:fwd:1")])
+            with pytest.raises(InjectedFault):
+                plan.check("fwd")
+            snap = fresh.snapshot()
+            assert snap["resilience.faults_injected"] == 1
+        finally:
+            set_registry(previous)

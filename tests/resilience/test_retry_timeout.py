@@ -1,0 +1,239 @@
+"""Retry policy, engine retry paths, and the watchdog timeout."""
+
+import threading
+import time
+
+import pytest
+
+from repro.observability import MetricsRegistry, set_registry
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    TaskTimeout,
+    clear_plan,
+    install_plan,
+)
+from repro.scheduler import SerialEngine, TaskEngine
+
+
+@pytest.fixture(autouse=True)
+def no_global_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+@pytest.fixture
+def registry():
+    """Fresh metrics registry installed around each test, so engines
+    built inside the test bind their counters to it."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def metric_total(registry, family):
+    return sum(value for name, value in registry.snapshot().items()
+               if name.partition("{")[0] == family)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_seconds=0.1, backoff_factor=2.0,
+                             max_backoff_seconds=0.25)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.25)  # capped
+
+    def test_should_retry_respects_budget_and_types(self):
+        policy = RetryPolicy(max_retries=2, retry_on=(ValueError,))
+        assert policy.should_retry(ValueError(), 0)
+        assert policy.should_retry(ValueError(), 1)
+        assert not policy.should_retry(ValueError(), 2)
+        assert not policy.should_retry(KeyError(), 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+
+def fail_n_times(n, exc=RuntimeError):
+    """A task body that raises on its first *n* calls then succeeds."""
+    calls = []
+
+    def body():
+        calls.append(None)
+        if len(calls) <= n:
+            raise exc(f"transient #{len(calls)}")
+    body.calls = calls
+    return body
+
+
+FAST = RetryPolicy(max_retries=2, backoff_seconds=0.001,
+                   max_backoff_seconds=0.01)
+
+
+class TestSerialEngineRetry:
+    def test_transient_failure_retries_to_success(self, registry):
+        engine = SerialEngine(retry_policy=FAST)
+        body = fail_n_times(2)
+        engine.spawn(body, name="fwd:e1")
+        assert engine.run_until_idle() == 1
+        assert len(body.calls) == 3
+        assert metric_total(registry, "engine.tasks.retried") == 2
+
+    def test_budget_exhaustion_raises(self, registry):
+        engine = SerialEngine(retry_policy=FAST)
+        body = fail_n_times(3)
+        engine.spawn(body, name="fwd:e1")
+        with pytest.raises(RuntimeError, match="transient #3"):
+            engine.run_until_idle()
+        assert metric_total(registry, "engine.failed") == 1
+
+    def test_no_policy_fails_immediately(self, registry):
+        engine = SerialEngine()
+        body = fail_n_times(1)
+        engine.spawn(body, name="fwd:e1")
+        with pytest.raises(RuntimeError, match="transient #1"):
+            engine.run_until_idle()
+        assert len(body.calls) == 1
+
+    def test_injected_fault_is_retried(self, registry):
+        install_plan(FaultPlan([FaultSpec.parse("fail:fwd:1")]))
+        engine = SerialEngine(retry_policy=FAST)
+        ran = []
+        engine.spawn(lambda: ran.append(1), name="fwd:e1")
+        engine.run_until_idle()
+        assert ran == [1]
+        assert metric_total(registry, "engine.tasks.retried") == 1
+
+    def test_advisory_timeout_counts_but_completes(self, registry):
+        policy = RetryPolicy(timeout=0.005)
+        engine = SerialEngine(retry_policy=policy)
+        engine.spawn(lambda: time.sleep(0.02), name="fwd:slow")
+        assert engine.run_until_idle() == 1
+        assert metric_total(registry, "engine.tasks.timed_out") == 1
+
+
+class TestTaskEngineRetry:
+    def test_transient_failure_retries_to_success(self, registry):
+        done = threading.Event()
+        calls = []
+
+        def body():
+            calls.append(None)
+            if len(calls) <= 2:
+                raise RuntimeError("transient")
+            done.set()
+
+        with TaskEngine(num_workers=2, retry_policy=FAST) as engine:
+            engine.spawn(body, name="fwd:e1")
+            assert done.wait(timeout=5)
+        assert engine.errors == []
+        assert metric_total(registry, "engine.tasks.retried") == 2
+
+    def test_budget_exhaustion_propagates(self, registry):
+        engine = TaskEngine(num_workers=2, retry_policy=FAST).start()
+        engine.spawn(fail_n_times(10), name="fwd:e1")
+        time.sleep(0.2)
+        with pytest.raises(RuntimeError, match="transient"):
+            engine.shutdown()
+        assert metric_total(registry, "engine.tasks.retried") == 2
+
+    def test_injected_fault_is_retried(self, registry):
+        install_plan(FaultPlan([FaultSpec.parse("fail:fwd:1")]))
+        done = threading.Event()
+        with TaskEngine(num_workers=2, retry_policy=FAST) as engine:
+            engine.spawn(done.set, name="fwd:e1")
+            assert done.wait(timeout=5)
+        assert engine.errors == []
+        assert metric_total(registry, "resilience.faults_injected") == 1
+
+
+class TestWatchdogTimeout:
+    def test_hung_task_reissued_and_run_completes(self, registry):
+        install_plan(FaultPlan([FaultSpec.parse("hang:fwd:1")],
+                               hang_seconds=5.0))
+        policy = RetryPolicy(max_retries=2, backoff_seconds=0.001,
+                             timeout=0.05)
+        done = threading.Event()
+        engine = TaskEngine(num_workers=1, retry_policy=policy).start()
+        engine.spawn(done.set, name="fwd:e1")
+        # The first attempt hangs in the injected fault; the watchdog
+        # abandons it and a replacement worker runs the clone.
+        assert done.wait(timeout=5)
+        engine.shutdown()
+        assert engine.errors == []
+        assert metric_total(registry, "engine.tasks.timed_out") == 1
+        assert metric_total(registry, "engine.tasks.retried") >= 1
+
+    def test_timeout_without_budget_is_fatal(self, registry):
+        install_plan(FaultPlan([FaultSpec.parse("hang:fwd:1x5")],
+                               hang_seconds=5.0))
+        policy = RetryPolicy(max_retries=0, backoff_seconds=0.001,
+                             timeout=0.05)
+        engine = TaskEngine(num_workers=1, retry_policy=policy).start()
+        engine.spawn(lambda: None, name="fwd:e1")
+        deadline = time.time() + 5
+        while not engine.errors and time.time() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(TaskTimeout):
+            engine.shutdown()
+
+    def test_shutdown_not_blocked_by_hung_worker(self, registry):
+        install_plan(FaultPlan([FaultSpec.parse("hang:fwd:1x10")],
+                               hang_seconds=2.0))
+        policy = RetryPolicy(max_retries=0, timeout=0.05)
+        engine = TaskEngine(num_workers=1, retry_policy=policy).start()
+        engine.spawn(lambda: None, name="fwd:e1")
+        deadline = time.time() + 5
+        while not engine.errors and time.time() < deadline:
+            time.sleep(0.01)
+        t0 = time.perf_counter()
+        with pytest.raises(TaskTimeout):
+            engine.shutdown()
+        # Hung workers are daemon threads joined only briefly.
+        assert time.perf_counter() - t0 < 1.0
+
+
+class TestAttachedSubtaskNotRetried:
+    def test_failure_in_attached_subtask_is_fatal(self, registry):
+        """A failing *attached* subtask must not re-run its COMPLETED
+        parent: reset_for_retry refuses and the error propagates."""
+        from repro.scheduler import LOWEST_PRIORITY, Task
+
+        started = threading.Event()
+        release = threading.Event()
+        upd_runs = []
+
+        def upd_body():
+            upd_runs.append(1)
+            started.set()
+            release.wait(5)
+
+        engine = TaskEngine(num_workers=2, retry_policy=FAST).start()
+        upd = Task(upd_body, priority=LOWEST_PRIORITY, name="upd:e1")
+        engine.submit(upd)
+
+        def fwd():
+            assert started.wait(5)
+            # upd is EXECUTING: the failing subtask attaches to it and
+            # runs on the updating worker once the body completes.
+            engine.force(upd, lambda: 1 / 0, name="do-fwd:e1")
+            release.set()
+
+        engine.spawn(fwd, name="fwd:e1")
+        deadline = time.time() + 5
+        while not engine.errors and time.time() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(ZeroDivisionError):
+            engine.shutdown()
+        assert upd_runs == [1]  # the parent body ran exactly once
+        assert metric_total(registry, "engine.tasks.retried") == 0

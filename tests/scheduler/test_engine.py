@@ -79,6 +79,101 @@ class TestTaskEngine:
         assert order == ["upd", "fwd"]
 
 
+class TestMultiWorkerFailures:
+    def _fail_both_workers(self):
+        import time
+
+        engine = TaskEngine(num_workers=2).start()
+        barrier = threading.Barrier(2)
+
+        def boom(i):
+            barrier.wait(timeout=5)  # both workers inside a task body
+            raise RuntimeError(f"worker failure {i}")
+
+        engine.spawn(lambda: boom(0), name="fwd:a")
+        engine.spawn(lambda: boom(1), name="fwd:b")
+        deadline = time.time() + 5
+        while len(engine.errors) < 2 and time.time() < deadline:
+            time.sleep(0.01)
+        return engine
+
+    def test_errors_property_collects_every_failure(self):
+        engine = self._fail_both_workers()
+        errors = engine.errors
+        assert len(errors) == 2
+        assert {str(e) for e in errors} == {"worker failure 0",
+                                           "worker failure 1"}
+        with pytest.raises(RuntimeError):
+            engine.shutdown()
+
+    def test_shutdown_notes_secondary_errors(self):
+        engine = self._fail_both_workers()
+        with pytest.raises(RuntimeError) as excinfo:
+            engine.shutdown()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert len(notes) == 1
+        assert "additional worker error" in notes[0]
+        assert "worker failure" in notes[0]
+
+    def test_shutdown_reraise_is_idempotent(self):
+        engine = self._fail_both_workers()
+        with pytest.raises(RuntimeError) as first:
+            engine.shutdown()
+        with pytest.raises(RuntimeError) as second:
+            engine.shutdown()
+        # Same primary exception, and its notes are not duplicated.
+        assert second.value is first.value
+        assert len(getattr(first.value, "__notes__", [])) == 1
+
+
+class TestQueueClosedVsForce:
+    def test_pending_force_survives_queue_close(self):
+        """A QUEUED update whose queue closed underneath it can still be
+        FORCEd: the steal works on the task's state machine, not the
+        queue, so the update is not lost."""
+        from repro.sync import QueueClosed
+
+        engine = TaskEngine(num_workers=1)  # not started: deterministic
+        order = []
+        upd = Task(lambda: order.append("upd"),
+                   priority=LOWEST_PRIORITY, name="upd:e")
+        engine.submit(upd)
+        engine.queue.close()
+        with pytest.raises(QueueClosed):
+            engine.spawn(lambda: None, name="fwd:late")
+        engine.force(upd, lambda: order.append("sub"), name="do-fwd:e")
+        assert order == ["upd", "sub"]
+
+    def test_force_races_worker_failure_close(self):
+        """A worker failure closes the queue while another worker is
+        about to FORCE a pending update; the forced chain still runs."""
+        import time
+
+        started = threading.Event()
+        order = []
+        engine = TaskEngine(num_workers=2).start()
+        upd = Task(lambda: order.append("upd"),
+                   priority=LOWEST_PRIORITY, name="upd:e")
+        engine.submit(upd)
+
+        def fwd():
+            started.set()
+            deadline = time.time() + 5
+            while not engine.errors and time.time() < deadline:
+                time.sleep(0.005)
+            engine.force(upd, lambda: order.append("sub"), name="do-fwd:e")
+
+        def boom():
+            assert started.wait(5)
+            raise RuntimeError("fatal")
+
+        engine.spawn(fwd, priority=0, name="fwd:e")
+        engine.spawn(boom, priority=1, name="bwd:boom")
+        with pytest.raises(RuntimeError, match="fatal"):
+            engine.shutdown()
+        assert order == ["upd", "sub"]
+
+
 class TestSerialEngine:
     def test_run_until_idle_executes_all(self):
         engine = SerialEngine()

@@ -165,6 +165,94 @@ class TestObservabilityCommands:
         assert any(e.get("ph") == "X" for e in doc["traceEvents"])
 
 
+class TestResilienceCli:
+    @pytest.fixture(autouse=True)
+    def clean_faults(self):
+        from repro.resilience import clear_plan
+
+        clear_plan()
+        yield
+        clear_plan()
+
+    def _spec(self, tmp_path):
+        spec = tmp_path / "net.cfg"
+        spec.write_text("[layered]\nspec = CTC\nwidth = 2 1\nkernel = 2\n"
+                        "transfer = tanh\nfinal_transfer = linear\n")
+        return spec
+
+    def _train(self, tmp_path, *extra):
+        return main(["train", "--spec", str(self._spec(tmp_path)),
+                     "--input-size", "10", "--volume-size", "24",
+                     "--conv-mode", "direct", *extra])
+
+    def test_checkpoint_flags_write_and_print(self, capsys, tmp_path):
+        ckdir = tmp_path / "ckpts"
+        assert self._train(tmp_path, "--rounds", "2",
+                           "--checkpoint-every", "1",
+                           "--checkpoint-dir", str(ckdir)) == 0
+        out = capsys.readouterr().out
+        assert "latest checkpoint:" in out
+        names = sorted(p.name for p in ckdir.iterdir())
+        assert names[-1] == "ckpt-00000002.npz"
+
+    def test_resume_continues_previous_run(self, capsys, tmp_path):
+        ckdir = tmp_path / "ckpts"
+        assert self._train(tmp_path, "--rounds", "2",
+                           "--checkpoint-every", "1",
+                           "--checkpoint-dir", str(ckdir)) == 0
+        capsys.readouterr()
+        assert self._train(tmp_path, "--rounds", "4", "--resume",
+                           "--checkpoint-every", "1",
+                           "--checkpoint-dir", str(ckdir)) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "2 rounds remaining" in out
+        assert (ckdir / "ckpt-00000004.npz").exists()
+
+    def test_resume_with_nothing_to_do(self, capsys, tmp_path):
+        ckdir = tmp_path / "ckpts"
+        assert self._train(tmp_path, "--rounds", "1",
+                           "--checkpoint-every", "1",
+                           "--checkpoint-dir", str(ckdir)) == 0
+        capsys.readouterr()
+        assert self._train(tmp_path, "--rounds", "1", "--resume",
+                           "--checkpoint-dir", str(ckdir)) == 0
+        assert "0 rounds remaining" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint_dir(self, capsys, tmp_path):
+        assert self._train(tmp_path, "--rounds", "1", "--resume") == 2
+
+    def test_checkpoint_every_requires_dir(self, capsys, tmp_path):
+        assert self._train(tmp_path, "--rounds", "1",
+                           "--checkpoint-every", "1") == 2
+
+    def test_recovery_events_none_on_clean_run(self, capsys, tmp_path):
+        assert self._train(tmp_path, "--rounds", "1") == 0
+        assert "recovery events: none" in capsys.readouterr().out
+
+    def test_recovery_events_reported(self, capsys, tmp_path):
+        from repro.resilience import FaultPlan, install_plan
+
+        install_plan(FaultPlan.from_string("corrupt:loss:1"))
+        ckdir = tmp_path / "ckpts"
+        assert self._train(tmp_path, "--rounds", "2",
+                           "--checkpoint-every", "1",
+                           "--checkpoint-dir", str(ckdir)) == 0
+        out = capsys.readouterr().out
+        assert "recovery events:" in out
+        assert "loss rollbacks 1" in out
+        assert "injected faults 1" in out
+
+    def test_task_retries_flag(self, capsys, tmp_path):
+        from repro.resilience import FaultPlan, install_plan
+
+        install_plan(FaultPlan.from_string("fail:fwd:1"))
+        assert self._train(tmp_path, "--rounds", "1",
+                           "--task-retries", "2") == 0
+        out = capsys.readouterr().out
+        assert "task retries 1" in out
+
+
 class TestGradcheckCommand:
     def test_passing_network(self, capsys, tmp_path):
         spec = tmp_path / "net.cfg"

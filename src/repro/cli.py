@@ -27,6 +27,14 @@ Commands
 ``gradcheck``
     Finite-difference verification of a spec-file network's gradients
     (use after adding custom ops).
+``serve``
+    Serve dense inference for a trained checkpoint over HTTP: tiling
+    planner + warm dense-twin cache + bounded queue with backpressure
+    (see docs/serving.md).
+``infer``
+    Send one volume to a running ``repro serve`` endpoint and save or
+    summarise the dense output.  Exits 75 if the server stayed
+    overloaded, 76 on a missed deadline.
 """
 
 from __future__ import annotations
@@ -147,6 +155,56 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--conv-mode", default="direct",
                     choices=("direct", "fft"))
     gc.add_argument("--seed", type=int, default=0)
+
+    srv = sub.add_parser("serve",
+                         help="serve dense inference for a checkpoint "
+                              "over HTTP")
+    srv.add_argument("--spec", required=True,
+                     help="[layered] spec file the checkpoint was "
+                          "trained with")
+    srv.add_argument("--checkpoint", default=None,
+                     help=".npz checkpoint to restore (default: random "
+                          "weights, useful for smoke tests)")
+    srv.add_argument("--name", default="default",
+                     help="model name clients address (default: default)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8473,
+                     help="TCP port (0 picks a free one)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="serving worker tasks")
+    srv.add_argument("--max-queue", type=int, default=16,
+                     help="admission-queue capacity (beyond it requests "
+                          "are rejected with 503 + Retry-After)")
+    srv.add_argument("--max-batch", type=int, default=4,
+                     help="micro-batch cap per dequeue")
+    srv.add_argument("--tile-voxels", type=int, default=None,
+                     help="input-tile voxel budget for the tiling "
+                          "planner (default 2^21)")
+    srv.add_argument("--conv-mode", default="fft",
+                     choices=("direct", "fft"))
+    srv.add_argument("--max-models", type=int, default=4,
+                     help="warm dense-twin cache capacity")
+    srv.add_argument("--request-retries", type=int, default=0,
+                     metavar="K",
+                     help="re-run a failed request up to K times")
+
+    inf = sub.add_parser("infer",
+                         help="send one volume to a repro serve endpoint")
+    inf.add_argument("--url", default="http://127.0.0.1:8473")
+    inf.add_argument("--model", default="default")
+    inf.add_argument("--input", default=None, metavar="FILE",
+                     help=".npy volume to send")
+    inf.add_argument("--random", default=None, metavar="SHAPE",
+                     help="send a random volume instead, e.g. 48 or "
+                          "32,64,64")
+    inf.add_argument("--seed", type=int, default=0)
+    inf.add_argument("--output", default=None, metavar="FILE",
+                     help="write the dense output here as .npy")
+    inf.add_argument("--timeout", type=float, default=None,
+                     help="request deadline in seconds")
+    inf.add_argument("--max-attempts", type=int, default=1,
+                     help="total submissions when the server answers "
+                          "503 (sleeps its Retry-After hint in between)")
     return parser
 
 
@@ -408,6 +466,89 @@ def _cmd_gradcheck(args) -> int:
     return 1
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import time
+
+    from repro.resilience import RetryPolicy
+    from repro.serving import (InferenceServer, ModelRegistry, ModelSpec,
+                               ServingHTTPServer)
+    from repro.serving.tiler import DEFAULT_TILE_VOXELS
+
+    spec = ModelSpec.from_files(args.name, args.spec,
+                                checkpoint=args.checkpoint,
+                                conv_mode=args.conv_mode)
+    registry = ModelRegistry(max_models=args.max_models)
+    registry.register(spec)
+    retry_policy = (RetryPolicy(max_retries=args.request_retries)
+                    if args.request_retries else None)
+    inference = InferenceServer(
+        registry, num_workers=args.workers, max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        tile_voxels=args.tile_voxels or DEFAULT_TILE_VOXELS,
+        retry_policy=retry_policy)
+    http = ServingHTTPServer(inference, host=args.host, port=args.port)
+    http.start()
+    fov = spec.fov
+    print(f"model {args.name!r}: spec {spec.spec}, "
+          f"fov {fov} ({args.conv_mode}"
+          f"{', random weights' if not args.checkpoint else ''})")
+    print(f"serving on {http.url} "
+          f"(workers {args.workers}, queue {args.max_queue}, "
+          f"batch {args.max_batch})", flush=True)
+    # SIGTERM (e.g. from a CI harness) shuts down as gracefully as ^C.
+    def _sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        http.stop()
+    return 0
+
+
+def _cmd_infer(args) -> int:
+    import numpy as np
+
+    from repro.serving import (DeadlineExceeded, HttpServingClient,
+                               ServerOverloaded, ServingError)
+
+    if (args.input is None) == (args.random is None):
+        print("exactly one of --input / --random is required",
+              file=sys.stderr)
+        return 2
+    if args.input is not None:
+        volume = np.load(args.input, allow_pickle=False)
+    else:
+        dims = [int(v) for v in args.random.replace(",", " ").split()]
+        shape = tuple(dims) if len(dims) > 1 else (dims[0],) * 3
+        volume = np.random.default_rng(args.seed).standard_normal(shape)
+    client = HttpServingClient(args.url, max_attempts=args.max_attempts)
+    try:
+        dense = client.infer(args.model, volume, timeout=args.timeout)
+    except ServerOverloaded as exc:
+        print(f"rejected: {exc} (retry after {exc.retry_after:.2f}s)",
+              file=sys.stderr)
+        return 75  # EX_TEMPFAIL: the request was refused, not dropped
+    except DeadlineExceeded as exc:
+        print(f"deadline missed: {exc}", file=sys.stderr)
+        return 76
+    except ServingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 70
+    print(f"input {volume.shape} -> dense {dense.shape}; "
+          f"mean {dense.mean():.6f}, min {dense.min():.6f}, "
+          f"max {dense.max():.6f}")
+    if args.output:
+        np.save(args.output, dense)
+        print(f"output written to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "figure": _cmd_figure,
@@ -417,6 +558,8 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
     "gradcheck": _cmd_gradcheck,
+    "serve": _cmd_serve,
+    "infer": _cmd_infer,
 }
 
 

@@ -32,6 +32,8 @@ from repro.core.edges import (
 from repro.core.inference import (
     copy_parameters,
     dense_equivalent_network,
+    dense_network_field_of_view,
+    pooling_period,
     sliding_window_forward,
     sparse_lattice,
 )
@@ -92,6 +94,8 @@ __all__ = [
     "make_runtime_edge",
     "copy_parameters",
     "dense_equivalent_network",
+    "dense_network_field_of_view",
+    "pooling_period",
     "sliding_window_forward",
     "sparse_lattice",
     "BinaryLogisticLoss",

@@ -20,23 +20,36 @@ This module provides:
 * :func:`copy_parameters` — kernel/bias transfer between structurally
   matching networks;
 * :func:`sparse_lattice` — subsample a dense output on the period-``s``
-  lattice the paper calls "sparse training".
+  lattice the paper calls "sparse training";
+* :func:`dense_network_field_of_view` / :func:`pooling_period` — shape
+  algebra of the dense twin straight from the layered spec (no network
+  build needed), per axis, so anisotropic pooling factors such as
+  ``(1, 2, 2)`` — ubiquitous for serial-section EM volumes whose z
+  resolution is coarser — dilate each axis independently.
+
+Pooling factors, kernels and windows may all be anisotropic (scalars,
+3-tuples, or per-layer lists of either); every computation here is
+per-axis.  2D networks are the ``(1, n, n)`` special case with
+``(1, p, p)`` windows.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.network import Network
-from repro.graph.builders import build_layered_network, pool_to_filter_spec
-from repro.utils.shapes import as_shape3
+from repro.graph.builders import LayeredSpec, build_layered_network, \
+    pool_to_filter_spec
+from repro.utils.shapes import Shape3, as_shape3, field_of_view
 from repro.utils.validation import check_array3
 
 __all__ = [
     "sliding_window_forward",
     "dense_equivalent_network",
+    "dense_network_field_of_view",
+    "pooling_period",
     "copy_parameters",
     "sparse_lattice",
 ]
@@ -96,6 +109,72 @@ def copy_parameters(src: Network, dst: Network) -> int:
     return copied
 
 
+def _dense_layer_stack(spec: str, **builder_kwargs
+                       ) -> List[Tuple[str, Shape3, Shape3]]:
+    """(kind, window, sparsity) stack of the dense-equivalent twin of
+    *spec*, honouring per-axis (anisotropic) kernels/windows and the
+    skip-kernel sparsity compounding of Fig 2.
+
+    An explicit ``sparsity_schedule`` overrides the automatic rule for
+    C layers, exactly as in :func:`build_layered_network`.
+    """
+    schedule = builder_kwargs.pop("sparsity_schedule", None)
+    builder_kwargs.pop("skip_kernels", None)  # the twin always dilates
+    filter_spec = pool_to_filter_spec(spec)
+    parsed = LayeredSpec(filter_spec, skip_kernels=True, **builder_kwargs)
+    explicit = None
+    if schedule is not None:
+        explicit = [as_shape3(s, name="sparsity") for s in schedule]
+        if len(explicit) != parsed.spec.count("C"):
+            raise ValueError(
+                "sparsity_schedule must have one entry per C layer")
+    layers: List[Tuple[str, Shape3, Shape3]] = []
+    sparsity: Shape3 = (1, 1, 1)
+    ci = wi = 0
+    for c in parsed.spec:
+        if c == "C":
+            conv_sparsity = explicit[ci] if explicit is not None else sparsity
+            layers.append(("conv", parsed.kernels[ci], conv_sparsity))
+            ci += 1
+        elif c == "M":
+            w = parsed.windows[wi]
+            layers.append(("filter", w, sparsity))
+            sparsity = tuple(s * wd for s, wd in zip(sparsity, w))  # type: ignore[assignment]
+            wi += 1
+    return layers
+
+
+def dense_network_field_of_view(spec: str, **builder_kwargs) -> Shape3:
+    """Per-axis field of view of the dense-equivalent twin of *spec*,
+    computed from the layered spec alone (no network build).
+
+    This is the minimum input size of the twin, and the halo a tiled
+    dense inference must extend each input block by
+    (``input = output + fov - 1`` per axis).  Anisotropic kernels,
+    windows and sparsity schedules are handled per axis.
+    """
+    return field_of_view(_dense_layer_stack(spec, **builder_kwargs))
+
+
+def pooling_period(spec: str, window=2) -> Shape3:
+    """Per-axis product of the pooling/filtering windows of *spec* —
+    the period of the sparse-training lattice (Section II) and the
+    stride at which the original pooling network samples the dense
+    twin's output."""
+    spec = spec.upper()
+    n_window = sum(spec.count(c) for c in "MP")
+    windows = LayeredSpec._per_layer_shapes(window, max(n_window, 1),
+                                            "window")
+    period: Shape3 = (1, 1, 1)
+    wi = 0
+    for c in spec:
+        if c in "MP":
+            w = as_shape3(windows[wi], name="window")
+            period = tuple(p * wd for p, wd in zip(period, w))  # type: ignore[assignment]
+            wi += 1
+    return period
+
+
 def dense_equivalent_network(pool_network: Network, spec: str,
                              input_shape,
                              conv_mode: str = "direct",
@@ -105,12 +184,27 @@ def dense_equivalent_network(pool_network: Network, spec: str,
 
     *spec* and *builder_kwargs* must match the arguments the pooling
     network was built with (the builder keeps conv/transfer edge names
-    stable under the P→M substitution).
+    stable under the P→M substitution).  Kernels and pooling windows
+    may be anisotropic; each axis dilates by its own accumulated
+    pooling factor.  The input must cover the twin's field of view on
+    every axis — violations raise an explicit per-axis error rather
+    than a downstream shape failure.
     """
+    network_kwargs = {k: builder_kwargs.pop(k)
+                      for k in ("memoize", "fft_fast_sizes",
+                                "deterministic_sums", "num_workers", "seed")
+                      if k in builder_kwargs}
+    fov = dense_network_field_of_view(spec, **builder_kwargs)
+    shape = as_shape3(input_shape, name="input_shape")
+    if any(n < f for n, f in zip(shape, fov)):
+        raise ValueError(
+            f"input {shape} smaller than the dense twin's field of view "
+            f"{fov} (per-axis minimum input size)")
     filter_spec = pool_to_filter_spec(spec)
     graph = build_layered_network(filter_spec, skip_kernels=True,
                                   **builder_kwargs)
-    dense = Network(graph, input_shape=input_shape, conv_mode=conv_mode)
+    dense = Network(graph, input_shape=shape, conv_mode=conv_mode,
+                    **network_kwargs)
     copy_parameters(pool_network, dense)
     return dense
 
@@ -124,9 +218,14 @@ def sparse_lattice(dense: np.ndarray, period: int | Sequence[int],
     if isinstance(offset, int):
         start = (offset, offset, offset)
     else:
+        # Promote like as_shape3, but promoted leading axes get offset
+        # 0 (there is nothing to shift along a singleton axis).
         start = tuple(int(v) for v in offset)
+        if len(start) in (1, 2):
+            start = (0,) * (3 - len(start)) + start
         if len(start) != 3:
-            raise ValueError(f"offset must be an int or 3 ints, got {offset!r}")
+            raise ValueError(
+                f"offset must be an int or 1–3 ints, got {offset!r}")
     if any(s < 0 for s in start):
         raise ValueError(f"offset must be >= 0, got {start}")
     return np.ascontiguousarray(

@@ -20,7 +20,13 @@ from repro.graph.ordering import (
     longest_distance_to_outputs,
     output_distance_ordering,
 )
-from repro.graph.specfile import dump_layered_spec, load_spec, parse_spec
+from repro.graph.specfile import (
+    dump_layered_spec,
+    load_layered_kwargs,
+    load_spec,
+    parse_layered_kwargs,
+    parse_spec,
+)
 from repro.graph.taskgraph import (
     LOWEST_TASK_PRIORITY,
     TaskGraph,
@@ -42,7 +48,9 @@ __all__ = [
     "longest_distance_to_outputs",
     "output_distance_ordering",
     "dump_layered_spec",
+    "load_layered_kwargs",
     "load_spec",
+    "parse_layered_kwargs",
     "parse_spec",
     "LOWEST_TASK_PRIORITY",
     "TaskGraph",

@@ -51,7 +51,8 @@ from typing import Dict, List, Optional, Union
 from repro.graph.builders import build_layered_network
 from repro.graph.computation_graph import ComputationGraph
 
-__all__ = ["parse_spec", "load_spec", "dump_layered_spec"]
+__all__ = ["parse_spec", "load_spec", "dump_layered_spec",
+           "parse_layered_kwargs", "load_layered_kwargs"]
 
 _LAYERED_KEYS = {
     "spec": str,
@@ -106,6 +107,42 @@ def _parse_value(kind, raw: str):
     raise AssertionError(kind)
 
 
+def _layered_kwargs(parser: configparser.ConfigParser) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    for key, raw in parser.items("layered"):
+        if key not in _LAYERED_KEYS:
+            raise ValueError(f"unknown [layered] key {key!r}")
+        kwargs[key] = _parse_value(_LAYERED_KEYS[key], raw)
+    if "spec" not in kwargs or "width" not in kwargs:
+        raise ValueError("[layered] requires at least spec and width")
+    return kwargs
+
+
+def parse_layered_kwargs(text: str) -> Dict[str, object]:
+    """The ``[layered]`` section of spec-file *text* as builder kwargs.
+
+    Serving needs the raw arguments — not a built graph — because the
+    dense-equivalent twin is rebuilt per tile shape
+    (:func:`repro.core.dense_equivalent_network` takes spec + kwargs).
+    Explicit-graph spec files have no pooling structure to transform
+    and raise ``ValueError``.
+    """
+    parser = configparser.ConfigParser()
+    parser.read_file(io.StringIO(text))
+    if "layered" not in parser.sections():
+        raise ValueError(
+            "spec file has no [layered] section; dense-equivalent serving "
+            "requires the layered shorthand (explicit graphs have no "
+            "pooling structure to transform)")
+    return _layered_kwargs(parser)
+
+
+def load_layered_kwargs(path) -> Dict[str, object]:
+    """:func:`parse_layered_kwargs` for a spec file on disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_layered_kwargs(fh.read())
+
+
 def parse_spec(text: str) -> ComputationGraph:
     """Build a :class:`ComputationGraph` from spec-file *text*."""
     parser = configparser.ConfigParser()
@@ -127,14 +164,7 @@ def parse_spec(text: str) -> ComputationGraph:
             "not both")
 
     if has_layered:
-        kwargs = {}
-        for key, raw in parser.items("layered"):
-            if key not in _LAYERED_KEYS:
-                raise ValueError(f"unknown [layered] key {key!r}")
-            kwargs[key] = _parse_value(_LAYERED_KEYS[key], raw)
-        if "spec" not in kwargs or "width" not in kwargs:
-            raise ValueError("[layered] requires at least spec and width")
-        return build_layered_network(**kwargs)
+        return build_layered_network(**_layered_kwargs(parser))
 
     if not node_sections or not edge_sections:
         raise ValueError("explicit spec needs [node …] and [edge …] sections")

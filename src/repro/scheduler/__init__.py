@@ -2,7 +2,7 @@
 FORCE protocol, alternative strategies."""
 
 from repro.scheduler.autoselect import StrategyChoice, select_strategy
-from repro.scheduler.engine import LOWEST_PRIORITY, TaskEngine
+from repro.scheduler.engine import LOWEST_PRIORITY, TaskEngine, task_family
 from repro.scheduler.instrumentation import (
     TaskRecord,
     TraceRecorder,
@@ -26,6 +26,7 @@ __all__ = [
     "TraceRecorder",
     "TraceSummary",
     "TaskEngine",
+    "task_family",
     "SerialEngine",
     "SCHEDULER_FACTORIES",
     "FifoScheduler",

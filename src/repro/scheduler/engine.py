@@ -41,7 +41,7 @@ from repro.resilience.retry import RetryPolicy, TaskTimeout
 from repro.scheduler.task import Task, force
 from repro.sync.priority_queue import HeapOfLists, QueueClosed
 
-__all__ = ["TaskEngine", "LOWEST_PRIORITY"]
+__all__ = ["TaskEngine", "LOWEST_PRIORITY", "task_family"]
 
 #: Priority value assigned to update tasks — strictly less urgent than
 #: any forward/backward priority the graph can produce (Section VI-A).

@@ -1,0 +1,60 @@
+"""Dense-inference serving: tiling planner, warm model cache, request
+pipeline with backpressure, and in-process/HTTP clients.
+
+The training side of the repo reproduces the paper; this package is the
+ROADMAP's production leg — the path from "trained checkpoint" to
+"answered request".  Volumes of any size are split into overlapping
+FFT-fast tiles (:mod:`repro.serving.tiler`), run through warm
+dense-equivalent twins (:mod:`repro.serving.registry`), and scheduled
+through a bounded, micro-batching pipeline with explicit backpressure
+(:mod:`repro.serving.pipeline`).  See ``docs/serving.md``.
+"""
+
+from repro.serving.client import (
+    HttpServingClient,
+    ServingClient,
+    decode_array,
+    encode_array,
+)
+from repro.serving.http import ServingHTTPServer, serve_http
+from repro.serving.pipeline import (
+    DeadlineExceeded,
+    InferenceServer,
+    PendingRequest,
+    ServerClosed,
+    ServerOverloaded,
+    ServingError,
+)
+from repro.serving.registry import ModelRegistry, ModelSpec, WarmModel
+from repro.serving.tiler import (
+    DEFAULT_TILE_VOXELS,
+    TilePlan,
+    choose_tile_shape,
+    largest_fast_len,
+    plan_volume,
+    run_plan,
+)
+
+__all__ = [
+    "HttpServingClient",
+    "ServingClient",
+    "decode_array",
+    "encode_array",
+    "ServingHTTPServer",
+    "serve_http",
+    "DeadlineExceeded",
+    "InferenceServer",
+    "PendingRequest",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ServingError",
+    "ModelRegistry",
+    "ModelSpec",
+    "WarmModel",
+    "DEFAULT_TILE_VOXELS",
+    "TilePlan",
+    "choose_tile_shape",
+    "largest_fast_len",
+    "plan_volume",
+    "run_plan",
+]

@@ -1,0 +1,144 @@
+"""Serving clients: in-process and HTTP.
+
+Both clients implement the same contract around backpressure: an
+overloaded server answers with a *retry-after* hint, and the client —
+not the server — decides how long to keep trying.  The in-process
+:class:`ServingClient` wraps an :class:`~repro.serving.pipeline.
+InferenceServer` directly (embedding the whole serving stack in a
+Python process, e.g. for tests and benchmarks); :class:`HttpServingClient`
+speaks the ``repro serve`` wire protocol (npy request/response bodies,
+503 + ``Retry-After`` for overload, 504 for missed deadlines) over
+stdlib ``urllib`` so no dependencies are added.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Optional
+
+import numpy as np
+
+from repro.serving.pipeline import (
+    DeadlineExceeded,
+    InferenceServer,
+    ServerOverloaded,
+    ServingError,
+)
+
+__all__ = ["ServingClient", "HttpServingClient", "encode_array",
+           "decode_array"]
+
+
+def encode_array(array: np.ndarray) -> bytes:
+    """npy-serialize *array* (the wire format of ``repro serve``)."""
+    buf = io.BytesIO()
+    np.save(buf, np.ascontiguousarray(array), allow_pickle=False)
+    return buf.getvalue()
+
+
+def decode_array(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    return np.load(io.BytesIO(payload), allow_pickle=False)
+
+
+class ServingClient:
+    """In-process client with overload retry.
+
+    On :class:`~repro.serving.pipeline.ServerOverloaded` the client
+    sleeps for the server's ``retry_after`` hint and resubmits, up to
+    *max_attempts* total submissions; the final rejection propagates so
+    callers can tell sustained saturation from a transient burst.
+    """
+
+    def __init__(self, server: InferenceServer, max_attempts: int = 5,
+                 backoff_cap: float = 5.0) -> None:
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.server = server
+        self.max_attempts = max_attempts
+        self.backoff_cap = backoff_cap
+
+    def infer(self, model: str, volume: np.ndarray,
+              timeout: Optional[float] = None) -> np.ndarray:
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return self.server.submit(model, volume,
+                                          timeout=timeout).result()
+            except ServerOverloaded as exc:
+                if attempt == self.max_attempts:
+                    raise
+                time.sleep(min(exc.retry_after, self.backoff_cap))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class HttpServingClient:
+    """Client for a ``repro serve`` HTTP endpoint (stdlib only).
+
+    Maps the wire protocol back onto the serving exceptions:
+    503 → :class:`ServerOverloaded` (honouring ``Retry-After``),
+    504 → :class:`DeadlineExceeded`, other HTTP errors →
+    :class:`ServingError`.  Overload retries follow the same policy as
+    :class:`ServingClient`.
+    """
+
+    def __init__(self, base_url: str, max_attempts: int = 5,
+                 backoff_cap: float = 5.0,
+                 request_timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.max_attempts = max_attempts
+        self.backoff_cap = backoff_cap
+        self.request_timeout = request_timeout
+
+    def _post_once(self, model: str, volume: np.ndarray,
+                   timeout: Optional[float]) -> np.ndarray:
+        query = {"model": model}
+        if timeout is not None:
+            query["timeout"] = repr(float(timeout))
+        url = (f"{self.base_url}/v1/infer?"
+               f"{urllib.parse.urlencode(query)}")
+        request = urllib.request.Request(
+            url, data=encode_array(volume), method="POST",
+            headers={"Content-Type": "application/x-npy"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.request_timeout) as response:
+                return decode_array(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            if exc.code == 503:
+                try:
+                    retry_after = float(exc.headers.get("Retry-After", "1"))
+                except ValueError:
+                    retry_after = 1.0
+                raise ServerOverloaded(
+                    detail or "server overloaded",
+                    retry_after=retry_after) from None
+            if exc.code == 504:
+                raise DeadlineExceeded(
+                    detail or "deadline exceeded") from None
+            raise ServingError(
+                f"HTTP {exc.code}: {detail or exc.reason}") from None
+
+    def infer(self, model: str, volume: np.ndarray,
+              timeout: Optional[float] = None) -> np.ndarray:
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return self._post_once(model, volume, timeout)
+            except ServerOverloaded as exc:
+                if attempt == self.max_attempts:
+                    raise
+                time.sleep(min(exc.retry_after, self.backoff_cap))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def health(self) -> dict:
+        """GET /healthz as a dict."""
+        import json
+        with urllib.request.urlopen(
+                f"{self.base_url}/healthz",
+                timeout=self.request_timeout) as response:
+            return json.loads(response.read().decode("utf-8"))

@@ -1,0 +1,184 @@
+"""Stdlib HTTP front end for the inference server.
+
+A thin, dependency-free shim: ``http.server.ThreadingHTTPServer``
+threads do nothing but decode/encode npy payloads and block on the
+:class:`~repro.serving.pipeline.InferenceServer` — all queueing,
+batching and backpressure live in the pipeline, so the HTTP layer
+cannot re-order or drop anything the pipeline accepted.
+
+Wire protocol (see :mod:`repro.serving.client` for the client side):
+
+* ``POST /v1/infer?model=NAME[&timeout=SECONDS]`` with an npy body →
+  200 with the dense output as npy;
+* overload → **503** with a ``Retry-After`` header (seconds);
+* deadline missed in queue → **504**;
+* unknown model → **404**; malformed volume/params → **400**;
+* ``GET /healthz`` → JSON status, model list and queue depth;
+* ``GET /metrics`` → JSON snapshot of the process metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.observability.export import metrics_snapshot
+from repro.serving.client import decode_array, encode_array
+from repro.serving.pipeline import (
+    DeadlineExceeded,
+    InferenceServer,
+    ServerClosed,
+    ServerOverloaded,
+)
+
+__all__ = ["ServingHTTPServer", "serve_http"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by ServingHTTPServer on the handler class.
+    inference: InferenceServer
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+        pass  # request logging goes through metrics, not stderr
+
+    # -- helpers -------------------------------------------------------
+
+    def _send(self, code: int, body: bytes, content_type: str,
+              extra_headers: Optional[dict] = None) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: dict,
+                   extra_headers: Optional[dict] = None) -> None:
+        self._send(code, json.dumps(payload).encode("utf-8"),
+                   "application/json", extra_headers)
+
+    def _send_error_text(self, code: int, message: str,
+                         extra_headers: Optional[dict] = None) -> None:
+        self._send(code, message.encode("utf-8"), "text/plain",
+                   extra_headers)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            server = self.inference
+            self._send_json(200, {
+                "status": "ok",
+                "models": server.registry.model_names(),
+                "queue_depth": server.queue_depth,
+                "max_queue": server.max_queue,
+                "workers": server.num_workers,
+            })
+        elif path == "/metrics":
+            self._send_json(200, metrics_snapshot())
+        else:
+            self._send_error_text(404, f"no such path: {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        parsed = urlparse(self.path)
+        if parsed.path != "/v1/infer":
+            self._send_error_text(404, f"no such path: {parsed.path}")
+            return
+        query = parse_qs(parsed.query)
+        model = (query.get("model") or [None])[0]
+        if not model:
+            self._send_error_text(400, "missing model= query parameter")
+            return
+        timeout: Optional[float] = None
+        if "timeout" in query:
+            try:
+                timeout = float(query["timeout"][0])
+            except ValueError:
+                self._send_error_text(
+                    400, f"bad timeout: {query['timeout'][0]!r}")
+                return
+        length = int(self.headers.get("Content-Length", "0"))
+        try:
+            volume = decode_array(self.rfile.read(length))
+        except Exception as exc:
+            self._send_error_text(400, f"bad npy payload: {exc}")
+            return
+        try:
+            result = self.inference.infer(model, volume, timeout=timeout)
+        except ServerOverloaded as exc:
+            self._send_error_text(
+                503, str(exc),
+                {"Retry-After": f"{exc.retry_after:.3f}"})
+        except DeadlineExceeded as exc:
+            self._send_error_text(504, str(exc))
+        except ServerClosed as exc:
+            self._send_error_text(503, str(exc), {"Retry-After": "1"})
+        except KeyError as exc:
+            self._send_error_text(404, str(exc))
+        except (ValueError, TypeError) as exc:
+            self._send_error_text(400, str(exc))
+        else:
+            self._send(200, encode_array(result), "application/x-npy")
+
+
+class ServingHTTPServer:
+    """Owns a ThreadingHTTPServer bound to an InferenceServer.
+
+    ``start()`` returns immediately (the accept loop runs on a daemon
+    thread); ``stop()`` shuts down HTTP first, then the pipeline, so
+    in-flight requests resolve before the process exits.
+    """
+
+    def __init__(self, inference: InferenceServer, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,),
+                       {"inference": inference})
+        self.inference = inference
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServingHTTPServer":
+        self.inference.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="znn-serve-http",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.inference.stop()
+
+    def __enter__(self) -> "ServingHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_http(inference: InferenceServer, host: str = "127.0.0.1",
+               port: int = 0) -> ServingHTTPServer:
+    """Start an HTTP front end for *inference*; returns the running
+    server (stop it with ``.stop()`` or use as a context manager)."""
+    return ServingHTTPServer(inference, host=host, port=port).start()

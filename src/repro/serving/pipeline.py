@@ -1,0 +1,355 @@
+"""Request pipeline: bounded admission, micro-batching, backpressure.
+
+The serving pipeline is deliberately small and explicit:
+
+* **Bounded admission queue.**  :meth:`InferenceServer.submit` either
+  accepts a request into a bounded FIFO or *rejects it immediately*
+  with :class:`ServerOverloaded`, carrying a ``retry_after`` hint
+  derived from the queue depth and an EWMA of recent service times.
+  Rejecting at admission is the backpressure contract: a client always
+  learns the fate of its request — nothing is silently dropped, even
+  on shutdown (pending requests are failed with :class:`ServerClosed`).
+
+* **Micro-batching.**  A worker dequeues the oldest request, then
+  opportunistically drags along up to ``max_batch - 1`` younger
+  requests *for the same model*.  The batch shares one warm-model
+  lookup and runs under one model lock acquisition, so same-model
+  bursts amortise all per-request setup (the registry's whole point).
+
+* **Worker pool on the TaskEngine.**  Workers are long-lived
+  ``serve:worker`` tasks on a :class:`repro.scheduler.TaskEngine` —
+  the paper's execution machinery reused unchanged, which also means
+  engine metrics (busy/idle seconds, task families) cover serving for
+  free.
+
+* **Deadlines.**  A request may carry a timeout; if it is still queued
+  when its deadline passes, the worker fails it with
+  :class:`DeadlineExceeded` instead of wasting compute on an answer
+  nobody is waiting for.
+
+* **Retries.**  An optional :class:`repro.resilience.RetryPolicy`
+  re-runs a failed request body (fresh attempt, same warm model) with
+  the policy's backoff before the error is surfaced to the client.
+
+Everything is observable: ``serving.queue.depth``,
+``serving.requests.{accepted,rejected,completed,failed,deadline_missed,
+retried}``, and latency histograms ``serving.queue_wait_seconds``,
+``serving.run_seconds``, ``serving.latency_seconds``,
+``serving.batch_size``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.observability.metrics import get_registry
+from repro.resilience.retry import RetryPolicy
+from repro.scheduler.engine import TaskEngine
+from repro.serving.registry import ModelRegistry
+from repro.serving.tiler import DEFAULT_TILE_VOXELS, plan_volume
+
+__all__ = [
+    "ServingError",
+    "ServerOverloaded",
+    "ServerClosed",
+    "DeadlineExceeded",
+    "PendingRequest",
+    "InferenceServer",
+]
+
+
+class ServingError(Exception):
+    """Base class for serving-layer failures."""
+
+
+class ServerOverloaded(ServingError):
+    """The admission queue is full; retry after ``retry_after`` seconds.
+
+    This is backpressure, not failure: the request was never accepted,
+    so the client may safely resubmit.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServerClosed(ServingError):
+    """The server was stopped; the request was not (or will not be) run."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline passed while it waited in the queue."""
+
+
+class PendingRequest:
+    """Handle for one accepted request; resolves to a dense output."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, model: str, volume: np.ndarray,
+                 deadline: Optional[float]) -> None:
+        self.id = next(self._ids)
+        self.model = model
+        self.volume = volume
+        #: Absolute monotonic deadline, or None.
+        self.deadline = deadline
+        self.accepted_at = time.monotonic()
+        self._done = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the request resolves; return the dense output or
+        raise the failure."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.id} not done within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: Optional[np.ndarray],
+                 error: Optional[BaseException]) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+class InferenceServer:
+    """Bounded-queue, micro-batching dense-inference server.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serving.registry.ModelRegistry` holding the
+        servable models.
+    num_workers:
+        Long-lived ``serve:worker`` tasks pulling from the queue.
+    max_queue:
+        Admission-queue capacity; submissions beyond it are rejected
+        with :class:`ServerOverloaded` (never silently dropped).
+    max_batch:
+        Upper bound on same-model requests one worker drags out of the
+        queue per dequeue.
+    tile_voxels:
+        Input-tile voxel budget handed to the tiling planner.
+    retry_policy:
+        Optional per-request :class:`repro.resilience.RetryPolicy`.
+
+    Use as a context manager to guarantee :meth:`stop`.
+    """
+
+    def __init__(self, registry: ModelRegistry, num_workers: int = 2,
+                 max_queue: int = 16, max_batch: int = 4,
+                 tile_voxels: int = DEFAULT_TILE_VOXELS,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.registry = registry
+        self.num_workers = num_workers
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.tile_voxels = tile_voxels
+        self.retry_policy = retry_policy
+        self._queue: Deque[PendingRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._started = False
+        self._engine: Optional[TaskEngine] = None
+        #: Test/ops hook: clear to pause dequeuing (admission still
+        #: runs, so queue-full behaviour becomes deterministic).
+        self.gate = threading.Event()
+        self.gate.set()
+        # EWMA of per-request service seconds, for retry_after hints.
+        self._ewma_service = 0.1
+        self._ewma_lock = threading.Lock()
+        reg = get_registry()
+        self._m_depth = reg.gauge("serving.queue.depth")
+        self._m_accepted = reg.counter("serving.requests.accepted")
+        self._m_rejected = reg.counter("serving.requests.rejected")
+        self._m_completed = reg.counter("serving.requests.completed")
+        self._m_failed = reg.counter("serving.requests.failed")
+        self._m_missed = reg.counter("serving.requests.deadline_missed")
+        self._m_retried = reg.counter("serving.requests.retried")
+        self._h_queue_wait = reg.histogram("serving.queue_wait_seconds")
+        self._h_run = reg.histogram("serving.run_seconds")
+        self._h_latency = reg.histogram("serving.latency_seconds")
+        self._h_batch = reg.histogram(
+            "serving.batch_size", buckets=[1, 2, 4, 8, 16])
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        with self._cond:
+            if self._started:
+                return self
+            self._started = True
+        self._engine = TaskEngine(num_workers=self.num_workers).start()
+        for index in range(self.num_workers):
+            self._engine.spawn(self._worker_loop,
+                               name=f"serve:worker-{index}")
+        return self
+
+    def stop(self) -> None:
+        """Stop workers and *fail* (not drop) everything still queued."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+            self._m_depth.set(0)
+            self._cond.notify_all()
+        for request in pending:
+            self._m_failed.inc()
+            request._resolve(None, ServerClosed(
+                f"server stopped before request {request.id} ran"))
+        if self._engine is not None:
+            self._engine.shutdown()
+            self._engine = None
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- admission -----------------------------------------------------
+
+    def retry_after_hint(self) -> float:
+        """Suggested client backoff: time for the current queue to
+        drain through the worker pool at recent service speed."""
+        with self._ewma_lock:
+            service = self._ewma_service
+        with self._cond:
+            depth = len(self._queue)
+        return max(0.05, (depth + 1) * service / max(self.num_workers, 1))
+
+    def submit(self, model: str, volume: np.ndarray,
+               timeout: Optional[float] = None) -> PendingRequest:
+        """Admit a request or reject it with :class:`ServerOverloaded`.
+
+        *timeout* (seconds) becomes the request's deadline: if it is
+        still queued when the deadline passes it fails with
+        :class:`DeadlineExceeded`.
+        """
+        volume = np.asarray(volume, dtype=np.float64)
+        if volume.ndim == 2:
+            volume = volume[np.newaxis, ...]
+        if volume.ndim != 3:
+            raise ValueError(
+                f"volume must be 2D or 3D, got {volume.ndim}D")
+        self.registry.spec(model)  # unknown models fail fast, pre-queue
+        deadline = None if timeout is None else time.monotonic() + timeout
+        request = PendingRequest(model, volume, deadline)
+        with self._cond:
+            if self._closed:
+                raise ServerClosed("server is stopped")
+            if len(self._queue) >= self.max_queue:
+                self._m_rejected.inc()
+                raise ServerOverloaded(
+                    f"admission queue full ({self.max_queue}); "
+                    f"retry later", retry_after=self.retry_after_hint())
+            self._queue.append(request)
+            self._m_depth.set(len(self._queue))
+            self._m_accepted.inc()
+            self._cond.notify()
+        return request
+
+    def infer(self, model: str, volume: np.ndarray,
+              timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking convenience: submit and wait for the dense output."""
+        return self.submit(model, volume, timeout=timeout).result()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- workers -------------------------------------------------------
+
+    def _take_batch(self) -> Optional[List[PendingRequest]]:
+        """Block for the next micro-batch; None means shut down.
+
+        The timed wait makes the ``gate`` hook effective even for
+        workers already parked here when it is cleared (``gate.set``
+        does not notify the condition)."""
+        with self._cond:
+            while ((not self._queue or not self.gate.is_set())
+                   and not self._closed):
+                self._cond.wait(0.02)
+            if self._closed:
+                return None
+            head = self._queue.popleft()
+            batch = [head]
+            if self.max_batch > 1:
+                rest: Deque[PendingRequest] = deque()
+                while self._queue and len(batch) < self.max_batch:
+                    candidate = self._queue.popleft()
+                    if candidate.model == head.model:
+                        batch.append(candidate)
+                    else:
+                        rest.append(candidate)
+                self._queue.extendleft(reversed(rest))
+            self._m_depth.set(len(self._queue))
+            return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._h_batch.observe(len(batch))
+            for request in batch:
+                self._serve_one(request)
+
+    def _serve_one(self, request: PendingRequest) -> None:
+        now = time.monotonic()
+        self._h_queue_wait.observe(now - request.accepted_at)
+        if request.deadline is not None and now > request.deadline:
+            self._m_missed.inc()
+            self._m_failed.inc()
+            request._resolve(None, DeadlineExceeded(
+                f"request {request.id} spent "
+                f"{now - request.accepted_at:.3f}s queued, past its "
+                f"deadline"))
+            return
+        t0 = time.monotonic()
+        attempts = 0
+        while True:
+            try:
+                plan = plan_volume(request.volume.shape,
+                                   self.registry.fov(request.model),
+                                   max_voxels=self.tile_voxels)
+                warm = self.registry.warm(request.model, plan.input_tile)
+                result = warm.run(request.volume, plan)
+                break
+            except Exception as exc:
+                attempts += 1
+                policy = self.retry_policy
+                if policy is None or not policy.should_retry(exc, attempts):
+                    self._m_failed.inc()
+                    request._resolve(None, exc)
+                    return
+                self._m_retried.inc()
+                time.sleep(policy.backoff(attempts - 1))
+        t1 = time.monotonic()
+        self._h_run.observe(t1 - t0)
+        self._h_latency.observe(t1 - request.accepted_at)
+        with self._ewma_lock:
+            self._ewma_service = 0.8 * self._ewma_service + 0.2 * (t1 - t0)
+        self._m_completed.inc()
+        request._resolve(result, None)

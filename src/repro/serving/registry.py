@@ -1,0 +1,253 @@
+"""Model registry and warm dense-twin cache.
+
+A serving process answers requests with the *dense-equivalent twin*
+(Fig 2) of a trained max-pooling network: max-filtering layers plus
+skip-kernel convolutions computing the sliding-window output in one
+pass.  Building that twin — graph construction, parameter restore,
+FFT kernel transforms — is far too slow to repeat per request, so the
+registry keeps **warm models**: one fully-built twin per
+``(model name, input tile shape)``, kept in an LRU cache.
+
+Warm means warm all the way down:
+
+* the checkpoint is loaded once (trainable edge names are stable under
+  the P→M substitution, so a pooling-net checkpoint restores directly
+  into the twin without ever instantiating the pooling net);
+* the network's :class:`~repro.tensor.fft_cache.TransformCache` has the
+  ``"ker"`` kind *pinned* and a throwaway forward pass is run at build
+  time, so in FFT mode every kernel spectrum is transformed exactly
+  once per process, not once per request (the serving analogue of the
+  paper's per-round memoization);
+* the tile shape is fixed per warm model (networks have static shapes),
+  which is why the tiler quantises volumes onto shared tile shapes.
+
+Networks are not reentrant; each :class:`WarmModel` carries a lock and
+all inference goes through :meth:`WarmModel.run`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.inference import dense_network_field_of_view
+from repro.core.network import Network
+from repro.core.serialization import load_network
+from repro.core.tiling import tile_plan
+from repro.graph.builders import build_layered_network, pool_to_filter_spec
+from repro.graph.specfile import load_layered_kwargs
+from repro.observability.metrics import get_registry
+from repro.serving.tiler import TilePlan, run_plan
+from repro.utils.shapes import Shape3, as_shape3
+
+__all__ = ["ModelSpec", "WarmModel", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Everything needed to (re)build one servable model.
+
+    ``builder_kwargs`` are the layered-builder arguments *minus* the
+    spec string (``width``, ``kernel``, ``window``, ...); serving
+    always builds the skip-kernel twin, so any ``skip_kernels`` flag
+    the training spec carried is dropped.
+    """
+
+    name: str
+    spec: str
+    checkpoint: Optional[str] = None
+    conv_mode: str = "fft"
+    builder_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_files(cls, name: str, spec_path, checkpoint: Optional[str] = None,
+                   conv_mode: str = "fft") -> "ModelSpec":
+        """Load a :class:`ModelSpec` from a ``[layered]`` spec file."""
+        kwargs = dict(load_layered_kwargs(spec_path))
+        spec = str(kwargs.pop("spec"))
+        kwargs.pop("skip_kernels", None)
+        return cls(name=name, spec=spec, checkpoint=checkpoint,
+                   conv_mode=conv_mode, builder_kwargs=kwargs)
+
+    @property
+    def fov(self) -> Shape3:
+        """Field of view of the dense twin (per-axis minimum input)."""
+        return dense_network_field_of_view(self.spec, **self.builder_kwargs)
+
+
+class WarmModel:
+    """A dense twin built at one fixed input-tile shape, ready to run.
+
+    Construction does all the slow work: graph build, checkpoint
+    restore, kernel-spectrum pinning plus a prewarming forward pass.
+    :meth:`run` then only pays per-tile FFTs of the request data.
+    """
+
+    def __init__(self, spec: ModelSpec, input_tile,
+                 num_workers: int = 1, prewarm: bool = True) -> None:
+        self.spec = spec
+        self.input_tile = as_shape3(input_tile, name="input_tile")
+        self.fov = spec.fov
+        kwargs = dict(spec.builder_kwargs)
+        kwargs.pop("sparsity_schedule", None)
+        graph = build_layered_network(pool_to_filter_spec(spec.spec),
+                                      skip_kernels=True, **kwargs)
+        self.network = Network(graph, input_shape=self.input_tile,
+                               conv_mode=spec.conv_mode,
+                               num_workers=num_workers,
+                               deterministic_sums=True)
+        if spec.checkpoint is not None:
+            load_network(self.network, spec.checkpoint)
+        self.output_tile: Shape3 = tuple(
+            t - f + 1 for t, f in zip(self.input_tile, self.fov)
+        )  # type: ignore[assignment]
+        self._lock = threading.Lock()
+        # Kernels are frozen at serving time: pin their spectra so they
+        # survive the per-forward next_round() eviction, then compute
+        # them all once with a throwaway pass.
+        self.network.cache.pin_kind("ker")
+        if prewarm:
+            self.network.forward(
+                np.zeros(self.input_tile, dtype=np.float64))
+
+    def run(self, volume: np.ndarray, plan: Optional[TilePlan] = None,
+            progress=None) -> np.ndarray:
+        """Tiled dense inference over *volume* (thread-safe).
+
+        With no *plan* one is derived for this model's tile shape; the
+        volume must then tile exactly with ``input_tile`` (the pipeline
+        always plans first, via :meth:`plan`).
+        """
+        if plan is None:
+            plan = self.plan(volume.shape)
+        with self._lock:
+            return run_plan(self.network, volume, plan, progress=progress)
+
+    def plan(self, volume_shape) -> TilePlan:
+        """A :class:`~repro.serving.tiler.TilePlan` of *volume_shape*
+        using this model's fixed tile (no tile-shape search)."""
+        shape = as_shape3(volume_shape, name="volume_shape")
+        if any(v < t for v, t in zip(shape, self.input_tile)):
+            raise ValueError(
+                f"volume {shape} smaller than this warm model's tile "
+                f"{self.input_tile}")
+        dense_shape: Shape3 = tuple(
+            v - f + 1 for v, f in zip(shape, self.fov)
+        )  # type: ignore[assignment]
+        tiles = list(tile_plan(shape, self.input_tile, self.output_tile))
+        return TilePlan(volume_shape=shape, fov=self.fov,
+                        input_tile=self.input_tile,
+                        output_tile=self.output_tile,
+                        dense_shape=dense_shape, tiles=tiles)
+
+    def close(self) -> None:
+        with self._lock:
+            self.network.close()
+
+
+class ModelRegistry:
+    """Named model specs plus an LRU cache of warm models.
+
+    The cache key is ``(model name, input tile shape)``: the same model
+    served at two tile shapes is two warm entries (networks have static
+    shapes).  ``max_models`` bounds the number of warm twins held;
+    building past the cap evicts the least-recently-used entry and
+    closes its network.  All mutation happens under one lock — a build
+    can take a while, but serialising builds also deduplicates them,
+    and steady-state requests only pay a dict hit.
+    """
+
+    def __init__(self, max_models: int = 4, num_workers: int = 1,
+                 prewarm: bool = True) -> None:
+        if max_models < 1:
+            raise ValueError(f"max_models must be >= 1, got {max_models}")
+        self.max_models = max_models
+        self.num_workers = num_workers
+        self.prewarm = prewarm
+        self._specs: Dict[str, ModelSpec] = {}
+        self._warm: Dict[Tuple[str, Shape3], WarmModel] = {}
+        self._lock = threading.Lock()
+        reg = get_registry()
+        self._m_hit = reg.counter("serving.model_cache.hit")
+        self._m_miss = reg.counter("serving.model_cache.miss")
+        self._m_evicted = reg.counter("serving.model_cache.evicted")
+        self._m_entries = reg.gauge("serving.model_cache.entries")
+
+    def register(self, spec: ModelSpec) -> ModelSpec:
+        """Add (or replace) a model spec; replacing invalidates any
+        warm twins built from the old spec."""
+        with self._lock:
+            previous = self._specs.get(spec.name)
+            self._specs[spec.name] = spec
+            stale = []
+            if previous is not None and previous != spec:
+                stale = [k for k in self._warm if k[0] == spec.name]
+                for key in stale:
+                    self._warm.pop(key).close()
+                    self._m_evicted.inc()
+                self._m_entries.set(len(self._warm))
+        return spec
+
+    def model_names(self):
+        with self._lock:
+            return sorted(self._specs)
+
+    def spec(self, name: str) -> ModelSpec:
+        with self._lock:
+            try:
+                return self._specs[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown model {name!r}; registered: "
+                    f"{sorted(self._specs)}") from None
+
+    def fov(self, name: str) -> Shape3:
+        return self.spec(name).fov
+
+    def warm(self, name: str, input_tile) -> WarmModel:
+        """The warm twin of *name* at *input_tile*, building on miss."""
+        tile = as_shape3(input_tile, name="input_tile")
+        key = (name, tile)
+        with self._lock:
+            model = self._warm.get(key)
+            if model is not None:
+                # Refresh recency: re-insert at the MRU end.
+                del self._warm[key]
+                self._warm[key] = model
+                self._m_hit.inc()
+                return model
+            spec = self._specs.get(name)
+            if spec is None:
+                raise KeyError(
+                    f"unknown model {name!r}; registered: "
+                    f"{sorted(self._specs)}")
+            self._m_miss.inc()
+            model = WarmModel(spec, tile, num_workers=self.num_workers,
+                              prewarm=self.prewarm)
+            while len(self._warm) >= self.max_models:
+                _, evicted = self._pop_lru()
+                evicted.close()
+                self._m_evicted.inc()
+            self._warm[key] = model
+            self._m_entries.set(len(self._warm))
+            return model
+
+    def _pop_lru(self) -> Tuple[Tuple[str, Shape3], WarmModel]:
+        key = next(iter(self._warm))
+        return key, self._warm.pop(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._warm)
+
+    def close(self) -> None:
+        """Close every warm model and forget the cache."""
+        with self._lock:
+            warm = list(self._warm.values())
+            self._warm.clear()
+            self._m_entries.set(0)
+        for model in warm:
+            model.close()

@@ -1,0 +1,190 @@
+"""Tiling planner for dense-inference serving.
+
+A serving request may carry a volume far larger than one forward pass
+should hold in memory.  The planner splits it into overlapping input
+tiles — each tile extends its output block by the network's field of
+view minus one per axis, so adjacent tiles compute *identical* values
+on shared voxels (translation covariance) and stitching is exact,
+bit for bit in direct-convolution mode.
+
+The tile-shape choice is where ZNNi's output-patch analysis
+(arXiv:1606.05688) enters: inference throughput on CPU is maximised by
+the largest output patch that fits the memory budget, and FFT-based
+layers additionally want transform sizes that are 5-smooth
+(:func:`repro.tensor.fourier.next_fast_len`).  :func:`choose_tile_shape`
+therefore picks, per axis, the largest 5-smooth input size that fits
+the volume, then shrinks axes (largest first, staying 5-smooth where
+possible) until the voxel budget is met.  All tiles share one input
+shape — the warm model is built once per (model, tile shape) — and the
+last tile per axis shifts back to end at the volume boundary,
+re-computing a few voxels instead of running a ragged partial tile
+(exact for the same covariance reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tiling import tile_plan
+from repro.tensor.fourier import next_fast_len
+from repro.utils.shapes import Shape3, as_shape3, voxels
+
+__all__ = [
+    "DEFAULT_TILE_VOXELS",
+    "largest_fast_len",
+    "choose_tile_shape",
+    "TilePlan",
+    "plan_volume",
+    "run_plan",
+]
+
+#: Default input-tile voxel budget: 2^21 voxels = 16 MiB of float64 per
+#: tile image, a comfortable per-request working set that still keeps
+#: FFT transforms well inside L3 on the paper's machines.
+DEFAULT_TILE_VOXELS = 1 << 21
+
+
+def largest_fast_len(n: int, floor: int = 1) -> Optional[int]:
+    """Largest 5-smooth integer in ``[floor, n]``, or None if none
+    exists (the dual of :func:`repro.tensor.fourier.next_fast_len`)."""
+    if floor > n:
+        return None
+    for candidate in range(n, floor - 1, -1):
+        if next_fast_len(candidate) == candidate:
+            return candidate
+    return None
+
+
+def choose_tile_shape(volume_shape: Sequence[int], fov: Sequence[int],
+                      max_voxels: Optional[int] = None,
+                      fast_sizes: bool = True) -> Shape3:
+    """Input tile shape for tiling *volume_shape* with a network of
+    field of view *fov*.
+
+    Per axis the tile is at least ``fov`` (the minimum input producing
+    any output) and at most the volume.  With *fast_sizes* the planner
+    prefers 5-smooth sizes; axes are shrunk largest-first until the
+    tile fits *max_voxels* (fov is a hard floor — a budget smaller
+    than ``prod(fov)`` is unsatisfiable and the fov-sized tile is
+    returned).
+    """
+    v = as_shape3(volume_shape, name="volume_shape")
+    f = as_shape3(fov, name="fov")
+    if any(vd < fd for vd, fd in zip(v, f)):
+        raise ValueError(
+            f"volume {v} smaller than the field of view {f}")
+    if max_voxels is None:
+        max_voxels = DEFAULT_TILE_VOXELS
+
+    def best(n: int, floor: int) -> int:
+        if not fast_sizes:
+            return n
+        fast = largest_fast_len(n, floor)
+        return fast if fast is not None else n
+
+    tile = [best(vd, fd) for vd, fd in zip(v, f)]
+    while voxels(tile) > max_voxels:
+        # Shrink the axis with the most room above its fov floor.
+        axis = max(range(3), key=lambda a: tile[a] - f[a])
+        if tile[axis] <= f[axis]:
+            break  # every axis is at its floor
+        shrunk = best(tile[axis] - 1, f[axis])
+        if shrunk >= tile[axis]:
+            shrunk = tile[axis] - 1
+        tile[axis] = max(shrunk, f[axis])
+    return tuple(tile)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """A fully-resolved tiling of one volume.
+
+    ``tiles`` are ``(input_corner, output_corner)`` pairs; every tile
+    reads ``input_tile`` voxels starting at its input corner and writes
+    ``output_tile`` voxels of the dense output starting at its output
+    corner (corners coincide because output = input − fov + 1).
+    """
+
+    volume_shape: Shape3
+    fov: Shape3
+    input_tile: Shape3
+    output_tile: Shape3
+    dense_shape: Shape3
+    tiles: List[Tuple[Shape3, Shape3]] = field(repr=False)
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def tile_input_voxels(self) -> int:
+        return voxels(self.input_tile)
+
+    @property
+    def halo(self) -> Shape3:
+        """Per-axis overlap between adjacent input tiles."""
+        return tuple(f - 1 for f in self.fov)  # type: ignore[return-value]
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Fraction of tile-input voxels read more than once (the halo
+        overhead the ZNNi output-patch trade-off is about)."""
+        total = self.num_tiles * self.tile_input_voxels
+        return 1.0 - voxels(self.volume_shape) / total if total else 0.0
+
+
+def plan_volume(volume_shape: Sequence[int], fov: Sequence[int],
+                max_voxels: Optional[int] = None,
+                fast_sizes: bool = True) -> TilePlan:
+    """Plan a seam-free tiling of *volume_shape* for a network of field
+    of view *fov*."""
+    v = as_shape3(volume_shape, name="volume_shape")
+    f = as_shape3(fov, name="fov")
+    input_tile = choose_tile_shape(v, f, max_voxels=max_voxels,
+                                   fast_sizes=fast_sizes)
+    output_tile = tuple(t - fd + 1 for t, fd in zip(input_tile, f))
+    dense_shape = tuple(vd - fd + 1 for vd, fd in zip(v, f))
+    tiles = list(tile_plan(v, input_tile, output_tile))
+    return TilePlan(volume_shape=v, fov=f,
+                    input_tile=input_tile,  # type: ignore[arg-type]
+                    output_tile=output_tile,  # type: ignore[arg-type]
+                    dense_shape=dense_shape,  # type: ignore[arg-type]
+                    tiles=tiles)
+
+
+def run_plan(network, volume: np.ndarray, plan: TilePlan,
+             progress=None) -> np.ndarray:
+    """Execute *plan* with *network* (whose input shape must equal the
+    plan's tile) and stitch the seam-free dense output.
+
+    ``progress(done, total)`` is called after each tile.  In direct
+    convolution mode the stitched result is bitwise identical to a
+    single forward pass over the whole volume (property-tested in
+    ``tests/serving/test_tiled_equivalence.py``).
+    """
+    if volume.shape != plan.volume_shape:
+        raise ValueError(
+            f"volume {volume.shape} does not match plan "
+            f"{plan.volume_shape}")
+    in_shape = network.input_nodes[0].shape
+    if tuple(in_shape) != plan.input_tile:
+        raise ValueError(
+            f"network input {tuple(in_shape)} does not match plan tile "
+            f"{plan.input_tile}")
+    out_name = network.output_nodes[0].name
+    o = plan.output_tile
+    dense = np.empty(plan.dense_shape, dtype=np.float64)
+    for index, (ic, oc) in enumerate(plan.tiles):
+        block = volume[ic[0]:ic[0] + in_shape[0],
+                       ic[1]:ic[1] + in_shape[1],
+                       ic[2]:ic[2] + in_shape[2]]
+        tile = network.forward(np.ascontiguousarray(block))[out_name]
+        dense[oc[0]:oc[0] + o[0],
+              oc[1]:oc[1] + o[1],
+              oc[2]:oc[2] + o[2]] = tile
+        if progress is not None:
+            progress(index + 1, len(plan.tiles))
+    return dense

@@ -23,10 +23,22 @@ size ``k`` has an effective footprint of ``(k-1)*s + 1`` voxels per
 dimension.  Sparse convolution is what makes max-filtering ConvNets
 equivalent to sliding-window max-pooling ConvNets (Fig 2).
 
-Implementation notes (per the HPC guides): the sliding windows are
-zero-copy strided views (``sliding_window_view``) subsampled inside the
-window for dilation, and the contraction is a single ``tensordot`` so
-the heavy loop runs in compiled BLAS code, touching memory contiguously.
+Implementation notes (per the HPC guides): the forward-path
+correlations accumulate one kernel tap at a time over strided views of
+the image, in a fixed C order over the taps.  Each tap is a fused
+scalar-multiply/add over a contiguous block, so the heavy loops still
+run in compiled ufunc code — but, unlike a BLAS ``tensordot``
+contraction, the floating-point reduction order never depends on the
+image extent.  That makes direct convolution *bitwise translation
+covariant*: a voxel computed inside a small tile equals the same voxel
+computed inside the whole volume, bit for bit, which the serving tiler
+relies on to stitch seam-free dense output.  (BLAS GEMV reassociates
+the sum differently depending on the number of rows, so tensordot-based
+contraction is only covariant up to ~1 ulp.)  The tap accumulation also
+never materialises the ``out_shape + kernel_shape`` window copy that a
+tensordot contraction would.  The kernel-gradient path keeps the
+tensordot form: its output is kernel-sized, so the window tensor is
+small and no covariance property is required of it.
 """
 
 from __future__ import annotations
@@ -77,16 +89,31 @@ def dilate_kernel(kernel: np.ndarray, sparsity: int | Sequence[int]) -> np.ndarr
     return out
 
 
-def _windows(image: np.ndarray, kernel_shape: tuple[int, int, int],
-             sparsity: tuple[int, int, int]) -> np.ndarray:
-    """Zero-copy view of all sliding windows, dilation-subsampled.
+def _accumulate_taps(image: np.ndarray, kernel: np.ndarray,
+                     sparsity: tuple[int, int, int],
+                     out_shape: tuple[int, int, int]) -> np.ndarray:
+    """Correlate by accumulating one kernel tap at a time, in C order.
 
-    Returns an array of shape ``out_shape + kernel_shape`` where
-    ``out_shape = n - (k-1)*s`` per dimension.
+    ``out = sum_u kernel[u] * image[s*u : s*u + out_shape]`` with the
+    sum taken tap by tap.  The reduction order is a function of the
+    kernel shape alone — never of the image extent or the voxel's
+    position — so the result is bitwise identical whether a voxel is
+    evaluated inside a small tile or a whole volume.
     """
-    eff = effective_kernel_shape(kernel_shape, sparsity)
-    view = sliding_window_view(image, eff)
-    return view[..., :: sparsity[0], :: sparsity[1], :: sparsity[2]]
+    o0, o1, o2 = out_shape
+    s0, s1, s2 = sparsity
+    out = np.zeros(out_shape, dtype=np.result_type(image, kernel))
+    tap = np.empty(out_shape, dtype=out.dtype)
+    for kz in range(kernel.shape[0]):
+        z = kz * s0
+        for ky in range(kernel.shape[1]):
+            y = ky * s1
+            for kx in range(kernel.shape[2]):
+                x = kx * s2
+                block = image[z:z + o0, y:y + o1, x:x + o2]
+                np.multiply(block, kernel[kz, ky, kx], out=tap)
+                out += tap
+    return out
 
 
 def correlate_valid(image: np.ndarray, kernel: np.ndarray,
@@ -95,9 +122,8 @@ def correlate_valid(image: np.ndarray, kernel: np.ndarray,
     img = check_array3(image, "image")
     ker = check_array3(kernel, "kernel")
     s = as_shape3(sparsity, name="sparsity")
-    valid_conv_shape(img.shape, ker.shape, s)  # shape check
-    win = _windows(img, ker.shape, s)
-    return np.tensordot(win, ker, axes=3)
+    out_shape = valid_conv_shape(img.shape, ker.shape, s)
+    return _accumulate_taps(img, ker, s, out_shape)
 
 
 def convolve_valid(image: np.ndarray, kernel: np.ndarray,
@@ -120,10 +146,9 @@ def correlate_full(image: np.ndarray, kernel: np.ndarray,
     img = check_array3(image, "image")
     ker = check_array3(kernel, "kernel")
     s = as_shape3(sparsity, name="sparsity")
-    full_conv_shape(img.shape, ker.shape, s)  # shape check
+    out_shape = full_conv_shape(img.shape, ker.shape, s)
     padded = _pad_full(img, ker.shape, s)
-    win = _windows(padded, ker.shape, s)
-    return np.tensordot(win, ker, axes=3)
+    return _accumulate_taps(padded, ker, s, out_shape)
 
 
 def convolve_full(image: np.ndarray, kernel: np.ndarray,

@@ -16,23 +16,54 @@ Table II).  The paper notes this was impractical on GPUs for memory
 reasons but is natural on CPUs with large RAM.
 
 The cache is a thread-safe per-round store keyed by (round, kind, name).
-``invalidate_round`` drops everything from previous rounds, mirroring
-ZNN's behaviour where memoized spectra live exactly one forward/backward
+``next_round`` drops everything from previous rounds, mirroring ZNN's
+behaviour where memoized spectra live exactly one forward/backward
 /update cycle.  Statistics (computed vs reused) feed the memoization
 benchmark.
+
+Two extensions support long-running *serving* processes
+(``repro.serving``, docs/serving.md):
+
+* **pinned kinds** — :meth:`TransformCache.pin_kind` marks a kind
+  (e.g. ``"ker"``) as persistent: its entries survive ``next_round``.
+  At inference time kernels never change, so a warm model's kernel
+  spectra are transformed once and reused by every request.  Pinning
+  is only safe while the underlying parameters are frozen; training
+  code must not pin (``invalidate`` still removes single entries).
+* **byte-bounded LRU eviction** — a ``max_bytes`` cap (default from the
+  ``REPRO_FFT_CACHE_BYTES`` environment variable; 0/unset = unbounded)
+  evicts least-recently-used entries, pinned or not, so the cache
+  cannot grow without bound across many request shapes.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
 from repro.observability.metrics import get_registry
 
-__all__ = ["CacheStats", "TransformCache"]
+__all__ = ["CacheStats", "TransformCache", "cache_byte_limit_from_env"]
+
+#: Key-prefix for entries of pinned kinds (no round component, so they
+#: survive round eviction).
+_PINNED = "pinned"
+
+
+def cache_byte_limit_from_env() -> Optional[int]:
+    """The ``REPRO_FFT_CACHE_BYTES`` cap, or None when unset/0/invalid."""
+    raw = os.environ.get("REPRO_FFT_CACHE_BYTES", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass
@@ -42,6 +73,8 @@ class CacheStats:
     computed: int = 0
     reused: int = 0
     evicted: int = 0
+    #: Entries evicted by the byte-budget LRU (subset of ``evicted``).
+    lru_evicted: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -57,6 +90,7 @@ class CacheStats:
             "computed": self.computed,
             "reused": self.reused,
             "evicted": self.evicted,
+            "lru_evicted": self.lru_evicted,
             "reuse_fraction": self.reuse_fraction,
         }
 
@@ -70,21 +104,39 @@ class TransformCache:
         When False the cache degenerates to always-compute (the plain
         "FFT-based" column of Table II); statistics are still gathered
         so the two modes can be compared.
+    max_bytes:
+        Byte budget for stored spectra; least-recently-used entries are
+        evicted when an insert would exceed it.  ``None`` (the default)
+        reads ``REPRO_FFT_CACHE_BYTES`` from the environment; 0 or
+        unset means unbounded (the paper's behaviour — training rounds
+        bound the cache naturally via ``next_round``).
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True,
+                 max_bytes: Optional[int] = None) -> None:
         self.enabled = bool(enabled)
+        if max_bytes is None:
+            max_bytes = cache_byte_limit_from_env()
+        if max_bytes is not None and max_bytes <= 0:
+            max_bytes = None
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
+        # Insertion/access-ordered (dicts preserve order; hits re-insert)
+        # so iteration order is LRU-first.
         self._store: Dict[Tuple[Hashable, ...], np.ndarray] = {}
         self._round = 0
         self._bytes = 0
+        self._pinned_kinds: frozenset = frozenset()
         self.stats = CacheStats()
         reg = get_registry()
         self._m_hit = reg.counter("fft_cache.hit")
         self._m_miss = reg.counter("fft_cache.miss")
         self._m_evicted = reg.counter("fft_cache.evicted")
+        self._m_lru_evicted = reg.counter("fft_cache.lru_evicted")
         self._m_bytes = reg.gauge("fft_cache.bytes")
         self._m_entries = reg.gauge("fft_cache.entries")
+        self._m_max_bytes = reg.gauge("fft_cache.max_bytes")
+        self._m_max_bytes.set(max_bytes or 0)
 
     # ------------------------------------------------------------------
 
@@ -93,39 +145,89 @@ class TransformCache:
         """Current training round the cache is scoped to."""
         return self._round
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of spectra currently held."""
+        with self._lock:
+            return self._bytes
+
+    def pin_kind(self, kind: str) -> None:
+        """Mark *kind* persistent: entries survive :meth:`next_round`.
+
+        Serving pins ``"ker"`` so a warm model's kernel spectra are
+        computed once per process rather than once per request.  Only
+        safe while the parameters behind the kind are frozen.
+        """
+        self._pinned_kinds = self._pinned_kinds | {kind}
+
+    @property
+    def pinned_kinds(self) -> frozenset:
+        return self._pinned_kinds
+
+    def _key(self, kind: str, name: Hashable) -> Tuple[Hashable, ...]:
+        if kind in self._pinned_kinds:
+            return (_PINNED, kind, name)
+        return (self._round, kind, name)
+
     def next_round(self) -> int:
-        """Advance to the next training round, evicting all spectra.
+        """Advance to the next training round, evicting all per-round
+        spectra (entries of pinned kinds survive).
 
         ZNN's memoized spectra are only valid within one forward/
         backward/update cycle: kernels change at the update, images
         change with the next sample.
         """
         with self._lock:
-            evicted = len(self._store)
+            if self._pinned_kinds:
+                keep = {k: v for k, v in self._store.items()
+                        if k[0] == _PINNED}
+            else:
+                keep = {}
+            evicted = len(self._store) - len(keep)
             self.stats.evicted += evicted
-            self._store.clear()
-            self._bytes = 0
+            self._store = keep
+            self._bytes = sum(v.nbytes for v in keep.values())
             self._round += 1
             if evicted:
                 self._m_evicted.inc(evicted)
-            self._m_bytes.set(0)
-            self._m_entries.set(0)
+            self._m_bytes.set(self._bytes)
+            self._m_entries.set(len(self._store))
             return self._round
 
     def invalidate(self, kind: str, name: Hashable) -> None:
-        """Drop a single entry (e.g. a kernel spectrum after its update)."""
+        """Drop a single entry (e.g. a kernel spectrum after its update).
+
+        Works for pinned and per-round kinds alike."""
         with self._lock:
-            dropped = self._store.pop((self._round, kind, name), None)
+            dropped = self._store.pop(self._key(kind, name), None)
             if dropped is not None:
                 self._bytes -= dropped.nbytes
+                self.stats.evicted += 1
                 self._m_evicted.inc()
                 self._m_bytes.set(self._bytes)
                 self._m_entries.set(len(self._store))
 
+    def _evict_lru_locked(self) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        Called with the lock held.  A single entry larger than the
+        whole budget is still stored (and evicted by the next insert) —
+        refusing to cache would silently disable memoization for big
+        layers, which costs more than briefly exceeding the cap.
+        """
+        while self._bytes > self.max_bytes and len(self._store) > 1:
+            key = next(iter(self._store))
+            value = self._store.pop(key)
+            self._bytes -= value.nbytes
+            self.stats.evicted += 1
+            self.stats.lru_evicted += 1
+            self._m_evicted.inc()
+            self._m_lru_evicted.inc()
+
     def get_or_compute(self, kind: str, name: Hashable,
                        compute: Callable[[], np.ndarray]) -> np.ndarray:
         """Return the cached spectrum for (kind, name), computing at most
-        once per round.
+        once per round (once per process for pinned kinds).
 
         The computation runs *outside* the lock; if two threads race on
         the same key both compute but only one result is stored — the
@@ -133,10 +235,14 @@ class TransformCache:
         rare duplicated FFT for never holding the lock during an FFT,
         in the same spirit as the paper's wait-free summation.
         """
-        key = (self._round, kind, name)
+        key = self._key(kind, name)
         if self.enabled:
             with self._lock:
                 cached = self._store.get(key)
+                if cached is not None and self.max_bytes is not None:
+                    # Refresh recency: re-insert at the MRU end.
+                    del self._store[key]
+                    self._store[key] = cached
             if cached is not None:
                 with self._lock:
                     self.stats.reused += 1
@@ -149,6 +255,8 @@ class TransformCache:
                 if key not in self._store:
                     self._store[key] = value
                     self._bytes += value.nbytes
+                    if self.max_bytes is not None:
+                        self._evict_lru_locked()
                     self._m_bytes.set(self._bytes)
                     self._m_entries.set(len(self._store))
                 value = self._store[key]
@@ -161,4 +269,5 @@ class TransformCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"TransformCache(enabled={self.enabled}, round={self._round}, "
-                f"entries={len(self)}, stats={self.stats.snapshot()})")
+                f"entries={len(self)}, bytes={self.nbytes}, "
+                f"max_bytes={self.max_bytes}, stats={self.stats.snapshot()})")

@@ -1,0 +1,70 @@
+"""Shared serving fixtures: a tiny trained model on disk.
+
+Session-scoped so the ~20 serving tests build the pooling network,
+checkpoint and spec file exactly once.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import Network
+from repro.core.serialization import save_network
+from repro.graph import build_layered_network, dump_layered_spec
+from repro.serving import ModelRegistry, ModelSpec
+
+
+class SmallModel:
+    """A CTPCT pooling net (kernel 2, window 2, fov 5) saved to disk."""
+
+    spec = "CTPCT"
+    width = [2, 1]
+    kernel = 2
+    window = 2
+    transfer = "tanh"
+    fov = (5, 5, 5)
+
+    def __init__(self, root):
+        graph = build_layered_network(self.spec, width=self.width,
+                                      kernel=self.kernel,
+                                      window=self.window,
+                                      transfer=self.transfer)
+        self.pool_network = Network(graph, input_shape=(9, 9, 9), seed=11)
+        self.checkpoint = os.path.join(root, "ckpt.npz")
+        save_network(self.pool_network, self.checkpoint)
+        self.spec_path = os.path.join(root, "model.spec")
+        with open(self.spec_path, "w", encoding="utf-8") as fh:
+            fh.write(dump_layered_spec(self.spec, self.width,
+                                       kernel=self.kernel,
+                                       window=self.window,
+                                       transfer=self.transfer))
+
+    def builder_kwargs(self):
+        return dict(width=self.width, kernel=self.kernel,
+                    window=self.window, transfer=self.transfer)
+
+    def model_spec(self, name="small", conv_mode="direct"):
+        return ModelSpec.from_files(name, self.spec_path,
+                                    checkpoint=self.checkpoint,
+                                    conv_mode=conv_mode)
+
+
+@pytest.fixture(scope="session")
+def small_model(tmp_path_factory):
+    model = SmallModel(str(tmp_path_factory.mktemp("serving-model")))
+    yield model
+    model.pool_network.close()
+
+
+@pytest.fixture
+def registry(small_model):
+    reg = ModelRegistry(max_models=2)
+    reg.register(small_model.model_spec())
+    yield reg
+    reg.close()
+
+
+@pytest.fixture
+def volume():
+    return np.random.default_rng(42).standard_normal((13, 13, 13))

@@ -1,0 +1,98 @@
+"""HTTP front end: wire protocol, status mapping, client retry."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    HttpServingClient,
+    InferenceServer,
+    ServerOverloaded,
+    ServingError,
+    decode_array,
+    encode_array,
+    serve_http,
+)
+
+
+@pytest.fixture
+def http_server(registry):
+    inference = InferenceServer(registry, num_workers=2, max_queue=2,
+                                tile_voxels=1000)
+    server = serve_http(inference)
+    yield server
+    server.stop()
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        array = np.random.default_rng(1).standard_normal((3, 4, 5))
+        assert np.array_equal(decode_array(encode_array(array)), array)
+
+
+class TestEndpoints:
+    def test_healthz(self, http_server):
+        client = HttpServingClient(http_server.url)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["models"] == ["small"]
+        assert health["max_queue"] == 2
+
+    def test_metrics_endpoint(self, http_server):
+        with urllib.request.urlopen(
+                f"{http_server.url}/metrics", timeout=30) as response:
+            snapshot = json.loads(response.read().decode("utf-8"))
+        assert "serving.queue.depth" in snapshot
+
+    def test_infer_roundtrip(self, http_server, volume):
+        client = HttpServingClient(http_server.url)
+        out = client.infer("small", volume)
+        assert out.shape == tuple(v - 4 for v in volume.shape)
+        direct = http_server.inference.infer("small", volume)
+        assert np.array_equal(out, direct)
+
+    def test_unknown_model_404(self, http_server, volume):
+        client = HttpServingClient(http_server.url, max_attempts=1)
+        with pytest.raises(ServingError, match="404"):
+            client.infer("missing", volume)
+
+    def test_bad_payload_400(self, http_server):
+        request = urllib.request.Request(
+            f"{http_server.url}/v1/infer?model=small",
+            data=b"not an npy", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+    def test_missing_model_param_400(self, http_server, volume):
+        request = urllib.request.Request(
+            f"{http_server.url}/v1/infer",
+            data=encode_array(volume), method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+    def test_unknown_path_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"{http_server.url}/nope", timeout=30)
+        assert info.value.code == 404
+
+
+class TestOverloadOverHttp:
+    def test_503_with_retry_after(self, http_server, volume):
+        import time
+
+        inference = http_server.inference
+        inference.gate.clear()
+        time.sleep(0.05)
+        accepted = [inference.submit("small", volume) for _ in range(2)]
+        client = HttpServingClient(http_server.url, max_attempts=1)
+        with pytest.raises(ServerOverloaded) as info:
+            client.infer("small", volume)
+        assert info.value.retry_after > 0
+        inference.gate.set()
+        for request in accepted:
+            request.result(timeout=30)

@@ -1,0 +1,220 @@
+"""Request pipeline: admission, backpressure, deadlines, batching."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.observability import get_registry as metrics_registry
+from repro.resilience import RetryPolicy
+from repro.serving import (
+    DeadlineExceeded,
+    InferenceServer,
+    ServerClosed,
+    ServerOverloaded,
+    ServingClient,
+)
+
+
+def make_server(registry, **kwargs):
+    kwargs.setdefault("num_workers", 2)
+    kwargs.setdefault("max_queue", 4)
+    kwargs.setdefault("tile_voxels", 1000)
+    return InferenceServer(registry, **kwargs)
+
+
+class TestRoundTrip:
+    def test_infer_returns_dense_output(self, registry, volume):
+        with make_server(registry) as server:
+            out = server.infer("small", volume)
+        assert out.shape == tuple(v - 4 for v in volume.shape)
+
+    def test_too_thin_volume_fails_cleanly(self, registry):
+        # A 2D array promotes to (1, 20, 20), which cannot cover this
+        # model's (5, 5, 5) fov — the planner's error must reach the
+        # caller, not hang the request.
+        vol = np.random.default_rng(3).standard_normal((20, 20))
+        with make_server(registry) as server:
+            request = server.submit("small", vol)
+            with pytest.raises(ValueError, match="field of view"):
+                request.result(timeout=30)
+
+    def test_unknown_model_fails_before_queueing(self, registry, volume):
+        with make_server(registry) as server:
+            with pytest.raises(KeyError, match="unknown model"):
+                server.submit("nope", volume)
+            assert server.queue_depth == 0
+
+    def test_bad_volume_rejected(self, registry):
+        with make_server(registry) as server:
+            with pytest.raises(ValueError, match="2D or 3D"):
+                server.submit("small", np.zeros((2, 2, 2, 2)))
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_retry_after(self, registry, volume):
+        with make_server(registry, max_queue=2) as server:
+            server.gate.clear()
+            time.sleep(0.05)  # let workers park behind the gate
+            accepted = [server.submit("small", volume) for _ in range(2)]
+            with pytest.raises(ServerOverloaded) as info:
+                server.submit("small", volume)
+            assert info.value.retry_after > 0
+            server.gate.set()
+            for request in accepted:
+                assert request.result(timeout=30).size > 0
+
+    def test_rejection_metric(self, registry, volume):
+        counter = metrics_registry().counter("serving.requests.rejected")
+        before = counter.value
+        with make_server(registry, max_queue=1) as server:
+            server.gate.clear()
+            time.sleep(0.05)
+            server.submit("small", volume)
+            with pytest.raises(ServerOverloaded):
+                server.submit("small", volume)
+            server.gate.set()
+        assert counter.value == before + 1
+
+    def test_client_retries_until_capacity(self, registry, volume):
+        with make_server(registry, max_queue=1) as server:
+            server.gate.clear()
+            time.sleep(0.05)
+            first = server.submit("small", volume)
+            client = ServingClient(server, max_attempts=20,
+                                   backoff_cap=0.05)
+            done = threading.Event()
+            result = {}
+
+            def retrying_infer():
+                result["out"] = client.infer("small", volume)
+                done.set()
+
+            t = threading.Thread(target=retrying_infer)
+            t.start()
+            time.sleep(0.1)  # client is being rejected meanwhile
+            server.gate.set()
+            assert done.wait(30)
+            t.join()
+            assert np.array_equal(result["out"],
+                                  first.result(timeout=30))
+
+    def test_client_gives_up_after_max_attempts(self, registry, volume):
+        with make_server(registry, max_queue=1) as server:
+            server.gate.clear()
+            time.sleep(0.05)
+            server.submit("small", volume)
+            client = ServingClient(server, max_attempts=2,
+                                   backoff_cap=0.01)
+            with pytest.raises(ServerOverloaded):
+                client.infer("small", volume)
+            server.gate.set()
+
+
+class TestDeadlines:
+    def test_deadline_missed_in_queue(self, registry, volume):
+        counter = metrics_registry().counter(
+            "serving.requests.deadline_missed")
+        before = counter.value
+        with make_server(registry) as server:
+            server.gate.clear()
+            time.sleep(0.05)
+            request = server.submit("small", volume, timeout=0.01)
+            time.sleep(0.1)  # deadline passes while queued
+            server.gate.set()
+            with pytest.raises(DeadlineExceeded):
+                request.result(timeout=30)
+        assert counter.value == before + 1
+
+    def test_generous_deadline_met(self, registry, volume):
+        with make_server(registry) as server:
+            out = server.infer("small", volume, timeout=60)
+        assert out.size > 0
+
+
+class TestShutdown:
+    def test_stop_fails_pending_requests(self, registry, volume):
+        server = make_server(registry)
+        server.start()
+        server.gate.clear()
+        time.sleep(0.05)
+        pending = [server.submit("small", volume) for _ in range(3)]
+        server.stop()
+        for request in pending:
+            with pytest.raises(ServerClosed):
+                request.result(timeout=5)
+
+    def test_submit_after_stop_raises(self, registry, volume):
+        server = make_server(registry)
+        server.start()
+        server.stop()
+        with pytest.raises(ServerClosed):
+            server.submit("small", volume)
+
+    def test_stop_is_idempotent(self, registry):
+        server = make_server(registry)
+        server.start()
+        server.stop()
+        server.stop()
+
+
+class TestBatching:
+    def test_same_model_requests_batched(self, registry, volume):
+        histogram = metrics_registry().histogram("serving.batch_size")
+        with make_server(registry, num_workers=1, max_batch=4,
+                         max_queue=8) as server:
+            server.gate.clear()
+            time.sleep(0.05)
+            requests = [server.submit("small", volume) for _ in range(4)]
+            server.gate.set()
+            for request in requests:
+                request.result(timeout=30)
+        snap = histogram.snapshot()
+        assert snap["max"] >= 2  # at least one multi-request batch
+
+    def test_max_batch_one_disables_batching(self, registry, volume):
+        with make_server(registry, max_batch=1) as server:
+            assert server.infer("small", volume).size > 0
+
+
+class TestRetryPolicy:
+    def test_failed_request_retried(self, registry, volume):
+        policy = RetryPolicy(max_retries=2, backoff_seconds=0.0)
+        counter = metrics_registry().counter("serving.requests.retried")
+        before = counter.value
+        with make_server(registry, num_workers=1,
+                         retry_policy=policy) as server:
+            calls = {"n": 0}
+            original = server.registry.warm
+
+            def flaky_warm(name, tile):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise OSError("transient")
+                return original(name, tile)
+
+            server.registry.warm = flaky_warm
+            try:
+                out = server.infer("small", volume)
+            finally:
+                server.registry.warm = original
+        assert out.size > 0
+        assert counter.value == before + 1
+
+    def test_exhausted_retries_surface_error(self, registry, volume):
+        policy = RetryPolicy(max_retries=1, backoff_seconds=0.0)
+        with make_server(registry, num_workers=1,
+                         retry_policy=policy) as server:
+            original = server.registry.warm
+
+            def always_broken(name, tile):
+                raise OSError("permanent")
+
+            server.registry.warm = always_broken
+            try:
+                request = server.submit("small", volume)
+                with pytest.raises(OSError, match="permanent"):
+                    request.result(timeout=30)
+            finally:
+                server.registry.warm = original

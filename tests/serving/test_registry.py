@@ -1,0 +1,118 @@
+"""Model registry: spec loading, warm cache LRU, checkpoint restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import dense_equivalent_network
+from repro.observability import get_registry as metrics_registry
+from repro.serving import ModelRegistry, ModelSpec, WarmModel
+
+
+class TestModelSpec:
+    def test_from_files(self, small_model):
+        spec = small_model.model_spec()
+        assert spec.spec == "CTPCT"
+        assert spec.builder_kwargs["width"] == [2, 1]
+        assert "skip_kernels" not in spec.builder_kwargs
+        assert spec.fov == small_model.fov
+
+    def test_explicit_graph_spec_rejected(self, tmp_path):
+        path = tmp_path / "explicit.spec"
+        path.write_text("[node input]\n[node out]\n"
+                        "[edge t]\ntype = transfer\nsrc = input\n"
+                        "dst = out\ntransfer = tanh\n")
+        with pytest.raises(ValueError, match="layered"):
+            ModelSpec.from_files("x", path)
+
+
+class TestWarmModel:
+    def test_checkpoint_restores_into_twin(self, small_model, volume):
+        """The twin built straight from the checkpoint (no pooling net
+        in memory) matches dense_equivalent_network built by copying."""
+        warm = WarmModel(small_model.model_spec(), volume.shape)
+        served = warm.run(volume)
+        reference = dense_equivalent_network(
+            small_model.pool_network, small_model.spec, volume.shape,
+            conv_mode="direct", deterministic_sums=True,
+            **small_model.builder_kwargs())
+        expected = reference.forward(volume)[
+            reference.output_nodes[0].name]
+        reference.close()
+        warm.close()
+        assert np.array_equal(served, expected)
+
+    def test_kernel_spectra_pinned(self, small_model):
+        warm = WarmModel(small_model.model_spec(conv_mode="fft"),
+                         (10, 10, 10))
+        assert "ker" in warm.network.cache.pinned_kinds
+        baseline = warm.network.cache.stats.computed
+        warm.run(np.zeros((10, 10, 10)))
+        warm.run(np.ones((10, 10, 10)))
+        # Forward passes after prewarm never recompute kernel spectra:
+        # only image transforms are computed, and their count is
+        # identical between the two post-prewarm passes.
+        per_pass = warm.network.cache.stats.computed - baseline
+        assert per_pass % 2 == 0
+        warm.close()
+
+    def test_plan_uses_fixed_tile(self, small_model):
+        warm = WarmModel(small_model.model_spec(), (9, 9, 9))
+        plan = warm.plan((17, 17, 17))
+        assert plan.input_tile == (9, 9, 9)
+        assert plan.dense_shape == (13, 13, 13)
+        with pytest.raises(ValueError, match="smaller"):
+            warm.plan((8, 8, 8))
+        warm.close()
+
+    def test_run_rejects_wrong_volume(self, small_model):
+        warm = WarmModel(small_model.model_spec(), (9, 9, 9))
+        plan = warm.plan((17, 17, 17))
+        with pytest.raises(ValueError, match="does not match"):
+            warm.run(np.zeros((16, 16, 16)), plan)
+        warm.close()
+
+
+class TestModelRegistry:
+    def test_unknown_model(self, registry):
+        with pytest.raises(KeyError, match="unknown model"):
+            registry.warm("nope", (9, 9, 9))
+        with pytest.raises(KeyError, match="unknown model"):
+            registry.spec("nope")
+
+    def test_hit_and_miss(self, registry):
+        first = registry.warm("small", (9, 9, 9))
+        again = registry.warm("small", (9, 9, 9))
+        assert first is again
+        other = registry.warm("small", (10, 10, 10))
+        assert other is not first
+        assert len(registry) == 2
+
+    def test_lru_eviction_closes_oldest(self, registry):
+        a = registry.warm("small", (9, 9, 9))
+        registry.warm("small", (10, 10, 10))
+        registry.warm("small", (9, 9, 9))  # refresh a
+        registry.warm("small", (12, 12, 12))  # evicts the (10,10,10) twin
+        assert len(registry) == 2
+        assert registry.warm("small", (9, 9, 9)) is a
+
+    def test_replacing_spec_invalidates_warm_models(self, small_model):
+        reg = ModelRegistry(max_models=2)
+        reg.register(small_model.model_spec())
+        stale = reg.warm("small", (9, 9, 9))
+        reg.register(small_model.model_spec(conv_mode="fft"))
+        fresh = reg.warm("small", (9, 9, 9))
+        assert fresh is not stale
+        reg.close()
+
+    def test_metrics_counters_move(self, registry):
+        reg = metrics_registry()
+        hit = reg.counter("serving.model_cache.hit").value
+        miss = reg.counter("serving.model_cache.miss").value
+        registry.warm("small", (9, 9, 9))
+        registry.warm("small", (9, 9, 9))
+        assert reg.counter("serving.model_cache.miss").value == miss + 1
+        assert reg.counter("serving.model_cache.hit").value == hit + 1
+
+    def test_model_names(self, registry):
+        assert registry.model_names() == ["small"]
+        assert registry.fov("small") == (5, 5, 5)

@@ -1,0 +1,120 @@
+"""Tiling planner: fast sizes, voxel budgets, exact coverage."""
+
+import numpy as np
+import pytest
+
+from repro.serving.tiler import (
+    DEFAULT_TILE_VOXELS,
+    TilePlan,
+    choose_tile_shape,
+    largest_fast_len,
+    plan_volume,
+)
+from repro.tensor.fourier import next_fast_len
+
+
+class TestLargestFastLen:
+    def test_fast_numbers_map_to_themselves(self):
+        for n in (1, 2, 3, 4, 5, 8, 9, 10, 12, 16, 20, 25, 27, 30):
+            assert largest_fast_len(n) == n
+
+    def test_rounds_down(self):
+        assert largest_fast_len(7) == 6
+        assert largest_fast_len(11) == 10
+        assert largest_fast_len(31) == 30
+
+    def test_respects_floor(self):
+        assert largest_fast_len(7, floor=7) is None
+        assert largest_fast_len(11, floor=9) == 10
+
+    def test_empty_range(self):
+        assert largest_fast_len(3, floor=5) is None
+
+    def test_is_dual_of_next_fast_len(self):
+        for n in range(1, 200):
+            down = largest_fast_len(n)
+            assert down is not None and down <= n
+            assert next_fast_len(down) == down
+
+
+class TestChooseTileShape:
+    def test_small_volume_unchanged_when_fast(self):
+        assert choose_tile_shape((16, 16, 16), (5, 5, 5)) == (16, 16, 16)
+
+    def test_prefers_fast_sizes(self):
+        tile = choose_tile_shape((17, 17, 17), (5, 5, 5))
+        assert tile == (16, 16, 16)
+
+    def test_fast_sizes_disabled(self):
+        tile = choose_tile_shape((17, 17, 17), (5, 5, 5), fast_sizes=False)
+        assert tile == (17, 17, 17)
+
+    def test_budget_shrinks_tile(self):
+        tile = choose_tile_shape((100, 100, 100), (5, 5, 5),
+                                 max_voxels=1000)
+        assert np.prod(tile) <= 1000
+        assert all(t >= 5 for t in tile)
+
+    def test_fov_is_hard_floor(self):
+        tile = choose_tile_shape((50, 50, 50), (9, 9, 9), max_voxels=1)
+        assert tile == (9, 9, 9)
+
+    def test_volume_smaller_than_fov_raises(self):
+        with pytest.raises(ValueError, match="field of view"):
+            choose_tile_shape((4, 10, 10), (5, 5, 5))
+
+    def test_anisotropic_fov(self):
+        tile = choose_tile_shape((40, 40, 40), (1, 7, 7), max_voxels=500)
+        assert all(t >= f for t, f in zip(tile, (1, 7, 7)))
+        assert np.prod(tile) <= 500
+
+    def test_default_budget(self):
+        tile = choose_tile_shape((512, 512, 512), (9, 9, 9))
+        assert np.prod(tile) <= DEFAULT_TILE_VOXELS
+
+
+class TestPlanVolume:
+    def test_single_tile_plan(self):
+        plan = plan_volume((16, 16, 16), (5, 5, 5))
+        assert plan.num_tiles == 1
+        assert plan.input_tile == (16, 16, 16)
+        assert plan.output_tile == (12, 12, 12)
+        assert plan.dense_shape == (12, 12, 12)
+
+    def test_output_blocks_cover_dense_exactly(self):
+        plan = plan_volume((30, 30, 30), (5, 5, 5), max_voxels=1000)
+        covered = np.zeros(plan.dense_shape, dtype=int)
+        o = plan.output_tile
+        for _, oc in plan.tiles:
+            covered[oc[0]:oc[0] + o[0],
+                    oc[1]:oc[1] + o[1],
+                    oc[2]:oc[2] + o[2]] += 1
+        assert covered.min() >= 1  # every output voxel written
+        # interior tiles don't overlap; only shift-back tiles do
+        assert covered.max() <= 8
+
+    def test_input_corners_in_bounds(self):
+        plan = plan_volume((23, 29, 31), (5, 5, 5), max_voxels=800)
+        for ic, oc in plan.tiles:
+            assert all(c >= 0 for c in ic)
+            assert all(c + t <= v for c, t, v in
+                       zip(ic, plan.input_tile, plan.volume_shape))
+            assert ic == oc  # output corner == input corner (valid conv)
+
+    def test_halo_and_recompute(self):
+        plan = plan_volume((30, 30, 30), (5, 5, 5), max_voxels=1000)
+        assert plan.halo == (4, 4, 4)
+        assert 0.0 < plan.recompute_fraction < 1.0
+        single = plan_volume((16, 16, 16), (5, 5, 5))
+        assert single.recompute_fraction == 0.0
+
+    def test_is_frozen(self):
+        plan = plan_volume((16, 16, 16), (5, 5, 5))
+        assert isinstance(plan, TilePlan)
+        with pytest.raises(AttributeError):
+            plan.fov = (1, 1, 1)
+
+    def test_2d_volume_promotes(self):
+        plan = plan_volume((1, 20, 20), (1, 5, 5))
+        assert plan.volume_shape == (1, 20, 20)
+        assert plan.dense_shape == (1, 16, 16)

@@ -94,7 +94,7 @@ class TestStats:
     def test_snapshot_keys(self):
         snap = TransformCache().stats.snapshot()
         assert set(snap) == {"computed", "reused", "evicted",
-                             "reuse_fraction"}
+                             "lru_evicted", "reuse_fraction"}
 
 
 class TestThreadSafety:
@@ -118,3 +118,110 @@ class TestThreadSafety:
             t.join()
         first = results[0]
         assert all(r is first for r in results)
+
+
+class TestByteBoundedLru:
+    def arr(self, value, n=4):
+        return lambda: np.full((n, n, n), float(value))
+
+    def test_unbounded_by_default(self):
+        cache = TransformCache()
+        assert cache.max_bytes is None
+
+    def test_env_var_sets_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FFT_CACHE_BYTES", "4096")
+        assert TransformCache().max_bytes == 4096
+
+    def test_env_var_zero_or_garbage_means_unbounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FFT_CACHE_BYTES", "0")
+        assert TransformCache().max_bytes is None
+        monkeypatch.setenv("REPRO_FFT_CACHE_BYTES", "lots")
+        assert TransformCache().max_bytes is None
+
+    def test_explicit_cap_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FFT_CACHE_BYTES", "4096")
+        assert TransformCache(max_bytes=1024).max_bytes == 1024
+
+    def test_lru_eviction_under_pressure(self):
+        # Each 4^3 float64 entry is 512 bytes; cap at two entries.
+        cache = TransformCache(max_bytes=1024)
+        cache.get_or_compute("img", "a", self.arr(1))
+        cache.get_or_compute("img", "b", self.arr(2))
+        cache.get_or_compute("img", "c", self.arr(3))  # evicts "a"
+        assert len(cache) == 2
+        assert cache.stats.lru_evicted == 1
+        assert cache.nbytes <= 1024
+        # "a" must be recomputed, "c" is still cached.
+        calls = []
+
+        def recompute():
+            calls.append(1)
+            return np.zeros((4, 4, 4))
+
+        cache.get_or_compute("img", "a", recompute)
+        assert calls
+        cache.get_or_compute("img", "c", recompute)
+        assert len(calls) == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = TransformCache(max_bytes=1024)
+        cache.get_or_compute("img", "a", self.arr(1))
+        cache.get_or_compute("img", "b", self.arr(2))
+        cache.get_or_compute("img", "a", self.arr(1))  # touch "a"
+        cache.get_or_compute("img", "c", self.arr(3))  # evicts "b", not "a"
+        calls = []
+
+        def recompute():
+            calls.append(1)
+            return np.zeros((4, 4, 4))
+
+        cache.get_or_compute("img", "a", recompute)
+        assert not calls  # "a" survived
+        cache.get_or_compute("img", "b", recompute)
+        assert calls  # "b" was the LRU victim
+
+    def test_oversized_entry_still_stored(self):
+        cache = TransformCache(max_bytes=64)
+        v = cache.get_or_compute("img", "big", self.arr(1))
+        assert v is cache.get_or_compute("img", "big", self.arr(1))
+
+
+class TestPinnedKinds:
+    def test_pinned_kind_survives_next_round(self):
+        cache = TransformCache()
+        cache.pin_kind("ker")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.zeros((2, 2, 2))
+
+        cache.get_or_compute("ker", "conv1", compute)
+        cache.get_or_compute("img", "a", lambda: np.ones((2, 2, 2)))
+        cache.next_round()
+        assert len(cache) == 1  # img evicted, ker kept
+        cache.get_or_compute("ker", "conv1", compute)
+        assert len(calls) == 1
+
+    def test_invalidate_removes_pinned_entry(self):
+        cache = TransformCache()
+        cache.pin_kind("ker")
+        cache.get_or_compute("ker", "conv1", lambda: np.zeros((2, 2, 2)))
+        cache.invalidate("ker", "conv1")
+        assert len(cache) == 0
+
+    def test_unpinned_kind_is_round_scoped(self):
+        cache = TransformCache()
+        cache.pin_kind("ker")
+        cache.get_or_compute("grad", "a", lambda: np.zeros((2, 2, 2)))
+        cache.next_round()
+        assert len(cache) == 0
+
+    def test_bytes_tracked_across_round_with_pins(self):
+        cache = TransformCache()
+        cache.pin_kind("ker")
+        cache.get_or_compute("ker", "k", lambda: np.zeros((4, 4, 4)))
+        cache.get_or_compute("img", "a", lambda: np.zeros((4, 4, 4)))
+        assert cache.nbytes == 2 * 512
+        cache.next_round()
+        assert cache.nbytes == 512

@@ -11,11 +11,13 @@ import numpy as np
 import pytest
 
 from _bench_utils import fmt, print_table
+from repro.analysis import runtime as check_runtime
 from repro.core import Network, SGD
 from repro.graph import build_layered_network
 from repro.memory import PoolAllocator, ThreadLocalAllocator
 from repro.observability import get_registry, render_metrics
 from repro.scheduler import TraceRecorder, select_strategy
+from repro.sync import HeapOfLists
 
 
 def traced_training(num_workers=2, rounds=2):
@@ -112,6 +114,52 @@ def test_bench_traced_round_metrics_disabled(benchmark):
         benchmark(traced_training, 1, 1)
     finally:
         reg.enable()
+
+
+def test_bench_traced_round_repro_check(benchmark):
+    """Same round with the REPRO_CHECK runtime checker enabled —
+    compare against test_bench_traced_round for the debug-mode cost
+    (CheckedLock + lockset notes on every queue/pool/cache op)."""
+    if check_runtime.checking_enabled():
+        pytest.skip("REPRO_CHECK already on; baseline bench meaningless")
+    check_runtime.enable_checks()
+    try:
+        benchmark(traced_training, 1, 1)
+        check_runtime.assert_clean()
+    finally:
+        check_runtime.disable_checks()
+
+
+def test_bench_queue_cycle_checker_off(benchmark):
+    """Hot-path cost with checking off (the default, and the shipped
+    configuration): make_lock() handed the queue a plain
+    threading.Lock and each op pays one captured-bool branch — the
+    <1%-when-off budget of docs/static_analysis.md.  Compare with
+    test_bench_queue_cycle_checker_on."""
+    if check_runtime.checking_enabled():
+        pytest.skip("REPRO_CHECK already on; off-mode bench meaningless")
+    queue = HeapOfLists()
+
+    def cycle():
+        queue.push(1, "item")
+        queue.pop(block=False)
+
+    benchmark(cycle)
+
+
+def test_bench_queue_cycle_checker_on(benchmark):
+    check_runtime.enable_checks()
+    try:
+        queue = HeapOfLists()
+
+        def cycle():
+            queue.push(1, "item")
+            queue.pop(block=False)
+
+        benchmark(cycle)
+        check_runtime.assert_clean()
+    finally:
+        check_runtime.disable_checks()
 
 
 def test_bench_autoselect(benchmark):

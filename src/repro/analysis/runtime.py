@@ -1,0 +1,476 @@
+"""Dynamic concurrency checking — ``REPRO_CHECK=1`` mode.
+
+The paper's correctness claims rest on two disciplines that ordinary
+tests cannot see: every shared structure is touched only under its
+documented lock (the heap-of-lists queue, the FFT cache, the pools'
+stats), and locks are always taken in a consistent global order (no
+potential deadlock hides behind a lucky schedule).  This module makes
+both disciplines *checked invariants*:
+
+* :class:`CheckedLock` — an instrumented drop-in for ``threading.Lock``
+  that maintains a per-thread held-lock stack and a process-global
+  **lock-order graph**.  An edge ``A -> B`` is recorded the first time
+  any thread acquires ``B`` while holding ``A``; a cycle in the graph
+  is a potential deadlock and is reported with the acquisition stacks
+  of both conflicting edges (the happens-before flavour of FastTrack,
+  Flanagan & Freund, PLDI 2009, collapsed to lock identities).
+
+* a lightweight **lockset race detector** in the spirit of Eraser
+  (Savage et al., SOSP 1997): objects registered via :func:`track`
+  maintain a candidate lockset — the intersection of the checked locks
+  held at every access.  Once an object is written from two threads
+  and its lockset is empty, a race is reported with the offending
+  stack.
+
+Both report through the existing observability registry
+(``analysis.lock_order_violations`` / ``analysis.race_violations``
+counters) and keep a programmatic list (:func:`violations`,
+:func:`assert_clean`) the ``REPRO_CHECK=1`` CI lane asserts empty.
+
+Activation: the instrumented subsystems call :func:`make_lock` /
+:func:`checking_enabled` at *construction* time.  With ``REPRO_CHECK``
+unset (the default) ``make_lock`` returns a plain ``threading.Lock``
+and every hook collapses to one captured-bool branch — the measured
+overhead is <1% (see ``benchmarks/bench_engine_utilization.py``),
+mirroring ``REPRO_METRICS=0``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.observability.metrics import get_registry
+
+__all__ = [
+    "CheckedLock",
+    "Violation",
+    "assert_clean",
+    "checking_enabled",
+    "disable_checks",
+    "enable_checks",
+    "make_condition",
+    "make_lock",
+    "note_access",
+    "reset_violations",
+    "track",
+    "violations",
+]
+
+#: Attribute name under which :func:`track` stores per-object state.
+_TRACK_ATTR = "_repro_track_info"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reported concurrency-discipline violation."""
+
+    #: ``"lock-order"``, ``"recursive-acquire"``, ``"unheld-release"``
+    #: or ``"race"``.
+    kind: str
+    message: str
+    #: Formatted stack of the acquisition/access that completed the
+    #: violation.
+    stack: str
+    #: For lock-order cycles: the formatted stack that created the
+    #: conflicting (reverse-direction) edge.
+    other_stack: str = ""
+
+    def __str__(self) -> str:
+        text = f"[{self.kind}] {self.message}\n--- stack ---\n{self.stack}"
+        if self.other_stack:
+            text += f"--- conflicting stack ---\n{self.other_stack}"
+        return text
+
+
+def _capture_stack(skip: int = 2) -> str:
+    """The current stack, minus *skip* innermost frames of this module."""
+    frames = traceback.format_stack()[:-skip]
+    return "".join(frames[-8:])
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of currently-held :class:`CheckedLock` objects."""
+
+    def __init__(self) -> None:
+        self.locks: List["CheckedLock"] = []
+
+
+class _TrackInfo:
+    """Eraser-style per-object state (kept out of the object's API)."""
+
+    __slots__ = ("name", "policy", "lock", "owner", "state", "lockset",
+                 "reported", "accesses", "threads")
+
+    def __init__(self, name: str, policy: str) -> None:
+        self.name = name
+        self.policy = policy
+        # A plain (un-checked) lock: the detector's own bookkeeping
+        # must stay invisible to the lock-order graph.
+        self.lock = threading.Lock()
+        self.owner: Optional[int] = None
+        #: ``"exclusive"`` | ``"shared-read"`` | ``"shared-modified"``
+        self.state = "virgin"
+        #: None means "universe" (no multi-thread access yet).
+        self.lockset: Optional[FrozenSet[str]] = None
+        self.reported = False
+        self.accesses = 0
+        self.threads: Set[int] = set()
+
+
+class _CheckState:
+    """Process-global state for one checking session."""
+
+    def __init__(self) -> None:
+        self.held = _HeldStack()
+        # (from_name, to_name) -> (stack, thread name); first sighting.
+        self.edges: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        self.adjacency: Dict[str, Set[str]] = {}
+        self.graph_lock = threading.Lock()
+        self.violations: List[Violation] = []
+        self.violations_lock = threading.Lock()
+        reg = get_registry()
+        self.m_lock_order = reg.counter("analysis.lock_order_violations")
+        self.m_race = reg.counter("analysis.race_violations")
+        self.m_tracked = reg.gauge("analysis.tracked_objects")
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self, violation: Violation) -> None:
+        with self.violations_lock:
+            self.violations.append(violation)
+        if violation.kind == "race":
+            self.m_race.inc()
+        else:
+            self.m_lock_order.inc()
+        print(f"REPRO_CHECK violation: {violation}", file=sys.stderr)
+
+    # -- lock-order graph ----------------------------------------------
+
+    def record_edge(self, held: "CheckedLock", acquiring: "CheckedLock",
+                    stack: str) -> None:
+        a, b = held.order_name, acquiring.order_name
+        if a == b:
+            # Same-name nesting across *instances* (e.g. two queues) is
+            # hierarchical by construction here; a same-instance nest is
+            # reported separately as recursive-acquire.
+            return
+        key = (a, b)
+        with self.graph_lock:
+            if key in self.edges:
+                return
+            self.edges[key] = (stack, threading.current_thread().name)
+            self.adjacency.setdefault(a, set()).add(b)
+            cycle = self._find_path(b, a)
+        if cycle is not None:
+            # The reverse-direction path exists: taking a -> b closes a
+            # cycle.  Attach the stack of the first edge on that path.
+            first_edge = (cycle[0], cycle[1])
+            other_stack, other_thread = self.edges.get(first_edge, ("", "?"))
+            self.report(Violation(
+                kind="lock-order",
+                message=(
+                    f"lock-order cycle: acquired {b!r} while holding {a!r}, "
+                    f"but the reverse order {' -> '.join(cycle)} was "
+                    f"established by thread {other_thread!r} — potential "
+                    f"deadlock"),
+                stack=stack,
+                other_stack=other_stack,
+            ))
+
+    def _find_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """DFS in the edge graph; returns the node path or None.
+
+        Called with ``graph_lock`` held.
+        """
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        seen: Set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self.adjacency.get(node, ()):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- lockset race detection ----------------------------------------
+
+    def note(self, info: _TrackInfo, kind: str) -> None:
+        tid = threading.get_ident()
+        held = frozenset(lock.order_name for lock in self.held.locks)
+        with info.lock:
+            info.accesses += 1
+            info.threads.add(tid)
+            if info.policy == "atomic":
+                # Lock-free by design (GIL-atomic deque ops): record the
+                # traffic but do not apply lockset reasoning.
+                return
+            if info.state == "virgin":
+                info.state = "exclusive"
+                info.owner = tid
+                return
+            if info.state == "exclusive" and info.owner == tid:
+                return
+            # Second thread seen: start/refine the lockset.
+            info.lockset = (held if info.lockset is None
+                            else info.lockset & held)
+            if kind == "write":
+                info.state = "shared-modified"
+            elif info.state != "shared-modified":
+                info.state = "shared-read"
+            racy = (info.state == "shared-modified" and not info.lockset
+                    and not info.reported)
+            if racy:
+                info.reported = True
+        if racy:
+            self.report(Violation(
+                kind="race",
+                message=(
+                    f"unsynchronised {kind} to tracked object "
+                    f"{info.name!r}: accessed by {len(info.threads)} "
+                    f"threads with an empty candidate lockset"),
+                stack=_capture_stack(skip=3),
+            ))
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CHECK", "0").strip().lower() not in (
+        "", "0", "false", "off", "no")
+
+
+_state: Optional[_CheckState] = _CheckState() if _env_enabled() else None
+
+#: Shared state for CheckedLocks constructed directly while global
+#: checking is off (unit tests): they must still see one held stack.
+_standalone_state: Optional[_CheckState] = None
+_standalone_guard = threading.Lock()
+
+
+def _resolve_state(state: Optional[_CheckState]) -> _CheckState:
+    global _standalone_state
+    if state is not None:
+        return state
+    if _state is not None:
+        return _state
+    with _standalone_guard:
+        if _standalone_state is None:
+            _standalone_state = _CheckState()
+        return _standalone_state
+
+
+class CheckedLock:
+    """An instrumented non-reentrant lock (``threading.Lock`` semantics).
+
+    Maintains the per-thread held stack, feeds the lock-order graph,
+    and reports (then raises on) recursive acquisition — which on the
+    plain lock would be a silent self-deadlock.  Works as the lock of a
+    ``threading.Condition``.
+    """
+
+    __slots__ = ("order_name", "_inner", "_state")
+
+    def __init__(self, name: str,
+                 state: Optional[_CheckState] = None) -> None:
+        #: Site label; cycle detection aggregates instances by it.
+        self.order_name = name
+        self._inner = threading.Lock()
+        self._state = _resolve_state(state)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        state = self._state
+        held = state.held.locks
+        if self in held:
+            if not blocking:
+                # threading.Condition._is_owned probes with
+                # acquire(False); a held lock simply reports busy.
+                return False
+            violation = Violation(
+                kind="recursive-acquire",
+                message=(f"thread {threading.current_thread().name!r} "
+                         f"re-acquired non-reentrant lock "
+                         f"{self.order_name!r} it already holds — "
+                         f"certain deadlock"),
+                stack=_capture_stack(),
+            )
+            state.report(violation)
+            raise RuntimeError(violation.message)
+        if held:
+            stack = _capture_stack()
+            for other in held:
+                state.record_edge(other, self, stack)
+        acquired = self._inner.acquire(  # lint: disable=raw-acquire
+            blocking, timeout)
+        if acquired:
+            held.append(self)
+        return acquired
+
+    def release(self) -> None:
+        state = self._state
+        held = state.held.locks
+        if self in held:
+            # Remove the most recent acquisition (Condition.wait may
+            # interleave probe acquisitions, so not necessarily top).
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] is self:
+                    del held[i]
+                    break
+        else:
+            state.report(Violation(
+                kind="unheld-release",
+                message=(f"thread {threading.current_thread().name!r} "
+                         f"released lock {self.order_name!r} it does "
+                         f"not hold"),
+                stack=_capture_stack(),
+            ))
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()  # lint: disable=raw-acquire
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckedLock({self.order_name!r}, locked={self.locked()})"
+
+
+LockLike = Union[threading.Lock, CheckedLock]
+
+
+# ---------------------------------------------------------------------------
+# Public API used by the instrumented subsystems.
+# ---------------------------------------------------------------------------
+
+
+def checking_enabled() -> bool:
+    """True when ``REPRO_CHECK`` mode is active (env or programmatic)."""
+    return _state is not None
+
+
+def enable_checks() -> None:
+    """Activate checking (tests; the env var does this at import)."""
+    global _state
+    if _state is None:
+        _state = _CheckState()
+
+
+def disable_checks() -> None:
+    """Deactivate checking and drop all recorded state."""
+    global _state
+    _state = None
+
+
+def make_lock(name: str) -> LockLike:
+    """A lock for the site *name*: plain when checking is off,
+    :class:`CheckedLock` when on.  Call at construction time."""
+    if _state is None:
+        return threading.Lock()
+    return CheckedLock(name, state=_state)
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A condition over :func:`make_lock` of the same *name*."""
+    return threading.Condition(make_lock(name))  # type: ignore[arg-type]
+
+
+def track(obj: object, name: Optional[str] = None,
+          policy: str = "guarded") -> object:
+    """Register *obj* with the lockset race detector.
+
+    ``policy="guarded"`` (default) applies Eraser lockset reasoning:
+    every :func:`note_access` intersects the candidate lockset with the
+    checked locks currently held; multi-thread writes with an empty
+    lockset are reported.  ``policy="atomic"`` declares the object
+    lock-free by design (the pools' GIL-atomic deques): accesses are
+    recorded for the report but never flagged.
+
+    No-op (and cheap) when checking is disabled.  Returns *obj*.
+    """
+    state = _state
+    if state is None:
+        return obj
+    if policy not in ("guarded", "atomic"):
+        raise ValueError(f"unknown track policy {policy!r}")
+    label = name if name is not None else type(obj).__name__
+    try:
+        setattr(obj, _TRACK_ATTR, _TrackInfo(label, policy))
+    except AttributeError:
+        # __slots__ classes cannot be tracked; stay silent by contract.
+        return obj
+    state.m_tracked.inc()
+    return obj
+
+
+def note_access(obj: object, kind: str = "write") -> None:
+    """Record a *kind* ∈ {"read", "write"} access to a tracked object.
+
+    Call sites guard this behind a captured ``checking_enabled()`` bool
+    so the disabled fast path is a single branch.
+    """
+    state = _state
+    if state is None:
+        return
+    info = getattr(obj, _TRACK_ATTR, None)
+    if info is None:
+        return
+    state.note(info, kind)
+
+
+# ---------------------------------------------------------------------------
+# Introspection for tests and the CI lane.
+# ---------------------------------------------------------------------------
+
+
+def violations() -> List[Violation]:
+    """All violations reported since checks were enabled/reset."""
+    state = _state
+    if state is None:
+        return []
+    with state.violations_lock:
+        return list(state.violations)
+
+
+def reset_violations() -> None:
+    """Clear recorded violations (the lock-order graph survives)."""
+    state = _state
+    if state is None:
+        return
+    with state.violations_lock:
+        state.violations.clear()
+
+
+def assert_clean() -> None:
+    """Raise ``AssertionError`` listing violations, if any were seen."""
+    seen = violations()
+    if seen:
+        summary = "\n\n".join(str(v) for v in seen)
+        raise AssertionError(
+            f"{len(seen)} concurrency violation(s) detected under "
+            f"REPRO_CHECK:\n\n{summary}")
+
+
+def lock_order_edges() -> Dict[Tuple[str, str], str]:
+    """The observed lock-order graph: edge -> establishing thread."""
+    state = _state
+    if state is None:
+        return {}
+    with state.graph_lock:
+        return {edge: thread for edge, (_, thread) in state.edges.items()}
+
+
+def _iter_tracked_threads(obj: object) -> Iterator[int]:
+    """Thread idents that touched *obj* (diagnostics)."""
+    info = getattr(obj, _TRACK_ATTR, None)
+    if info is None:
+        return iter(())
+    return iter(sorted(info.threads))

@@ -35,6 +35,11 @@ Commands
     Send one volume to a running ``repro serve`` endpoint and save or
     summarise the dense output.  Exits 75 if the server stayed
     overloaded, 76 on a missed deadline.
+``lint``
+    Run the project's concurrency/metrics lint rules (guarded-by
+    discipline, raw acquires, blocking calls under locks, swap-only
+    critical sections, metric-name catalog) over source paths.  Exits
+    1 when violations are found (see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -205,6 +210,20 @@ def build_parser() -> argparse.ArgumentParser:
     inf.add_argument("--max-attempts", type=int, default=1,
                      help="total submissions when the server answers "
                           "503 (sleeps its Retry-After hint in between)")
+
+    lint = sub.add_parser("lint",
+                          help="run the concurrency/metrics lint rules "
+                               "over source paths")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated subset of rules to run "
+                           "(default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list available rules and exit")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"),
+                      help="violation output format")
     return parser
 
 
@@ -549,6 +568,32 @@ def _cmd_infer(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import ALL_RULES, lint_paths, render_violations
+
+    if args.list_rules:
+        for name in sorted(ALL_RULES):
+            print(name)
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        violations = lint_paths(args.paths, rules=rules)
+    except (ValueError, OSError, SyntaxError) as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    if violations:
+        print(render_violations(violations, fmt=args.format))
+        print(f"{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print("[]")
+    else:
+        print(f"repro lint: {', '.join(sorted(ALL_RULES))}: clean")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "figure": _cmd_figure,
@@ -560,6 +605,7 @@ _COMMANDS = {
     "gradcheck": _cmd_gradcheck,
     "serve": _cmd_serve,
     "infer": _cmd_infer,
+    "lint": _cmd_lint,
 }
 
 

@@ -21,13 +21,14 @@ images, none for small objects).
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import (checking_enabled, make_lock, note_access,
+                                    track)
 from repro.observability.metrics import get_registry
 
 __all__ = [
@@ -125,10 +126,15 @@ class PoolAllocator:
         self.alignment = alignment
         self.name = name
         self._pools: list[Deque[np.ndarray]] = [deque() for _ in range(NUM_POOLS)]
-        self.stats = AllocatorStats()
         # Stats mutation is the only shared-state write outside the
         # (atomic) deque ops; a tiny lock keeps counters exact.
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock(f"memory.pool_stats.{name}")
+        self.stats = AllocatorStats()  # guarded-by: _stats_lock
+        self._check = checking_enabled()
+        if self._check:
+            # The free-lists are deliberately lock-free: deque append/pop
+            # are GIL-atomic (the boost lock-free queues of §VII-C).
+            track(self, name=f"memory.pool.{name}", policy="atomic")
         reg = get_registry()
         self._m_alloc = reg.counter("pool.alloc", pool=name)
         self._m_reuse = reg.counter("pool.reuse", pool=name)
@@ -158,6 +164,8 @@ class PoolAllocator:
             raise MemoryError(
                 f"request of {nbytes} bytes exceeds the largest pool "
                 f"(2**{NUM_POOLS - 1})")
+        if self._check:
+            note_access(self, "write")
         try:
             chunk = self._pools[index].pop()
             hit = True
@@ -188,6 +196,8 @@ class PoolAllocator:
             raise ValueError(
                 f"chunk of {chunk.nbytes} bytes does not belong to pool "
                 f"{pool_index} (expects {1 << pool_index})")
+        if self._check:
+            note_access(self, "write")
         self._pools[pool_index].append(chunk)
         with self._stats_lock:
             self.stats.deallocations += 1
@@ -243,9 +253,9 @@ class PoolAllocator:
 # between the two allocators."
 # ---------------------------------------------------------------------------
 
-_image_allocator: Optional[PoolAllocator] = None
-_small_allocator: Optional[PoolAllocator] = None
-_global_lock = threading.Lock()
+_image_allocator: Optional[PoolAllocator] = None  # guarded-by: _global_lock
+_small_allocator: Optional[PoolAllocator] = None  # guarded-by: _global_lock
+_global_lock = make_lock("memory.pool_globals")
 
 
 def image_allocator() -> PoolAllocator:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import make_lock
 from repro.memory.pools import (
     NUM_POOLS,
     PoolAllocator,
@@ -48,9 +49,9 @@ class ThreadLocalAllocator:
             alignment=64, name="tl-backing")
         self.local_capacity = local_capacity
         self._tls = threading.local()
-        self._stats_lock = threading.Lock()
-        self.local_hits = 0
-        self.global_requests = 0
+        self._stats_lock = make_lock("memory.tl_stats")
+        self.local_hits = 0  # guarded-by: _stats_lock
+        self.global_requests = 0  # guarded-by: _stats_lock
 
     def _local_pools(self) -> List[List[np.ndarray]]:
         pools = getattr(self._tls, "pools", None)

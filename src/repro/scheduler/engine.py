@@ -35,6 +35,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.runtime import make_lock
 from repro.observability.metrics import Counter, get_registry
 from repro.resilience.faults import active_plan
 from repro.resilience.retry import RetryPolicy, TaskTimeout
@@ -88,17 +89,17 @@ class TaskEngine:
         #: Optional repro.scheduler.TraceRecorder logging every task.
         self.recorder = recorder
         self.retry_policy = retry_policy
-        self._threads: List[threading.Thread] = []
-        self._lost_threads: List[threading.Thread] = []
-        self._started = False
-        self._lock = threading.Lock()
-        self._executed = 0
-        self._errors: List[BaseException] = []
-        self._errors_noted = False
-        self._next_worker = 0
+        self._lock = make_lock("scheduler.engine")
+        self._threads: List[threading.Thread] = []  # guarded-by: _lock
+        self._lost_threads: List[threading.Thread] = []  # guarded-by: _lock
+        self._started = False  # guarded-by: _lock
+        self._executed = 0  # guarded-by: _lock
+        self._errors: List[BaseException] = []  # guarded-by: _lock
+        self._errors_noted = False  # guarded-by: _lock
+        self._next_worker = 0  # guarded-by: _lock
         #: worker index -> (task, start time), for the watchdog.
-        self._executing: Dict[int, tuple] = {}
-        self._abandoned: set = set()
+        self._executing: Dict[int, tuple] = {}  # guarded-by: _lock
+        self._abandoned: set = set()  # guarded-by: _lock
         self._watchdog: Optional[threading.Thread] = None
         self._watchdog_stop = threading.Event()
         reg = get_registry()
@@ -107,8 +108,8 @@ class TaskEngine:
         self._m_busy = reg.counter("engine.busy_seconds")
         self._m_idle = reg.counter("engine.idle_seconds")
         self._m_timed_out = reg.counter("engine.tasks.timed_out")
-        self._m_families: Dict[str, Counter] = {}
-        self._m_retried: Dict[str, Counter] = {}
+        self._m_families: Dict[str, Counter] = {}  # guarded-by: _lock
+        self._m_retried: Dict[str, Counter] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
 
@@ -212,18 +213,28 @@ class TaskEngine:
             return list(self._errors)
 
     def _family_counter(self, family: str) -> Counter:
+        # Fast path: dict reads are GIL-atomic.  Insertion happens under
+        # the engine lock (double-checked) — concurrent first-use of a
+        # family must not race the dict resize.
         counter = self._m_families.get(family)
         if counter is None:
-            counter = self._metrics.counter("engine.tasks", family=family)
-            self._m_families[family] = counter
+            with self._lock:
+                counter = self._m_families.get(family)
+                if counter is None:
+                    counter = self._metrics.counter("engine.tasks",
+                                                    family=family)
+                    self._m_families[family] = counter
         return counter
 
     def _retried_counter(self, family: str) -> Counter:
         counter = self._m_retried.get(family)
         if counter is None:
-            counter = self._metrics.counter("engine.tasks.retried",
-                                            family=family)
-            self._m_retried[family] = counter
+            with self._lock:
+                counter = self._m_retried.get(family)
+                if counter is None:
+                    counter = self._metrics.counter("engine.tasks.retried",
+                                                    family=family)
+                    self._m_retried[family] = counter
         return counter
 
     # ------------------------------------------------------------------

@@ -15,9 +15,10 @@ Recorded spans export to ``chrome://tracing`` JSON via
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from repro.analysis.runtime import make_lock
 
 __all__ = ["TaskRecord", "TraceSummary", "TraceRecorder"]
 
@@ -86,8 +87,8 @@ class TraceRecorder:
     """Thread-safe sink for :class:`TaskRecord` entries."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._records: List[TaskRecord] = []
+        self._lock = make_lock("scheduler.trace")
+        self._records: List[TaskRecord] = []  # guarded-by: _lock
 
     def record(self, name: str, worker: int, start: float, end: float,
                queue_wait: float = 0.0, status: str = "ok") -> None:

@@ -19,6 +19,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Deque, Optional, Tuple
 
+from repro.analysis.runtime import make_lock
 from repro.sync.priority_queue import HeapOfLists, QueueClosed
 
 __all__ = [
@@ -34,10 +35,10 @@ class _SingleQueueBase:
     """Shared machinery for the FIFO / LIFO single-structure schedulers."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
-        self._items: Deque[Tuple[int, Any, Optional[Callable[[], bool]]]] = deque()
-        self._closed = False
+        self._lock = make_lock("scheduler.single_queue")
+        self._not_empty = threading.Condition(self._lock)  # type: ignore[arg-type]
+        self._items: Deque[Tuple[int, Any, Optional[Callable[[], bool]]]] = deque()  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     def push(self, priority: int, item: Any,
              is_valid: Optional[Callable[[], bool]] = None) -> None:
@@ -47,7 +48,7 @@ class _SingleQueueBase:
             self._items.append((int(priority), item, is_valid))
             self._not_empty.notify()
 
-    def _take(self) -> Tuple[int, Any, Optional[Callable[[], bool]]]:
+    def _take_locked(self) -> Tuple[int, Any, Optional[Callable[[], bool]]]:
         raise NotImplementedError
 
     def pop(self, block: bool = True,
@@ -55,7 +56,7 @@ class _SingleQueueBase:
         with self._lock:
             while True:
                 while self._items:
-                    priority, item, is_valid = self._take()
+                    priority, item, is_valid = self._take_locked()
                     if is_valid is None or is_valid():
                         return priority, item
                 if self._closed:
@@ -78,14 +79,14 @@ class _SingleQueueBase:
 class FifoScheduler(_SingleQueueBase):
     """Plain first-in-first-out queue; priorities are ignored."""
 
-    def _take(self):
+    def _take_locked(self):
         return self._items.popleft()
 
 
 class LifoScheduler(_SingleQueueBase):
     """Plain last-in-first-out stack; priorities are ignored."""
 
-    def _take(self):
+    def _take_locked(self):
         return self._items.pop()
 
 
@@ -106,13 +107,13 @@ class WorkStealingScheduler:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
+        self._lock = make_lock("scheduler.worksteal")
+        self._not_empty = threading.Condition(self._lock)  # type: ignore[arg-type]
         self._deques: list[Deque[Tuple[int, Any, Optional[Callable[[], bool]]]]] = [
-            deque() for _ in range(num_workers)]
-        self._owners: dict[int, int] = {}
-        self._rr = seed  # round-robin cursor for external pushes
-        self._closed = False
+            deque() for _ in range(num_workers)]  # guarded-by: _lock
+        self._owners: dict[int, int] = {}  # guarded-by: _lock
+        self._rr = seed  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     def _deque_index(self) -> int:
         ident = threading.get_ident()

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import enum
 import itertools
-import threading
 from typing import Any, Callable, Optional
+
+from repro.analysis.runtime import make_lock
 
 __all__ = ["TaskState", "Task", "force"]
 
@@ -78,9 +79,9 @@ class Task:
         #: Set by the watchdog when the task overran its timeout and a
         #: replacement was issued; the stuck worker must not execute it.
         self.abandoned = False
-        self._state = TaskState.PENDING
-        self._lock = threading.Lock()
-        self._attached: Optional["Task"] = None
+        self._lock = make_lock("scheduler.task")
+        self._state = TaskState.PENDING  # guarded-by: _lock
+        self._attached: Optional["Task"] = None  # guarded-by: _lock
 
     # -- state machine -------------------------------------------------
 

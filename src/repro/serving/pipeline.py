@@ -48,6 +48,7 @@ from typing import Deque, List, Optional
 
 import numpy as np
 
+from repro.analysis.runtime import make_condition, make_lock
 from repro.observability.metrics import get_registry
 from repro.resilience.retry import RetryPolicy
 from repro.scheduler.engine import TaskEngine
@@ -164,18 +165,18 @@ class InferenceServer:
         self.max_batch = max_batch
         self.tile_voxels = tile_voxels
         self.retry_policy = retry_policy
-        self._queue: Deque[PendingRequest] = deque()
-        self._cond = threading.Condition()
-        self._closed = False
-        self._started = False
+        self._cond = make_condition("serving.pipeline")
+        self._queue: Deque[PendingRequest] = deque()  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
+        self._started = False  # guarded-by: _cond
         self._engine: Optional[TaskEngine] = None
         #: Test/ops hook: clear to pause dequeuing (admission still
         #: runs, so queue-full behaviour becomes deterministic).
         self.gate = threading.Event()
         self.gate.set()
         # EWMA of per-request service seconds, for retry_after hints.
-        self._ewma_service = 0.1
-        self._ewma_lock = threading.Lock()
+        self._ewma_lock = make_lock("serving.ewma")
+        self._ewma_service = 0.1  # guarded-by: _ewma_lock
         reg = get_registry()
         self._m_depth = reg.gauge("serving.queue.depth")
         self._m_accepted = reg.counter("serving.requests.accepted")
@@ -232,10 +233,15 @@ class InferenceServer:
     def retry_after_hint(self) -> float:
         """Suggested client backoff: time for the current queue to
         drain through the worker pool at recent service speed."""
-        with self._ewma_lock:
-            service = self._ewma_service
         with self._cond:
             depth = len(self._queue)
+        return self._hint_for_depth(depth)
+
+    def _hint_for_depth(self, depth: int) -> float:
+        """The backoff hint for a known queue depth.  Touches only the
+        EWMA lock, so callers may hold (or not hold) the queue lock."""
+        with self._ewma_lock:
+            service = self._ewma_service
         return max(0.05, (depth + 1) * service / max(self.num_workers, 1))
 
     def submit(self, model: str, volume: np.ndarray,
@@ -258,16 +264,20 @@ class InferenceServer:
         with self._cond:
             if self._closed:
                 raise ServerClosed("server is stopped")
-            if len(self._queue) >= self.max_queue:
-                self._m_rejected.inc()
-                raise ServerOverloaded(
-                    f"admission queue full ({self.max_queue}); "
-                    f"retry later", retry_after=self.retry_after_hint())
-            self._queue.append(request)
-            self._m_depth.set(len(self._queue))
-            self._m_accepted.inc()
-            self._cond.notify()
-        return request
+            depth = len(self._queue)
+            if depth < self.max_queue:
+                self._queue.append(request)
+                self._m_depth.set(len(self._queue))
+                self._m_accepted.inc()
+                self._cond.notify()
+                return request
+        # Rejection happens outside the queue lock: the hint touches the
+        # EWMA lock, and re-entering self._cond here would deadlock a
+        # non-reentrant lock (the default Condition's RLock masked this).
+        self._m_rejected.inc()
+        raise ServerOverloaded(
+            f"admission queue full ({self.max_queue}); "
+            f"retry later", retry_after=self._hint_for_depth(depth))
 
     def infer(self, model: str, volume: np.ndarray,
               timeout: Optional[float] = None) -> np.ndarray:

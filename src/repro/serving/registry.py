@@ -27,12 +27,12 @@ all inference goes through :meth:`WarmModel.run`.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import make_lock
 from repro.core.inference import dense_network_field_of_view
 from repro.core.network import Network
 from repro.core.serialization import load_network
@@ -104,7 +104,7 @@ class WarmModel:
         self.output_tile: Shape3 = tuple(
             t - f + 1 for t, f in zip(self.input_tile, self.fov)
         )  # type: ignore[assignment]
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.warm_model")
         # Kernels are frozen at serving time: pin their spectra so they
         # survive the per-forward next_round() eviction, then compute
         # them all once with a throwaway pass.
@@ -167,9 +167,9 @@ class ModelRegistry:
         self.max_models = max_models
         self.num_workers = num_workers
         self.prewarm = prewarm
-        self._specs: Dict[str, ModelSpec] = {}
-        self._warm: Dict[Tuple[str, Shape3], WarmModel] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.registry")
+        self._specs: Dict[str, ModelSpec] = {}  # guarded-by: _lock
+        self._warm: Dict[Tuple[str, Shape3], WarmModel] = {}  # guarded-by: _lock
         reg = get_registry()
         self._m_hit = reg.counter("serving.model_cache.hit")
         self._m_miss = reg.counter("serving.model_cache.miss")
@@ -228,14 +228,14 @@ class ModelRegistry:
             model = WarmModel(spec, tile, num_workers=self.num_workers,
                               prewarm=self.prewarm)
             while len(self._warm) >= self.max_models:
-                _, evicted = self._pop_lru()
+                _, evicted = self._pop_lru_locked()
                 evicted.close()
                 self._m_evicted.inc()
             self._warm[key] = model
             self._m_entries.set(len(self._warm))
             return model
 
-    def _pop_lru(self) -> Tuple[Tuple[str, Shape3], WarmModel]:
+    def _pop_lru_locked(self) -> Tuple[Tuple[str, Shape3], WarmModel]:
         key = next(iter(self._warm))
         return key, self._warm.pop(key)
 

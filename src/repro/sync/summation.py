@@ -22,10 +22,12 @@ the layer's inverse-transform finaliser.
 
 from __future__ import annotations
 
-import threading
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
+
+from repro.analysis.runtime import (checking_enabled, make_lock, note_access,
+                                    track)
 
 __all__ = ["ConcurrentSum", "NaiveLockedSum", "OrderedSum"]
 
@@ -44,13 +46,18 @@ class ConcurrentSum:
         if required < 1:
             raise ValueError(f"required must be >= 1, got {required}")
         self.required = required
-        self._lock = threading.Lock()
-        self._sum: Optional[np.ndarray] = None
-        self._total = 0
+        self._lock = make_lock("sync.summation")
+        self._sum: Optional[np.ndarray] = None  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
+        self._check = checking_enabled()
+        if self._check:
+            track(self, name="sync.summation")
 
     def reset(self, required: Optional[int] = None) -> None:
         """Prepare the object for the next round's accumulation."""
         with self._lock:
+            if self._check:
+                note_access(self, "write")
             if self._total not in (0, self.required):
                 raise RuntimeError(
                     f"reset during accumulation ({self._total}/{self.required})")
@@ -71,19 +78,28 @@ class ConcurrentSum:
         v: Optional[np.ndarray] = value
         v_other: Optional[np.ndarray] = None
         last = False
+        overflow = False
+        if self._check:
+            # Record the lockset for the race detector under the lock but
+            # outside the swap-only section (probes are debug-mode only).
+            with self._lock:
+                note_access(self, "write")
         while True:
-            with self._lock:  # critical section: pointer ops only
+            with self._lock:  # critical-section: swap-only
                 if self._sum is None:
                     self._sum = v
                     v = None
                     self._total += 1
-                    if self._total > self.required:
-                        raise RuntimeError(
-                            f"more than required={self.required} contributions")
+                    overflow = self._total > self.required
                     last = self._total == self.required
                 else:
                     v_other = self._sum
                     self._sum = None
+            if overflow:
+                # Error formatting/raising stays outside the swap-only
+                # critical section.
+                raise RuntimeError(
+                    f"more than required={self.required} contributions")
             if v is None:
                 return last
             # The expensive addition happens outside the critical section.
@@ -121,9 +137,9 @@ class NaiveLockedSum:
         if required < 1:
             raise ValueError(f"required must be >= 1, got {required}")
         self.required = required
-        self._lock = threading.Lock()
-        self._sum: Optional[np.ndarray] = None
-        self._total = 0
+        self._lock = make_lock("sync.summation.naive")
+        self._sum: Optional[np.ndarray] = None  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
 
     def reset(self, required: Optional[int] = None) -> None:
         with self._lock:
@@ -174,10 +190,10 @@ class OrderedSum:
         if required < 1:
             raise ValueError(f"required must be >= 1, got {required}")
         self.required = required
-        self._lock = threading.Lock()
-        self._slots: list = [None] * required
-        self._total = 0
-        self._result: Optional[np.ndarray] = None
+        self._lock = make_lock("sync.summation.ordered")
+        self._slots: List[Optional[np.ndarray]] = [None] * required  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
+        self._result: Optional[np.ndarray] = None  # guarded-by: _lock
 
     def reset(self, required: Optional[int] = None) -> None:
         with self._lock:

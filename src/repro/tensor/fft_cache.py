@@ -39,12 +39,13 @@ Two extensions support long-running *serving* processes
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import (checking_enabled, make_lock, note_access,
+                                    track)
 from repro.observability.metrics import get_registry
 
 __all__ = ["CacheStats", "TransformCache", "cache_byte_limit_from_env"]
@@ -120,14 +121,17 @@ class TransformCache:
         if max_bytes is not None and max_bytes <= 0:
             max_bytes = None
         self.max_bytes = max_bytes
-        self._lock = threading.Lock()
+        self._lock = make_lock("tensor.fft_cache")
         # Insertion/access-ordered (dicts preserve order; hits re-insert)
         # so iteration order is LRU-first.
-        self._store: Dict[Tuple[Hashable, ...], np.ndarray] = {}
-        self._round = 0
-        self._bytes = 0
-        self._pinned_kinds: frozenset = frozenset()
-        self.stats = CacheStats()
+        self._store: Dict[Tuple[Hashable, ...], np.ndarray] = {}  # guarded-by: _lock
+        self._round = 0  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
+        self._pinned_kinds: frozenset = frozenset()  # guarded-by: _lock
+        self.stats = CacheStats()  # guarded-by: _lock
+        self._check = checking_enabled()
+        if self._check:
+            track(self, name="tensor.fft_cache")
         reg = get_registry()
         self._m_hit = reg.counter("fft_cache.hit")
         self._m_miss = reg.counter("fft_cache.miss")
@@ -158,7 +162,10 @@ class TransformCache:
         computed once per process rather than once per request.  Only
         safe while the parameters behind the kind are frozen.
         """
-        self._pinned_kinds = self._pinned_kinds | {kind}
+        with self._lock:
+            if self._check:
+                note_access(self, "write")
+            self._pinned_kinds = self._pinned_kinds | {kind}
 
     @property
     def pinned_kinds(self) -> frozenset:
@@ -178,6 +185,8 @@ class TransformCache:
         change with the next sample.
         """
         with self._lock:
+            if self._check:
+                note_access(self, "write")
             if self._pinned_kinds:
                 keep = {k: v for k, v in self._store.items()
                         if k[0] == _PINNED}
@@ -199,6 +208,8 @@ class TransformCache:
 
         Works for pinned and per-round kinds alike."""
         with self._lock:
+            if self._check:
+                note_access(self, "write")
             dropped = self._store.pop(self._key(kind, name), None)
             if dropped is not None:
                 self._bytes -= dropped.nbytes
@@ -250,6 +261,8 @@ class TransformCache:
                 return cached
         value = compute()
         with self._lock:
+            if self._check:
+                note_access(self, "write")
             self.stats.computed += 1
             if self.enabled:
                 if key not in self._store:

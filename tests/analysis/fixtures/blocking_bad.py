@@ -1,0 +1,24 @@
+"""Seeded violation: blocking calls while holding a lock."""
+
+import queue
+import threading
+import time
+
+lock = threading.Lock()
+work_queue = queue.Queue()
+
+
+def sleepy():
+    with lock:
+        time.sleep(0.5)  # VIOLATION: every contender stalls
+
+
+def io_under_lock(path):
+    with lock:
+        with open(path) as fh:  # VIOLATION: I/O under the lock
+            return fh.read()
+
+
+def drain_forever():
+    with lock:
+        return work_queue.get()  # VIOLATION: indefinite block, no timeout

@@ -1,0 +1,38 @@
+"""Clean twin: blocking work happens outside critical sections."""
+
+import queue
+import threading
+import time
+
+lock = threading.Lock()
+cond = threading.Condition(lock)
+work_queue = queue.Queue()
+
+
+def sleepy():
+    time.sleep(0.5)
+    with lock:
+        pass
+
+
+def io_outside(path):
+    with open(path) as fh:
+        data = fh.read()
+    with lock:
+        return data
+
+
+def wait_is_fine():
+    with cond:
+        cond.wait(0.1)  # condition waits release the lock by design
+        cond.notify_all()
+
+
+def bounded_drain():
+    with lock:
+        return work_queue.get(timeout=0.1)  # bounded, deliberate
+
+
+def nonblocking_drain():
+    with lock:
+        return work_queue.get(False)

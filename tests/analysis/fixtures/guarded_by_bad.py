@@ -1,0 +1,19 @@
+"""Seeded violation: guarded attribute mutated without its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._items = []  # guarded-by: _lock
+
+    def bump_unlocked(self):
+        self._count += 1  # VIOLATION: no lock held
+
+    def append_unlocked(self, item):
+        self._items.append(item)  # VIOLATION: mutator without lock
+
+    def replace_unlocked(self):
+        self._items = []  # VIOLATION: rebind without lock

@@ -1,0 +1,34 @@
+"""Clean twin: every guarded mutation is under the lock (or exempt)."""
+
+import threading
+
+_registry = None  # guarded-by: _global_lock
+_global_lock = threading.Lock()
+
+
+def set_registry(value):
+    global _registry
+    with _global_lock:
+        _registry = value
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._items = []  # guarded-by: _lock, _cond
+        self._cond = threading.Condition(self._lock)
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def append(self, item):
+        with self._cond:
+            self._items.append(item)
+
+    def read(self):
+        return self._count  # reads are not checked
+
+    def _drain_locked(self):
+        self._items.clear()  # _locked suffix: caller holds the guard

@@ -1,0 +1,10 @@
+"""Seeded violation: metric names missing from the catalog."""
+
+from repro.observability.metrics import get_registry
+
+
+def instrument():
+    reg = get_registry()
+    hits = reg.counter("made.up.metric")  # VIOLATION: not catalogued
+    depth = reg.gauge("queue.depht")  # VIOLATION: typo of queue.depth
+    return hits, depth

@@ -1,0 +1,15 @@
+"""Clean twin: catalogued names, plus shapes the rule must ignore."""
+
+from repro.observability.metrics import get_registry
+
+
+def instrument(dynamic_name):
+    reg = get_registry()
+    pushes = reg.counter("queue.push")
+    depth = reg.gauge("queue.depth")
+    waits = reg.histogram("queue.wait_seconds")
+    # Non-literal names cannot be checked statically; not flagged.
+    dyn = reg.counter(dynamic_name)
+    # Non-registry receivers are not metric factories.
+    other = object()
+    return pushes, depth, waits, dyn, other

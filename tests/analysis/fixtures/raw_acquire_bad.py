@@ -1,0 +1,18 @@
+"""Seeded violation: bare .acquire() without a try/finally release."""
+
+import threading
+
+lock = threading.Lock()
+
+
+def leaky(shared):
+    lock.acquire()  # VIOLATION: an exception below leaks the lock
+    shared.append(1)
+    lock.release()
+
+
+def leaky_with_result(shared):
+    got = lock.acquire(timeout=1)  # VIOLATION: still unprotected
+    if got:
+        shared.append(2)
+        lock.release()

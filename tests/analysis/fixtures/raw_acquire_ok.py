@@ -1,0 +1,31 @@
+"""Clean twin: with-statements, try/finally idioms, probe acquires."""
+
+import threading
+
+lock = threading.Lock()
+
+
+def with_statement(shared):
+    with lock:
+        shared.append(1)
+
+
+def try_finally(shared):
+    lock.acquire()
+    try:
+        shared.append(2)
+    finally:
+        lock.release()
+
+
+def probe(shared):
+    if lock.acquire(False):
+        try:
+            shared.append(3)
+        finally:
+            lock.release()
+
+
+def probe_kw(shared):
+    if lock.acquire(blocking=False):
+        lock.release()

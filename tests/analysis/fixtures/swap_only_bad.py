@@ -1,0 +1,22 @@
+"""Seeded violation: Algorithm-4 critical section doing real work."""
+
+import threading
+
+
+class BadSum:
+    def __init__(self, required):
+        self.required = required
+        self._lock = threading.Lock()
+        self._sum = None
+        self._total = 0
+
+    def add(self, value):
+        with self._lock:  # critical-section: swap-only
+            if self._sum is None:
+                self._sum = value.copy()  # VIOLATION: allocation (call)
+                self._total += 1
+                if self._total > self.required:
+                    raise RuntimeError(  # VIOLATION: raise allocates
+                        "too many contributions")
+            else:
+                self._sum = self._sum + value  # VIOLATION: arithmetic

@@ -1,0 +1,33 @@
+"""Clean twin: pointer swaps, flag tests and counter bumps only."""
+
+import threading
+
+
+class GoodSum:
+    def __init__(self, required):
+        self.required = required
+        self._lock = threading.Lock()
+        self._sum = None
+        self._total = 0
+
+    def add(self, value):
+        v = value
+        v_other = None
+        last = False
+        overflow = False
+        while True:
+            with self._lock:  # critical-section: swap-only
+                if self._sum is None:
+                    self._sum = v
+                    v = None
+                    self._total += 1
+                    overflow = self._total > self.required
+                    last = self._total == self.required
+                else:
+                    v_other = self._sum
+                    self._sum = None
+            if overflow:
+                raise RuntimeError("too many contributions")
+            if v is None:
+                return last
+            v += v_other

@@ -1,0 +1,274 @@
+"""The REPRO_CHECK dynamic checkers: lock-order graph, recursive
+acquire, unheld release, and the Eraser-style lockset race detector.
+
+Deliberate violations run against throwaway ``_CheckState`` instances
+(via the ``check_state`` fixture) so nothing leaks into the
+environment state the REPRO_CHECK=1 CI lane asserts clean.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import runtime
+from repro.analysis.runtime import (CheckedLock, checking_enabled,
+                                    lock_order_edges, make_condition,
+                                    make_lock, note_access, track,
+                                    violations)
+
+
+@pytest.fixture
+def check_state(monkeypatch):
+    """Swap the module-global checking state for a fresh throwaway one."""
+    state = runtime._CheckState()
+    monkeypatch.setattr(runtime, "_state", state)
+    return state
+
+
+def kinds(state):
+    with state.violations_lock:
+        return [v.kind for v in state.violations]
+
+
+def run_threads(*bodies):
+    threads = [threading.Thread(target=body) for body in bodies]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert not any(t.is_alive() for t in threads)
+
+
+# -- lock-order graph ----------------------------------------------------
+
+
+def test_consistent_order_is_clean(check_state):
+    a, b = make_lock("order.a"), make_lock("order.b")
+
+    def nested():
+        with a:
+            with b:
+                pass
+
+    run_threads(nested, nested)
+    assert kinds(check_state) == []
+    assert ("order.a", "order.b") in lock_order_edges()
+
+
+def test_two_lock_inversion_is_reported(check_state):
+    a, b = make_lock("inv.a"), make_lock("inv.b")
+    ready = threading.Barrier(2, timeout=10)
+
+    def forward():
+        with a:
+            with b:
+                ready.wait()
+
+    def backward():
+        ready.wait()
+        with b:
+            with a:
+                pass
+
+    run_threads(forward, backward)
+    assert "lock-order" in kinds(check_state)
+    report = [v for v in check_state.violations if v.kind == "lock-order"][0]
+    assert "potential deadlock" in report.message
+    assert report.stack and report.other_stack  # both stacks attached
+
+
+def test_three_lock_inversion_across_two_threads(check_state):
+    """The ISSUE's canonical case: A->B->C in one thread, C->A in the
+    other closes the cycle without any direct B/A inversion."""
+    a, b, c = make_lock("tri.a"), make_lock("tri.b"), make_lock("tri.c")
+    first_done = threading.Event()
+
+    def chain():
+        with a:
+            with b:
+                with c:
+                    pass
+        first_done.set()
+
+    def closer():
+        assert first_done.wait(10)
+        with c:
+            with a:
+                pass
+
+    run_threads(chain, closer)
+    reports = [v for v in check_state.violations if v.kind == "lock-order"]
+    assert len(reports) == 1
+    assert "tri.c" in reports[0].message and "tri.a" in reports[0].message
+
+
+def test_same_name_different_instances_not_flagged(check_state):
+    outer, inner = CheckedLock("task", state=check_state), CheckedLock(
+        "task", state=check_state)
+    with outer:
+        with inner:
+            pass
+    assert kinds(check_state) == []
+
+
+def test_recursive_acquire_raises(check_state):
+    lock = make_lock("recursive")
+    with lock:
+        with pytest.raises(RuntimeError, match="re-acquired"):
+            lock.acquire()  # lint: disable=raw-acquire
+    assert kinds(check_state) == ["recursive-acquire"]
+
+
+def test_nonblocking_probe_of_held_lock_is_not_a_violation(check_state):
+    lock = make_lock("probe")
+    with lock:
+        assert lock.acquire(False) is False
+    assert kinds(check_state) == []
+
+
+def test_unheld_release_is_reported(check_state):
+    lock = make_lock("unheld")
+    lock.acquire()  # lint: disable=raw-acquire
+    try:
+        pass
+    finally:
+        lock.release()
+    lock.acquire()  # lint: disable=raw-acquire
+    lock.release()
+    assert kinds(check_state) == []
+    with pytest.raises(RuntimeError):
+        lock.release()  # CPython raises; the violation is recorded first
+    assert kinds(check_state) == ["unheld-release"]
+
+
+def test_condition_over_checked_lock(check_state):
+    cond = make_condition("cond.checked")
+    results = []
+
+    def producer():
+        with cond:
+            results.append("produced")
+            cond.notify()
+
+    def consumer():
+        with cond:
+            while not results:
+                cond.wait(1)
+            results.append("consumed")
+
+    run_threads(consumer, producer)
+    assert kinds(check_state) == []
+    assert results == ["produced", "consumed"]
+
+
+# -- race detector -------------------------------------------------------
+
+
+def test_unsynchronised_writes_from_two_threads_flagged(check_state):
+    class Shared:
+        pass
+
+    obj = track(Shared(), name="racy")
+    barrier = threading.Barrier(2, timeout=10)
+
+    def writer():
+        barrier.wait()
+        for _ in range(3):
+            note_access(obj, "write")
+
+    run_threads(writer, writer)
+    assert kinds(check_state).count("race") == 1  # reported once
+    report = [v for v in check_state.violations if v.kind == "race"][0]
+    assert "racy" in report.message
+
+
+def test_guarded_writes_are_clean(check_state):
+    class Shared:
+        pass
+
+    lock = make_lock("guard")
+    obj = track(Shared(), name="guarded")
+
+    def writer():
+        for _ in range(5):
+            with lock:
+                note_access(obj, "write")
+
+    run_threads(writer, writer)
+    assert kinds(check_state) == []
+
+
+def test_single_thread_needs_no_lock(check_state):
+    class Shared:
+        pass
+
+    obj = track(Shared(), name="exclusive")
+    for _ in range(10):
+        note_access(obj, "write")
+    assert kinds(check_state) == []
+
+
+def test_shared_reads_without_lock_are_clean(check_state):
+    class Shared:
+        pass
+
+    obj = track(Shared(), name="read-shared")
+
+    def reader():
+        for _ in range(5):
+            note_access(obj, "read")
+
+    run_threads(reader, reader)
+    assert kinds(check_state) == []
+
+
+def test_atomic_policy_records_but_never_flags(check_state):
+    class LockFree:
+        pass
+
+    obj = track(LockFree(), name="pool", policy="atomic")
+    # Both threads must overlap, or a finished thread's ident can be
+    # reused and the two writers collapse into one.
+    barrier = threading.Barrier(2, timeout=10)
+
+    def writer():
+        barrier.wait()
+        for _ in range(5):
+            note_access(obj, "write")
+
+    run_threads(writer, writer)
+    assert kinds(check_state) == []
+    info = getattr(obj, "_repro_track_info")
+    assert info.accesses == 10 and len(info.threads) == 2
+
+
+def test_unknown_policy_rejected(check_state):
+    with pytest.raises(ValueError, match="unknown track policy"):
+        track(object(), policy="wishful")
+
+
+# -- gating --------------------------------------------------------------
+
+
+def test_make_lock_is_plain_when_disabled(monkeypatch):
+    monkeypatch.setattr(runtime, "_state", None)
+    assert not checking_enabled()
+    lock = make_lock("anything")
+    assert not isinstance(lock, CheckedLock)
+    track_result = track(object(), name="ignored")
+    note_access(track_result, "write")  # no-op, must not blow up
+    assert violations() == []
+
+
+def test_make_lock_is_checked_when_enabled(check_state):
+    assert checking_enabled()
+    assert isinstance(make_lock("anything"), CheckedLock)
+
+
+def test_violations_are_observable_via_metrics(check_state):
+    before = check_state.m_lock_order.value
+    lock = make_lock("metrics.recursive")
+    with lock:
+        with pytest.raises(RuntimeError):
+            lock.acquire()  # lint: disable=raw-acquire
+    assert check_state.m_lock_order.value == before + 1

@@ -18,3 +18,20 @@ settings.load_profile("repro")
 def rng():
     """Deterministic per-test RNG."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _repro_check_clean():
+    """The REPRO_CHECK=1 CI lane's zero-violation assertion.
+
+    When the suite runs with dynamic concurrency checking enabled, any
+    lock-order / race violation recorded against the *environment*
+    checking state fails the session at teardown.  Tests that provoke
+    violations deliberately run against throwaway states (see
+    ``tests/analysis/``) and never land here.
+    """
+    yield
+    from repro.analysis.runtime import assert_clean, checking_enabled
+
+    if checking_enabled():
+        assert_clean()

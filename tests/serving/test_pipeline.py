@@ -111,6 +111,37 @@ class TestBackpressure:
                 client.infer("small", volume)
             server.gate.set()
 
+    def test_overload_rejects_under_nonreentrant_lock(self, small_model,
+                                                      volume, monkeypatch):
+        # Regression: submit()'s rejection path used to call
+        # retry_after_hint(), re-entering the admission condition's
+        # lock.  The default Condition RLock masked the recursion; with
+        # checking enabled the lock is non-reentrant, so the old code
+        # would raise recursive-acquire here instead of overload.
+        # Everything built under the throwaway state (whose CheckedLocks
+        # are bound to it) is also closed under it — hence a private
+        # registry rather than the fixture, whose teardown runs after
+        # the monkeypatch reverts.
+        from repro.analysis import runtime
+        from repro.serving import ModelRegistry
+        state = runtime._CheckState()
+        monkeypatch.setattr(runtime, "_state", state)
+        registry = ModelRegistry(max_models=2)
+        registry.register(small_model.model_spec())
+        try:
+            with make_server(registry, max_queue=1) as server:
+                server.gate.clear()
+                time.sleep(0.05)
+                accepted = server.submit("small", volume)
+                with pytest.raises(ServerOverloaded) as info:
+                    server.submit("small", volume)
+                assert info.value.retry_after > 0
+                server.gate.set()
+                assert accepted.result(timeout=30).size > 0
+        finally:
+            registry.close()
+        assert [v.kind for v in state.violations] == []
+
 
 class TestDeadlines:
     def test_deadline_missed_in_queue(self, registry, volume):

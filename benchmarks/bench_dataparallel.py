@@ -1,0 +1,103 @@
+"""Data-parallel training throughput and determinism.
+
+Sweeps the worker-process count of :class:`repro.parallel.ParallelTrainer`
+over a fixed global batch and measures seconds per global update —
+the multi-process analogue of the paper's speedup-vs-threads protocol
+(Figs 5–7), with the determinism contract checked on the side: every
+worker count must finish with a bitwise-identical parameter digest.
+
+Results accumulate into ``BENCH_dataparallel.json`` (override the path
+with ``REPRO_BENCH_DATAPARALLEL_OUT``).  The >= 1.5x speedup assertion
+at 4 workers only runs on machines that actually have >= 4 CPUs; on
+smaller hosts the sweep still runs and records the (honest) numbers.
+"""
+
+import json
+import os
+
+import pytest
+
+from _bench_utils import fmt, full_run, print_table
+from repro.core import state_digest
+from repro.data import RandomProvider
+from repro.parallel import ModelConfig, ParallelTrainer, visible_cpus
+
+INPUT = (20, 20, 20)
+BATCH = 4
+ROUNDS = 2 if not full_run() else 5
+WORKER_COUNTS = (1, 2, 4)
+
+CFG = ModelConfig(
+    input_shape=INPUT,
+    spec="CTMCTCT",
+    layered_kwargs={"width": 4, "kernel": 3, "window": 2,
+                    "transfer": "tanh", "final_transfer": "linear",
+                    "skip_kernels": True, "output_nodes": 1},
+    conv_mode="direct",
+    loss="euclidean",
+    seed=7,
+    learning_rate=1e-4)
+
+
+def output_shape():
+    graph = CFG.build_graph()
+    graph.validate()
+    graph.propagate_shapes(INPUT)
+    return graph.output_nodes[0].shape
+
+
+def run(workers):
+    """(seconds per global update, state digest) at *workers*."""
+    trainer = ParallelTrainer(CFG, RandomProvider,
+                              (INPUT, output_shape(), False, None),
+                              workers=workers, batch=BATCH,
+                              worker_timeout=300.0)
+    try:
+        trainer.run(1)  # warm-up: pools, caches, worker start-up
+        report = trainer.run(ROUNDS)
+        digest = state_digest(trainer.network)
+    finally:
+        trainer.close()
+    return report.mean_seconds_per_update, digest
+
+
+def test_bench_dataparallel_speedup():
+    cpus = visible_cpus()
+    rows, results = [], []
+    digests = {}
+    baseline = None
+    for workers in WORKER_COUNTS:
+        seconds, digest = run(workers)
+        if baseline is None:
+            baseline = seconds
+        speedup = baseline / seconds if seconds > 0 else 0.0
+        digests[workers] = digest
+        rows.append([workers, fmt(seconds), fmt(speedup)])
+        results.append({"workers": workers, "seconds_per_update": seconds,
+                        "speedup": speedup, "digest": digest})
+    print_table(
+        f"data-parallel seconds/update, batch {BATCH} on {cpus} CPU(s)",
+        ["workers", "s/update", "speedup"], rows)
+    _emit(cpus, results)
+    # The determinism contract holds on any machine.
+    assert len(set(digests.values())) == 1, digests
+    # The throughput contract only on machines with the CPUs for it.
+    if cpus >= 4:
+        four = next(r for r in results if r["workers"] == 4)
+        assert four["speedup"] >= 1.5, (
+            f"expected >= 1.5x at 4 workers on {cpus} CPUs, got "
+            f"{four['speedup']:.2f}x")
+    else:
+        pytest.skip(f"only {cpus} visible CPU(s): recorded results "
+                    "without asserting speedup")
+
+
+def _emit(cpus, results):
+    path = os.environ.get("REPRO_BENCH_DATAPARALLEL_OUT",
+                          "BENCH_dataparallel.json")
+    with open(path, "w") as fh:
+        json.dump({"input": list(INPUT), "batch": BATCH,
+                   "rounds": ROUNDS, "visible_cpus": cpus,
+                   "full_run": full_run(), "results": results},
+                  fh, indent=2)
+        fh.write("\n")

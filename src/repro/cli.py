@@ -93,7 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--spec", default=None,
                        help="network spec file (default: small 3D net)")
     train.add_argument("--rounds", type=int, default=20)
-    train.add_argument("--workers", type=int, default=1)
+    train.add_argument("--workers", type=int, default=None, metavar="W",
+                       help="data-parallel worker processes; the final "
+                            "checkpoint is bitwise identical for any W "
+                            "(default: the in-process sequential "
+                            "trainer)")
+    train.add_argument("--batch", type=int, default=None, metavar="B",
+                       help="global minibatch size per round for "
+                            "data-parallel training (default 1; results "
+                            "depend on B, never on --workers)")
+    train.add_argument("--oversubscribe", action="store_true",
+                       help="allow --workers to exceed the visible "
+                            "CPU count")
     train.add_argument("--input-size", type=int, default=24)
     train.add_argument("--learning-rate", type=float, default=1e-3)
     train.add_argument("--momentum", type=float, default=0.9)
@@ -299,6 +310,125 @@ def _cmd_autotune(args) -> int:
     return 0
 
 
+def _train_provider(volume_size: int, seed: int, input_size: int,
+                    out_shape) -> "object":
+    """Build the synthetic boundary-detection provider ``repro train``
+    uses.  Module-level and deterministic in its arguments so
+    data-parallel worker processes can rebuild it identically from a
+    pickled reference."""
+    from repro.data import PatchProvider, make_cell_volume
+
+    volume = make_cell_volume(shape=volume_size, num_cells=16,
+                              noise=0.08, seed=seed + 1)
+    volume.image[:] = ((volume.image - volume.image.mean())
+                       / volume.image.std())
+    return PatchProvider(volume, (input_size,) * 3, out_shape,
+                         seed=seed + 2, pooled=True)
+
+
+def _cmd_train_parallel(args) -> int:
+    """The ``--workers``/``--batch`` path: multi-process data-parallel
+    training with a deterministic cross-process gradient reduction."""
+    import numpy as np
+
+    from repro.core.serialization import save_network, state_digest
+    from repro.core.training import TrainingDiverged
+    from repro.parallel import ModelConfig, ParallelTrainer
+    from repro.parallel import trainer as parallel_trainer
+
+    workers = args.workers if args.workers is not None else 1
+    batch = args.batch if args.batch is not None else 1
+    if workers < 1:
+        print(f"--workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    if batch < 1:
+        print(f"--batch must be >= 1, got {batch}", file=sys.stderr)
+        return 2
+    cpus = parallel_trainer.visible_cpus()
+    if workers > cpus and not args.oversubscribe:
+        print(f"--workers {workers} exceeds the {cpus} visible CPU(s): "
+              "data-parallel workers are CPU-bound processes, so extra "
+              "workers only add overhead. Pass --oversubscribe to "
+              "force.", file=sys.stderr)
+        return 2
+    for flag, value in (("--resume", args.resume),
+                        ("--trace-out", args.trace_out),
+                        ("--task-retries", args.task_retries),
+                        ("--task-timeout", args.task_timeout)):
+        if value:
+            print(f"{flag} is not supported with data-parallel "
+                  "training (--workers/--batch)", file=sys.stderr)
+            return 2
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+
+    if args.spec:
+        config = ModelConfig(
+            input_shape=(args.input_size,) * 3, spec_path=args.spec,
+            conv_mode=args.conv_mode, loss="binary-logistic",
+            seed=args.seed, learning_rate=args.learning_rate,
+            momentum=args.momentum)
+    else:
+        config = ModelConfig(
+            input_shape=(args.input_size,) * 3, spec="CTMCTCT",
+            layered_kwargs={"width": 6, "kernel": 3, "window": 2,
+                            "transfer": "tanh",
+                            "final_transfer": "linear",
+                            "skip_kernels": True, "output_nodes": 1},
+            conv_mode=args.conv_mode, loss="binary-logistic",
+            seed=args.seed, learning_rate=args.learning_rate,
+            momentum=args.momentum)
+    graph = config.build_graph()
+    graph.validate()
+    graph.propagate_shapes(config.input_shape)
+    out_shape = graph.output_nodes[0].shape
+    voxels = float(np.prod(out_shape))
+    rounds = args.rounds
+
+    trainer = ParallelTrainer(
+        config, _train_provider,
+        (args.volume_size, args.seed, args.input_size, out_shape),
+        workers=workers, batch=batch)
+    try:
+        net = trainer.network
+        print(f"network: {len(net.nodes)} nodes, {len(net.edges)} "
+              f"edges; input {(args.input_size,) * 3} -> output "
+              f"{out_shape}")
+        print(f"data-parallel: {workers} process(es), "
+              f"global batch {batch}")
+        report = trainer.run(
+            rounds,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            callback=lambda i, loss: print(
+                f"round {i:4d}  loss/voxel {loss / voxels:.4f}")
+            if i % max(rounds // 10, 1) == 0 else None)
+        print(f"mean seconds/update: "
+              f"{report.mean_seconds_per_update:.4f}")
+        if report.losses:
+            print(f"final loss/voxel: {report.losses[-1] / voxels:.4f}")
+        if report.checkpoints:
+            print(f"latest checkpoint: {report.checkpoints[-1]}")
+        if args.checkpoint:
+            save_network(net, args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}")
+        if report.worker_deaths:
+            print(f"worker deaths survived: {report.worker_deaths}")
+        print(f"state digest: {state_digest(net)}")
+    except TrainingDiverged as exc:
+        print(f"training diverged: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        trainer.close()
+    if args.metrics:
+        from repro.observability import render_metrics
+
+        print(render_metrics())
+    return 0
+
+
 def _cmd_train(args) -> int:
     import numpy as np
 
@@ -310,6 +440,8 @@ def _cmd_train(args) -> int:
                                   recovery_summary)
     from repro.scheduler import TraceRecorder
 
+    if args.workers is not None or args.batch is not None:
+        return _cmd_train_parallel(args)
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
@@ -331,7 +463,7 @@ def _cmd_train(args) -> int:
     recorder = TraceRecorder() if args.trace_out else None
     net = Network(graph, input_shape=(args.input_size,) * 3,
                   conv_mode=args.conv_mode, loss="binary-logistic",
-                  num_workers=args.workers, seed=args.seed,
+                  num_workers=1, seed=args.seed,
                   recorder=recorder, retry_policy=retry_policy,
                   optimizer=SGD(learning_rate=args.learning_rate,
                                 momentum=args.momentum))

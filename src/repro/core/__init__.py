@@ -53,11 +53,13 @@ from repro.core.network import Network
 from repro.core.nodes import RuntimeNode
 from repro.core.optimizer import SGD, UpdateState
 from repro.core.serialization import (
+    checkpoint_digest,
     latest_checkpoint,
     load_latest_checkpoint,
     load_network,
     network_state,
     save_network,
+    state_digest,
 )
 from repro.core.tiling import field_of_view_of, tile_plan, tiled_forward
 from repro.core.training import (
@@ -110,11 +112,13 @@ __all__ = [
     "RuntimeNode",
     "SGD",
     "UpdateState",
+    "checkpoint_digest",
     "latest_checkpoint",
     "load_latest_checkpoint",
     "load_network",
     "network_state",
     "save_network",
+    "state_digest",
     "field_of_view_of",
     "tile_plan",
     "tiled_forward",

@@ -67,6 +67,12 @@ class TrainingReport:
     rollbacks: int = 0
     #: Checkpoint paths written, in order.
     checkpoints: List[str] = field(default_factory=list)
+    #: Process count the run started with (1 = sequential trainer).
+    workers: int = 1
+    #: Global minibatch size per round (1 = sequential trainer).
+    batch: int = 1
+    #: Worker processes lost (and survived) during the run.
+    worker_deaths: int = 0
 
     @property
     def rounds(self) -> int:

@@ -8,7 +8,13 @@ from repro.data.augment import (
 )
 from repro.data.metrics import BoundaryScores, boundary_scores, pixel_error
 from repro.data.multi import MultiVolumeProvider
-from repro.data.provider import FixedProvider, PatchProvider, RandomProvider
+from repro.data.provider import (
+    FixedProvider,
+    PatchProvider,
+    RandomProvider,
+    ShardedSampler,
+    shard_indices,
+)
 from repro.data.synthetic import (
     CellVolume,
     boundary_map_from_labels,
@@ -26,6 +32,8 @@ __all__ = [
     "FixedProvider",
     "PatchProvider",
     "RandomProvider",
+    "ShardedSampler",
+    "shard_indices",
     "CellVolume",
     "boundary_map_from_labels",
     "make_cell_volume",

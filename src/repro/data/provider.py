@@ -26,7 +26,77 @@ from repro.data.synthetic import CellVolume
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.shapes import Shape3, as_shape3
 
-__all__ = ["RandomProvider", "PatchProvider", "FixedProvider"]
+__all__ = ["RandomProvider", "PatchProvider", "FixedProvider",
+           "ShardedSampler", "shard_indices"]
+
+
+def shard_indices(batch: int, workers: int, worker: int) -> List[int]:
+    """Deterministic round-robin shard assignment for data-parallel
+    training: worker *w* of *workers* owns sample indices
+    ``w, w + workers, w + 2*workers, ...`` of every round's global
+    minibatch.
+
+    The assignment is a pure function of its arguments so every process
+    derives the same partition without communication; because samples
+    and gradients are keyed by **global index** (not by worker), the
+    training result is independent of how indices are distributed —
+    which is what lets a dead worker's shard be reassigned mid-run
+    without changing the final checkpoint.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not 0 <= worker < workers:
+        raise ValueError(
+            f"worker must be in [0, {workers}), got {worker}")
+    return list(range(worker, batch, workers))
+
+
+class ShardedSampler:
+    """Deterministic per-``(round, index)`` sampling over a provider.
+
+    Data-parallel determinism requires that the global minibatch of
+    round *r* is the same regardless of the worker count, so sample
+    ``(r, i)`` cannot come from a sequential RNG stream (whose position
+    would depend on which samples this process drew before).  Instead
+    each draw reseeds the provider with a fresh generator derived from
+    ``SeedSequence((base_seed, r, i))`` — any process can produce any
+    sample of any round, bitwise identically.
+
+    Works with any provider exposing a ``rng`` attribute used by
+    ``sample()`` (:class:`RandomProvider`, :class:`PatchProvider`);
+    :class:`FixedProvider` is indexed directly via
+    :meth:`FixedProvider.sample_at_index`.
+    """
+
+    def __init__(self, provider, base_seed: Optional[int],
+                 batch: int) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.provider = provider
+        self.base_seed = int(base_seed) if base_seed is not None else 0
+        self.batch = batch
+        if not (hasattr(provider, "rng")
+                or hasattr(provider, "sample_at_index")):
+            raise TypeError(
+                f"{type(provider).__name__} supports neither reseeding "
+                "(no .rng) nor direct indexing (no .sample_at_index)")
+
+    def sample_at(self, round_index: int, sample_index: int):
+        """The (inputs, targets) pair for global sample *sample_index*
+        of round *round_index* — identical in every process."""
+        if not 0 <= sample_index < self.batch:
+            raise ValueError(
+                f"sample_index {sample_index} out of range "
+                f"[0, {self.batch})")
+        if hasattr(self.provider, "rng"):
+            seq = np.random.SeedSequence(
+                (self.base_seed, round_index, sample_index))
+            self.provider.rng = np.random.default_rng(seq)
+            return self.provider.sample()
+        return self.provider.sample_at_index(
+            round_index * self.batch + sample_index)
 
 
 class RandomProvider:
@@ -61,6 +131,14 @@ class FixedProvider:
         s = self._samples[self._index % len(self._samples)]
         self._index += 1
         return s
+
+    def sample_at_index(self, index: int) -> Tuple[object, object]:
+        """Positional access for deterministic sharding: global sample
+        *index* maps onto the cycle without touching the sequential
+        cursor."""
+        if index < 0:
+            raise ValueError(f"index must be >= 0, got {index}")
+        return self._samples[index % len(self._samples)]
 
 
 class PatchProvider:

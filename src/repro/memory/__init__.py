@@ -1,4 +1,5 @@
-"""Memory substrate: pooled power-of-two allocators (Section VII-C)."""
+"""Memory substrate: pooled power-of-two allocators (Section VII-C),
+in-process and cross-process."""
 
 from repro.memory.pools import (
     AllocatorStats,
@@ -8,12 +9,22 @@ from repro.memory.pools import (
     reset_global_allocators,
     small_object_allocator,
 )
+from repro.memory.shared_pool import (
+    AttachedBlock,
+    BlockHandle,
+    SharedMemoryPool,
+    attach_block,
+)
 from repro.memory.thread_local import ThreadLocalAllocator
 
 __all__ = [
     "AllocatorStats",
+    "AttachedBlock",
+    "BlockHandle",
     "PoolAllocator",
     "PooledArray",
+    "SharedMemoryPool",
+    "attach_block",
     "image_allocator",
     "reset_global_allocators",
     "small_object_allocator",

@@ -73,4 +73,11 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "analysis.lock_order_violations",
     "analysis.race_violations",
     "analysis.tracked_objects",
+    # parallel/trainer.py (docs/parallel.md)
+    "parallel.workers",
+    "parallel.rounds",
+    "parallel.barrier_wait_seconds",
+    "parallel.bytes_shared",
+    "parallel.worker_deaths",
+    "parallel.reassigned_samples",
 })

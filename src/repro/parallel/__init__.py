@@ -1,0 +1,39 @@
+"""Multi-process data-parallel training (see ``docs/parallel.md``).
+
+The paper scales one training round across threads of a shared-memory
+machine; this package scales *rounds of a global minibatch* across
+**processes**, sidestepping the GIL while keeping ZNN's determinism
+guarantee: the final checkpoint is bitwise identical for any worker
+count, because per-sample gradients land in globally-indexed
+shared-memory slots that are reduced in fixed index order — the
+cross-process extension of Algorithm 4's summation buffers.
+
+* :class:`ParallelTrainer` — the coordinator: owns the canonical
+  network, spawns workers, assigns shards, reduces gradients, applies
+  the optimizer step, and degrades to fewer shards when a worker dies.
+* :class:`SharedOrderedSum` — globally-indexed gradient slots in
+  shared memory with an in-index-order reduction.
+* :class:`ModelConfig` — a picklable recipe from which every process
+  builds an identical network replica.
+* :class:`Replica` — one process's network plus the gradient-capture
+  machinery (parameters flattened into a canonical layout).
+"""
+
+from repro.parallel.replica import GradientCollector, ModelConfig, Replica
+from repro.parallel.summation import SharedOrderedSum, SumHandles
+from repro.parallel.trainer import (
+    ParallelTrainer,
+    WorkerPoolBroken,
+    visible_cpus,
+)
+
+__all__ = [
+    "GradientCollector",
+    "ModelConfig",
+    "ParallelTrainer",
+    "Replica",
+    "SharedOrderedSum",
+    "SumHandles",
+    "WorkerPoolBroken",
+    "visible_cpus",
+]

@@ -1,0 +1,169 @@
+"""Cross-process deterministic gradient summation.
+
+Algorithm 4 makes *thread* summation almost wait-free by keeping only
+pointer swaps inside the critical section; its deterministic variant
+(:class:`repro.sync.OrderedSum`) deposits into indexed slots and
+reduces them in index order.  :class:`SharedOrderedSum` extends that
+design across **processes**: the slots are shared-memory arrays from a
+:class:`repro.memory.shared_pool.SharedMemoryPool`, each contribution
+is keyed by its *global sample index*, and the coordinating process
+performs the same fixed-order reduction
+(:func:`repro.sync.summation.reduce_in_order`).
+
+Because a slot's content is a pure function of (parameters, round,
+sample index), any process may fill any slot — completion is defined
+by "all slots filled", not by who filled them.  That property is what
+lets the trainer reassign a dead worker's slots and still produce a
+bitwise-identical result.
+
+Synchronisation is message-based (the trainer's pipes order writes
+before the reduction); the ``filled`` flags exist so a coordinator
+recovering from a worker death can see which slots the casualty
+completed before dying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.shared_pool import (AttachedBlock, BlockHandle,
+                                      SharedMemoryPool, attach_block)
+from repro.sync.summation import reduce_in_order
+
+__all__ = ["SharedOrderedSum", "SumHandles"]
+
+
+@dataclass(frozen=True)
+class SumHandles:
+    """Picklable description of a :class:`SharedOrderedSum`'s blocks."""
+
+    slot_handles: Tuple[BlockHandle, ...]
+    flags_handle: BlockHandle
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedOrderedSum:
+    """Fixed slots in shared memory, reduced in index order.
+
+    Parameters
+    ----------
+    num_slots:
+        Number of contributions completing the sum (the global batch
+        size in the data-parallel trainer).
+    shape / dtype:
+        Shape and dtype of each contribution.
+    """
+
+    def __init__(self, slots: List[AttachedBlock], flags: AttachedBlock,
+                 shape: Tuple[int, ...], dtype: np.dtype,
+                 pool: SharedMemoryPool | None) -> None:
+        self._blocks = slots
+        self._flags_block = flags
+        self.shape = shape
+        self.dtype = dtype
+        self._pool = pool  # owner only; attachers hold None
+        self._slots = [b.as_array(shape, dtype) for b in slots]
+        self._filled = flags.as_array(len(slots), np.uint8)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, pool: SharedMemoryPool, num_slots: int,
+               shape: Sequence[int] | int,
+               dtype=np.float64) -> "SharedOrderedSum":
+        """Owner-side constructor: allocate slots from *pool*."""
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        shape_t = (shape,) if isinstance(shape, int) else tuple(shape)
+        dt = np.dtype(dtype)
+        slots = [pool.allocate(
+            max(1, int(np.prod(shape_t)) * dt.itemsize))
+            for _ in range(num_slots)]
+        flags = pool.allocate(num_slots)
+        out = cls(slots, flags, shape_t, dt, pool)
+        out.reset()
+        return out
+
+    @classmethod
+    def attach(cls, handles: SumHandles) -> "SharedOrderedSum":
+        """Worker-side constructor: map the owner's blocks."""
+        slots = [attach_block(h) for h in handles.slot_handles]
+        flags = attach_block(handles.flags_handle)
+        return cls(slots, flags, tuple(handles.shape),
+                   np.dtype(handles.dtype), pool=None)
+
+    def handles(self) -> SumHandles:
+        """The picklable identity workers attach with."""
+        return SumHandles(
+            slot_handles=tuple(b.handle for b in self._blocks),
+            flags_handle=self._flags_block.handle,
+            shape=tuple(self.shape),
+            dtype=self.dtype.str)
+
+    # -- contribution ----------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._slots)
+
+    def slot(self, index: int) -> np.ndarray:
+        """The shared array for global contribution *index* — write the
+        contribution directly into it, then :meth:`mark_filled`."""
+        return self._slots[index]
+
+    def mark_filled(self, index: int) -> None:
+        self._filled[index] = 1
+
+    def filled(self, index: int) -> bool:
+        return bool(self._filled[index])
+
+    def unfilled_indices(self) -> List[int]:
+        """Slots not yet marked — after a worker death, the part of its
+        shard that must be recomputed elsewhere."""
+        return [i for i in range(self.num_slots) if not self._filled[i]]
+
+    def reset(self) -> None:
+        """Clear the flags for the next round (slot bytes are reused
+        in place — every round overwrites every slot it fills)."""
+        self._filled[:] = 0
+
+    # -- reduction -------------------------------------------------------
+
+    def reduce(self) -> np.ndarray:
+        """Sum all slots in index order (Algorithm 4's deterministic
+        closing step, across processes).
+
+        Raises if any slot is unfilled.  With one slot the returned
+        array aliases the shared slot; callers that mutate the result
+        must copy (the trainer's ``/= batch`` normalisation allocates a
+        fresh array either way).
+        """
+        missing = self.unfilled_indices()
+        if missing:
+            raise RuntimeError(
+                f"sum incomplete: slots {missing} unfilled "
+                f"({self.num_slots - len(missing)}/{self.num_slots})")
+        return reduce_in_order(self._slots)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Owner: return blocks to the pool.  Attacher: unmap them."""
+        if self._pool is not None:
+            for block in self._blocks:
+                self._pool.deallocate(block)
+            self._pool.deallocate(self._flags_block)
+            self._pool = None
+        else:
+            for block in self._blocks:
+                block.close()
+            self._flags_block.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        done = self.num_slots - len(self.unfilled_indices())
+        return (f"SharedOrderedSum({done}/{self.num_slots} filled, "
+                f"shape={self.shape})")

@@ -1,0 +1,378 @@
+"""The data-parallel coordinator.
+
+:class:`ParallelTrainer` owns the canonical network (the one that gets
+checkpointed), spawns ``workers - 1`` child processes, and runs rounds
+of *global-minibatch* gradient learning:
+
+1. publish the current parameters into a shared-memory vector;
+2. assign each live worker its shard of the ``batch`` global sample
+   indices (round-robin via :func:`repro.data.shard_indices`);
+3. every process computes whole-model gradients for its samples into
+   the globally-indexed slots of a :class:`SharedOrderedSum`
+   (the coordinator itself is worker 0);
+4. the coordinator reduces the slots **in index order**, divides by
+   ``batch``, and applies one optimizer step.
+
+Because the reduction order is a function of the batch — never of the
+workers — the final checkpoint is bitwise identical for any worker
+count, including ``workers=1`` (which still exercises the same
+shared-memory path).
+
+**Degradation.** A worker that dies mid-run (detected by a broken or
+silent pipe) does not kill training: its unfilled slots are recomputed
+by the coordinator for the current round, the worker is dropped, and
+future rounds shard over the survivors — same samples, same slots,
+same reduction, so the checkpoint is unchanged.  The tolerated death
+count is governed by a :class:`repro.resilience.RetryPolicy`
+(``max_retries`` deaths, with its backoff between recoveries); one
+death past the budget raises :class:`WorkerPoolBroken`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.training import TrainingDiverged, TrainingReport
+from repro.data.provider import ShardedSampler, shard_indices
+from repro.memory.shared_pool import SharedMemoryPool
+from repro.observability.metrics import get_registry
+from repro.parallel.replica import ModelConfig, Replica
+from repro.parallel.summation import SharedOrderedSum
+from repro.parallel.worker import worker_main
+from repro.resilience.faults import active_plan
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ParallelTrainer", "WorkerPoolBroken", "visible_cpus"]
+
+
+class WorkerPoolBroken(RuntimeError):
+    """More workers died than the retry policy tolerates, or a worker
+    reported an unrecoverable error."""
+
+
+def visible_cpus() -> int:
+    """CPUs this process may run on (affinity-aware; >= 1)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class _Child:
+    """Coordinator-side record of one spawned worker."""
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+
+
+class ParallelTrainer:
+    """Multi-process data-parallel training with a deterministic
+    cross-process gradient reduction.
+
+    Parameters
+    ----------
+    config:
+        The model recipe every process builds its replica from.  With
+        ``conv_mode="auto"`` the coordinator resolves the per-edge
+        modes once and ships the resolved dict to the workers.
+    provider_factory / provider_args:
+        A picklable callable (and its arguments) constructing the data
+        provider *inside each process* — providers hold volumes and RNG
+        state that must not cross the spawn boundary.  Sampling
+        determinism comes from :class:`repro.data.ShardedSampler`, so
+        the factory needs only to be deterministic in its arguments.
+    workers:
+        Total processes including the coordinator (>= 1).
+    batch:
+        Global minibatch size per round — the determinism contract:
+        results depend on ``batch``, never on ``workers``.
+    retry_policy:
+        Worker-death budget and backoff; default
+        :class:`RetryPolicy()` (tolerates ``max_retries`` deaths).
+    worker_timeout:
+        Seconds to wait for a worker's per-round reply before declaring
+        it dead.
+    """
+
+    def __init__(self, config: ModelConfig, provider_factory,
+                 provider_args: tuple = (), workers: int = 1,
+                 batch: int = 1,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 worker_timeout: float = 300.0) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.workers = int(workers)
+        self.batch = int(batch)
+        self.provider_factory = provider_factory
+        self.provider_args = tuple(provider_args)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self.worker_timeout = float(worker_timeout)
+
+        self.replica = Replica.from_config(config)
+        self.network = self.replica.network
+        #: The exact config shipped to workers ("auto" modes resolved).
+        self.config = config.resolved(self.network)
+        provider = provider_factory(*self.provider_args)
+        self._sampler = ShardedSampler(provider, config.seed, self.batch)
+
+        self._pool = SharedMemoryPool(name="parallel")
+        self._grads = SharedOrderedSum.create(
+            self._pool, self.batch, self.replica.num_values)
+        self._params_block, self._params = self._pool.allocate_array(
+            self.replica.num_values)
+        self._losses_block, self._losses = self._pool.allocate_array(
+            self.batch)
+        self._children: List[_Child] = []
+        self._closed = False
+        self.worker_deaths = 0
+        self._deaths_since_success = 0
+
+        reg = get_registry()
+        self._m_workers = reg.gauge("parallel.workers")
+        self._m_rounds = reg.counter("parallel.rounds")
+        self._m_barrier = reg.histogram("parallel.barrier_wait_seconds")
+        self._m_deaths = reg.counter("parallel.worker_deaths")
+        self._m_reassigned = reg.counter("parallel.reassigned_samples")
+        reg.gauge("parallel.bytes_shared").set(self._pool.held_bytes())
+        self._spawn_children()
+        self._m_workers.set(1 + len(self._children))
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_children(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        for worker_id in range(1, self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=worker_main,
+                args=(worker_id, self.config, self.provider_factory,
+                      self.provider_args, self.batch,
+                      self._grads.handles(), self._params_block.handle,
+                      self._losses_block.handle, child_conn),
+                daemon=True, name=f"repro-worker-{worker_id}")
+            process.start()
+            child_conn.close()
+            self._children.append(_Child(worker_id, process, parent_conn))
+        deadline = time.monotonic() + self.worker_timeout
+        for child in list(self._children):
+            remaining = max(0.0, deadline - time.monotonic())
+            if not self._receive(child, remaining, expect="ready"):
+                self._handle_death(child, phase="startup")
+
+    def _receive(self, child: _Child, timeout: float,
+                 expect: str) -> bool:
+        """Wait for *expect* from *child*; False means the child is
+        dead (broken pipe, silent past timeout, or exited)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            try:
+                if not child.conn.poll(min(remaining, 0.2)):
+                    if not child.process.is_alive():
+                        return False
+                    continue
+                message = child.conn.recv()
+            except (EOFError, OSError):
+                return False
+            if message[0] == "error":
+                raise WorkerPoolBroken(
+                    f"worker {message[2]} failed in round {message[1]}:\n"
+                    f"{message[3]}")
+            if message[0] == expect:
+                return True
+            # Stale message from a previous round (e.g. a late "done"
+            # after the worker was presumed dead but survived): skip.
+
+    def _handle_death(self, child: _Child, phase: str) -> None:
+        """Drop *child* from the pool, within the death budget."""
+        self.worker_deaths += 1
+        self._deaths_since_success += 1
+        self._m_deaths.inc()
+        try:
+            child.conn.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        child.process.join(timeout=5.0)
+        if child.process.is_alive():  # pragma: no cover - stuck child
+            child.process.terminate()
+            child.process.join(timeout=5.0)
+        self._children.remove(child)
+        self._m_workers.set(1 + len(self._children))
+        if self._deaths_since_success > self.retry_policy.max_retries:
+            raise WorkerPoolBroken(
+                f"{self.worker_deaths} worker death(s) exceed the retry "
+                f"budget ({self.retry_policy.max_retries}); last death "
+                f"during {phase}")
+        backoff = self.retry_policy.backoff(self._deaths_since_success - 1)
+        if backoff > 0:
+            time.sleep(backoff)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+
+    def _assignments(self) -> Dict[int, List[int]]:
+        """Current shard per live process: position in the live list —
+        coordinator first, then surviving children — drives the
+        round-robin, so shards re-balance automatically as the pool
+        shrinks.  (Assignment never affects results; only which process
+        fills which globally-indexed slot.)"""
+        live = [0] + [c.worker_id for c in self._children]
+        return {worker_id: shard_indices(self.batch, len(live), position)
+                for position, worker_id in enumerate(live)}
+
+    def _run_round(self, round_index: int) -> Tuple[float, float]:
+        """One global-minibatch round; returns (loss, barrier_wait)."""
+        self._grads.reset()
+        self.replica.read_params_into(self._params)
+        assignments = self._assignments()
+        for child in list(self._children):
+            try:
+                child.conn.send(
+                    ("round", round_index, assignments[child.worker_id]))
+            except (BrokenPipeError, OSError):
+                self._handle_death(child, phase="dispatch")
+        for i in assignments[0]:
+            self._losses[i] = self.replica.sample_gradient(
+                self._sampler, round_index, i, self._grads.slot(i))
+            self._grads.mark_filled(i)
+        wait_start = time.perf_counter()
+        for child in list(self._children):
+            if not self._receive(child, self.worker_timeout, expect="done"):
+                self._handle_death(child, phase=f"round {round_index}")
+        barrier_wait = time.perf_counter() - wait_start
+        # Recompute whatever the casualties left unfilled — slots are
+        # globally indexed, so who fills them cannot change the result.
+        missing = self._grads.unfilled_indices()
+        if missing:
+            self._m_reassigned.inc(len(missing))
+            for i in missing:
+                self._losses[i] = self.replica.sample_gradient(
+                    self._sampler, round_index, i, self._grads.slot(i))
+                self._grads.mark_filled(i)
+        self._deaths_since_success = 0
+        total = self._grads.reduce()
+        mean_grad = total / self.batch
+        loss_total = 0.0
+        for i in range(self.batch):  # fixed index order, like the slots
+            loss_total += float(self._losses[i])
+        loss = loss_total / self.batch
+        plan = active_plan()
+        if plan is not None:
+            loss = plan.corrupt("loss", loss, name=f"round {round_index}")
+        self.replica.apply_update(mean_grad, self.network.optimizer)
+        return loss, barrier_wait
+
+    def run(self, rounds: int, callback=None,
+            checkpoint_every: int = 0,
+            checkpoint_dir=None) -> TrainingReport:
+        """Train for *rounds* global-minibatch rounds.
+
+        Mirrors :meth:`repro.core.Trainer.run` for the features that
+        make sense across processes: per-round *callback(i, loss)* and
+        periodic atomic checkpoints (``ckpt-<rounds>.npz``, one before
+        the first round and one at the end).  A non-finite round loss
+        raises :class:`TrainingDiverged` immediately — rollback/replay
+        is the sequential trainer's job.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every needs a checkpoint_dir")
+        if self._closed:
+            raise RuntimeError("trainer is closed")
+        from repro.core.serialization import save_network
+
+        reg = get_registry()
+        m_loss = reg.gauge("train.loss")
+        m_seconds = reg.histogram("train.seconds_per_update")
+        report = TrainingReport(workers=self.workers, batch=self.batch)
+        start_rounds = self.network.rounds
+
+        def write_checkpoint() -> None:
+            path = os.path.join(
+                os.fspath(checkpoint_dir),
+                f"ckpt-{self.network.rounds:08d}.npz")
+            save_network(self.network, path)
+            report.checkpoints.append(path)
+
+        if checkpoint_every:
+            os.makedirs(os.fspath(checkpoint_dir), exist_ok=True)
+            write_checkpoint()
+        for i in range(rounds):
+            t0 = time.perf_counter()
+            loss, barrier_wait = self._run_round(i)
+            seconds = time.perf_counter() - t0
+            # The coordinator replica's own train_steps advanced the
+            # counter once per *sample*; a round is one global update.
+            self.network.rounds = start_rounds + i + 1
+            if not np.isfinite(loss):
+                raise TrainingDiverged(
+                    f"loss became non-finite at round {i}")
+            report.losses.append(loss)
+            report.round_seconds.append(seconds)
+            self._m_rounds.inc()
+            self._m_barrier.observe(barrier_wait)
+            m_loss.set(loss)
+            m_seconds.observe(seconds)
+            if callback is not None:
+                callback(i, loss)
+            if checkpoint_every and (i + 1) % checkpoint_every == 0 \
+                    and i + 1 < rounds:
+                write_checkpoint()
+        if checkpoint_every:
+            write_checkpoint()
+        report.worker_deaths = self.worker_deaths
+        return report
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers, free the shared memory, close the
+        network (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for child in self._children:
+            try:
+                child.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                child.conn.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+        for child in self._children:
+            child.process.join(timeout=10.0)
+            if child.process.is_alive():  # pragma: no cover - stuck
+                child.process.terminate()
+                child.process.join(timeout=5.0)
+        self._children.clear()
+        self._m_workers.set(0)
+        self._grads.close()
+        self._pool.close()
+        self.network.close()
+
+    def __enter__(self) -> "ParallelTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,7 +1,8 @@
 """Concurrency substrate: wait-free summation, heap-of-lists queue."""
 
 from repro.sync.priority_queue import HeapOfLists, QueueClosed
-from repro.sync.summation import ConcurrentSum, NaiveLockedSum, OrderedSum
+from repro.sync.summation import (ConcurrentSum, NaiveLockedSum, OrderedSum,
+                                  reduce_in_order)
 
 __all__ = ["HeapOfLists", "QueueClosed", "ConcurrentSum", "NaiveLockedSum",
-           "OrderedSum"]
+           "OrderedSum", "reduce_in_order"]

@@ -22,14 +22,37 @@ the layer's inverse-transform finaliser.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.runtime import (checking_enabled, make_lock, note_access,
                                     track)
 
-__all__ = ["ConcurrentSum", "NaiveLockedSum", "OrderedSum"]
+__all__ = ["ConcurrentSum", "NaiveLockedSum", "OrderedSum",
+           "reduce_in_order"]
+
+
+def reduce_in_order(slots: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum *slots* in index order: ``((slots[0] + slots[1]) + ...)``.
+
+    The deterministic closing step shared by :class:`OrderedSum`
+    (threads depositing into indexed slots) and
+    :class:`repro.parallel.SharedOrderedSum` (processes depositing into
+    shared-memory slots): because the association order is fixed by
+    slot index, the floating-point result is bitwise independent of
+    which thread or process produced each contribution, and of how many
+    there were.
+
+    With a single slot the slot itself is returned (no copy) — callers
+    that must not alias the inputs copy explicitly.
+    """
+    if not slots:
+        raise ValueError("cannot reduce zero slots")
+    result = slots[0]
+    for slot in slots[1:]:
+        result = result + slot
+    return result
 
 
 class ConcurrentSum:
@@ -226,9 +249,8 @@ class OrderedSum:
         if not last:
             return False
         # Reduction in fixed index order -> schedule-independent result.
-        result = self._slots[0]
-        for slot in self._slots[1:]:
-            result = result + slot
+        slots = [s for s in self._slots if s is not None]
+        result = reduce_in_order(slots)
         with self._lock:
             self._result = result
         return True

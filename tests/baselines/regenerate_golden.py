@@ -1,0 +1,79 @@
+"""Regenerate the golden training-determinism digests.
+
+Run from the repository root after any change that *intentionally*
+alters training arithmetic::
+
+    PYTHONPATH=src python tests/baselines/regenerate_golden.py
+
+The golden model deliberately uses only IEEE-exact operations — direct
+convolution (fixed tap order), linear transfers, euclidean loss, plain
+SGD with momentum — so the digest is reproducible across machines; no
+``tanh``/``exp`` whose libm rounding could differ between platforms.
+
+The script re-verifies the worker-count invariance (``workers=2`` must
+produce the same digest as ``workers=1``) before overwriting
+``golden_digests.json``; ``test_golden_determinism.py`` then pins the
+stored values in CI.
+"""
+
+import json
+import os
+
+from repro.core import state_digest
+from repro.data.provider import RandomProvider
+from repro.parallel import ModelConfig, ParallelTrainer
+
+GOLDEN_INPUT = (10, 10, 10)
+GOLDEN_OUTPUT = (6, 6, 6)
+GOLDEN_BATCH = 2
+GOLDEN_ROUNDS = 3
+GOLDEN_CFG = ModelConfig(
+    input_shape=GOLDEN_INPUT,
+    spec="CTCT",
+    layered_kwargs={"width": 2, "kernel": 3, "transfer": "linear",
+                    "final_transfer": "linear", "output_nodes": 1},
+    conv_mode="direct",
+    loss="euclidean",
+    seed=2026,
+    learning_rate=1e-5,
+    momentum=0.9)
+PROVIDER_ARGS = (GOLDEN_INPUT, GOLDEN_OUTPUT, False, None)
+
+DIGEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden_digests.json")
+
+
+def golden_run(workers: int):
+    """(final state digest, per-round losses) of the golden run."""
+    trainer = ParallelTrainer(GOLDEN_CFG, RandomProvider, PROVIDER_ARGS,
+                              workers=workers, batch=GOLDEN_BATCH,
+                              worker_timeout=120.0)
+    try:
+        report = trainer.run(GOLDEN_ROUNDS)
+        digest = state_digest(trainer.network)
+    finally:
+        trainer.close()
+    return digest, list(report.losses)
+
+
+def main() -> None:
+    digest, losses = golden_run(workers=1)
+    digest_w2, losses_w2 = golden_run(workers=2)
+    if digest_w2 != digest or losses_w2 != losses:
+        raise SystemExit(
+            "worker-count invariance is broken; refusing to write "
+            f"golden digests (w1={digest} w2={digest_w2})")
+    payload = {
+        "_comment": "regenerate with tests/baselines/regenerate_golden.py",
+        "final_state_digest": digest,
+        "losses": losses,
+    }
+    with open(DIGEST_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {DIGEST_PATH}")
+    print(f"  final_state_digest: {digest}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Golden training determinism: pinned digests for the fixed-seed run.
+
+The stored baseline (``golden_digests.json``, written by
+``regenerate_golden.py``) pins the bitwise result of a 3-round
+fixed-seed training run.  These tests catch two distinct regressions:
+
+* an *unintentional* change to training arithmetic anywhere in the
+  stack (sampling, conv, loss, backward pass, optimizer) — the
+  single-process digest drifts from the stored one;
+* a broken determinism contract in the data-parallel layer — the
+  ``workers=2`` digest drifts from ``workers=1``.
+
+If a change is *supposed* to alter training arithmetic, rerun the
+regeneration script and commit the new digests alongside it.
+"""
+
+import json
+import os
+
+import pytest
+
+from regenerate_golden import (DIGEST_PATH, GOLDEN_BATCH, GOLDEN_CFG,
+                               GOLDEN_ROUNDS, PROVIDER_ARGS, golden_run)
+from repro.core import checkpoint_digest
+from repro.data.provider import RandomProvider
+from repro.parallel import ParallelTrainer
+
+
+@pytest.fixture(scope="module")
+def stored():
+    with open(DIGEST_PATH) as fh:
+        return json.load(fh)
+
+
+def test_single_process_run_matches_stored_digest(stored):
+    digest, losses = golden_run(workers=1)
+    assert losses == stored["losses"]
+    assert digest == stored["final_state_digest"]
+
+
+def test_final_checkpoint_file_matches_stored_digest(stored, tmp_path):
+    trainer = ParallelTrainer(GOLDEN_CFG, RandomProvider, PROVIDER_ARGS,
+                              workers=1, batch=GOLDEN_BATCH)
+    try:
+        report = trainer.run(GOLDEN_ROUNDS, checkpoint_every=GOLDEN_ROUNDS,
+                             checkpoint_dir=tmp_path)
+    finally:
+        trainer.close()
+    final = report.checkpoints[-1]
+    assert os.path.basename(final) == f"ckpt-{GOLDEN_ROUNDS:08d}.npz"
+    assert checkpoint_digest(final) == stored["final_state_digest"]
+
+
+@pytest.mark.slow
+def test_two_process_run_matches_stored_digest(stored):
+    """The acceptance contract: ``--workers 2`` is bitwise identical to
+    single-process for the same seed."""
+    digest, losses = golden_run(workers=2)
+    assert losses == stored["losses"]
+    assert digest == stored["final_state_digest"]

@@ -70,6 +70,68 @@ class TestPasses:
              for n in net.output_nodes}
         assert check_gradients(net, x, t).ok
 
+    @pytest.mark.parametrize("conv_mode", ["direct", "fft"])
+    def test_sparse_conv_per_axis_dilation_above_two(self, rng, conv_mode):
+        """Dilated (sparse) convolution with a different dilation > 2
+        on every axis — the anisotropic skip-kernel case of the paper's
+        sparse training."""
+        g = ComputationGraph()
+        g.add_node("in")
+        g.add_node("a")
+        g.add_node("b")
+        g.add_node("out")
+        g.add_edge("c1", "in", "a", "conv", kernel=2, sparsity=(3, 4, 5))
+        g.add_edge("t1", "a", "b", "transfer", transfer="tanh")
+        g.add_edge("c2", "b", "out", "conv", kernel=2, sparsity=(1, 1, 1))
+        net = Network(g, input_shape=(10, 10, 10), seed=0,
+                      conv_mode=conv_mode)
+        assert net.nodes["a"].shape == (7, 6, 5)
+        x = rng.standard_normal((10, 10, 10))
+        t = rng.standard_normal(net.nodes["out"].shape)
+        report = check_gradients(net, x, t)
+        assert report.ok, report.failures
+
+    def test_anisotropic_max_filter(self, rng):
+        """Sparse max-filtering with per-axis window AND dilation —
+        window (1, 2, 3) at sparsity (1, 3, 2)."""
+        g = ComputationGraph()
+        g.add_node("in")
+        g.add_node("a")
+        g.add_node("b")
+        g.add_node("out")
+        g.add_edge("c1", "in", "a", "conv", kernel=2)
+        g.add_edge("m1", "a", "b", "filter", window=(1, 2, 3),
+                   sparsity=(1, 3, 2))
+        g.add_edge("c2", "b", "out", "conv", kernel=2)
+        net = Network(g, input_shape=(11, 11, 11), seed=0)
+        # filter shrink per axis: (w - 1) * sparsity = (0, 3, 4).
+        assert net.nodes["b"].shape == (10, 7, 6)
+        x = rng.standard_normal((11, 11, 11))
+        t = rng.standard_normal(net.nodes["out"].shape)
+        report = check_gradients(net, x, t)
+        assert report.ok, report.failures
+
+    def test_anisotropic_dilated_combo_network(self, rng):
+        """Dilation > 2 convolutions feeding an anisotropic max-filter
+        in one graph (gradients must compose across both)."""
+        g = ComputationGraph()
+        g.add_node("in")
+        g.add_node("a")
+        g.add_node("b")
+        g.add_node("c")
+        g.add_node("out")
+        g.add_edge("c1", "in", "a", "conv", kernel=(2, 2, 1),
+                   sparsity=(4, 3, 1))
+        g.add_edge("t1", "a", "b", "transfer", transfer="tanh")
+        g.add_edge("m1", "b", "c", "filter", window=(2, 1, 2),
+                   sparsity=(2, 1, 4))
+        g.add_edge("c2", "c", "out", "conv", kernel=2)
+        net = Network(g, input_shape=(12, 12, 12), seed=0)
+        x = rng.standard_normal((12, 12, 12))
+        t = rng.standard_normal(net.nodes["out"].shape)
+        report = check_gradients(net, x, t)
+        assert report.ok, report.failures
+
 
 class TestCatchesBugs:
     def test_wrong_jacobian_detected(self, rng):

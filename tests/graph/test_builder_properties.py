@@ -80,6 +80,50 @@ class TestStructuralProperties:
             assert len(values) <= 1
 
 
+class TestDeterminismProperties:
+    """Data-parallel replicas rely on the builder being a pure function
+    of its arguments: every process must derive the same graph."""
+
+    @given(spec=spec_strategy, width=width_strategy)
+    @settings(max_examples=30)
+    def test_build_is_deterministic(self, spec, width):
+        a = try_build(spec, width)
+        assume(a is not None)
+        b = try_build(spec, width)
+        assert sorted(a.nodes) == sorted(b.nodes)
+        assert sorted(a.edges) == sorted(b.edges)
+        for name in a.edges:
+            assert a.edges[name].kind == b.edges[name].kind
+        for name in a.nodes:
+            assert a.nodes[name].shape == b.nodes[name].shape
+
+    @given(spec=spec_strategy, width=width_strategy)
+    @settings(max_examples=30)
+    def test_node_count_formula(self, spec, width):
+        g = try_build(spec, width)
+        assume(g is not None)
+        expected = 1  # the input node
+        prev = 1
+        for c in spec.upper():
+            prev = width if c == "C" else prev
+            expected += prev
+        assert len(g.nodes) == expected
+
+    @given(spec=spec_strategy, width=width_strategy)
+    @settings(max_examples=30)
+    def test_shapes_never_grow_along_edges(self, spec, width):
+        """Every layer kind in the alphabet (conv without padding,
+        transfer, max-filter, pooling) preserves or shrinks the
+        per-axis extent."""
+        g = try_build(spec, width)
+        assume(g is not None)
+        for edge in g.edges.values():
+            src = g.nodes[edge.src].shape
+            dst = g.nodes[edge.dst].shape
+            assert all(d <= s for s, d in zip(src, dst)), (
+                edge.name, src, dst)
+
+
 class TestTaskGraphProperties:
     @given(spec=spec_strategy, width=width_strategy,
            mode=st.sampled_from(["direct", "fft"]))

@@ -1,0 +1,103 @@
+"""Fixed-order cross-process summation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.memory.shared_pool import SharedMemoryPool
+from repro.parallel.summation import SharedOrderedSum
+from repro.sync import reduce_in_order
+
+
+@pytest.fixture
+def pool():
+    with SharedMemoryPool(name="t-sum") as p:
+        yield p
+
+
+def fill(grads, values):
+    for i, value in enumerate(values):
+        grads.slot(i)[:] = value
+        grads.mark_filled(i)
+
+
+class TestReduce:
+    def test_matches_reduce_in_order(self, pool):
+        rng = np.random.default_rng(3)
+        grads = SharedOrderedSum.create(pool, 5, (4, 3))
+        arrays = [rng.standard_normal((4, 3)) for _ in range(5)]
+        fill(grads, arrays)
+        expected = reduce_in_order(arrays)
+        assert np.array_equal(grads.reduce(), expected)
+        grads.close()
+
+    def test_order_is_slot_index_not_fill_order(self, pool):
+        grads = SharedOrderedSum.create(pool, 3, (2,))
+        a = np.array([1e16, 1.0])
+        b = np.array([-1e16, 1.0])
+        c = np.array([1.0, 1.0])
+        # Fill in reverse; the reduction must still be a + b + c.
+        grads.slot(2)[:] = c
+        grads.mark_filled(2)
+        grads.slot(1)[:] = b
+        grads.mark_filled(1)
+        grads.slot(0)[:] = a
+        grads.mark_filled(0)
+        assert np.array_equal(grads.reduce(), (a + b) + c)
+        grads.close()
+
+    def test_reduce_raises_on_unfilled_slots(self, pool):
+        grads = SharedOrderedSum.create(pool, 3, (2,))
+        grads.slot(0)[:] = 1.0
+        grads.mark_filled(0)
+        with pytest.raises(RuntimeError, match=r"\[1, 2\]"):
+            grads.reduce()
+        grads.close()
+
+    def test_unfilled_indices_and_reset(self, pool):
+        grads = SharedOrderedSum.create(pool, 4, (2,))
+        assert grads.unfilled_indices() == [0, 1, 2, 3]
+        fill(grads, [np.zeros(2)] * 4)
+        assert grads.unfilled_indices() == []
+        grads.reset()
+        assert grads.unfilled_indices() == [0, 1, 2, 3]
+        grads.close()
+
+
+class TestAttach:
+    def test_attached_writes_visible_to_owner(self, pool):
+        grads = SharedOrderedSum.create(pool, 2, (3,))
+        other = SharedOrderedSum.attach(grads.handles())
+        other.slot(0)[:] = 5.0
+        other.mark_filled(0)
+        assert grads.filled(0)
+        assert np.array_equal(grads.slot(0), np.full(3, 5.0))
+        grads.slot(1)[:] = 1.0
+        grads.mark_filled(1)
+        assert np.array_equal(grads.reduce(), np.full(3, 6.0))
+        other.close()
+        grads.close()
+
+    def test_handles_are_picklable(self, pool):
+        import pickle
+
+        grads = SharedOrderedSum.create(pool, 2, (3,))
+        handles = pickle.loads(pickle.dumps(grads.handles()))
+        assert handles.shape == (3,)
+        assert handles.dtype == np.dtype(np.float64).str
+        other = SharedOrderedSum.attach(handles)
+        assert other.num_slots == 2
+        other.close()
+        grads.close()
+
+
+def test_reduce_in_order_is_strictly_sequential():
+    # Left-to-right float addition is not associative; the helper must
+    # commit to the ((s0 + s1) + s2) ... ordering exactly.
+    slots = [np.array([1e16]), np.array([1.0]), np.array([1.0]),
+             np.array([-1e16])]
+    expected = ((slots[0] + slots[1]) + slots[2]) + slots[3]
+    assert np.array_equal(reduce_in_order(slots), expected)
+    # and that this differs from another grouping, so the test means
+    # something on this machine:
+    other = (slots[0] + (slots[1] + slots[2])) + slots[3]
+    assert not np.array_equal(expected, other)

@@ -1,0 +1,101 @@
+"""Cross-process pooled allocator: pow-2 rounding, reuse, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.memory.shared_pool import SharedMemoryPool, attach_block
+
+
+class TestAllocation:
+    def test_rounds_up_to_power_of_two(self):
+        with SharedMemoryPool(name="t-pow2") as pool:
+            block = pool.allocate(100)
+            assert block.handle.size == 128
+            assert block.handle.pool_index == 7
+
+    def test_array_views_share_the_block_bytes(self):
+        with SharedMemoryPool(name="t-view") as pool:
+            block, arr = pool.allocate_array((4, 5), np.float64)
+            arr[:] = 7.5
+            again = block.as_array((4, 5), np.float64)
+            assert np.array_equal(again, np.full((4, 5), 7.5))
+
+    def test_view_larger_than_block_rejected(self):
+        with SharedMemoryPool(name="t-big") as pool:
+            block = pool.allocate(64)
+            with pytest.raises(ValueError, match="exceeds block size"):
+                block.as_array(100, np.float64)
+
+    def test_free_list_reuse(self):
+        with SharedMemoryPool(name="t-reuse") as pool:
+            block = pool.allocate(1000)
+            name = block.handle.name
+            pool.deallocate(block)
+            again = pool.allocate(900)  # same size class
+            assert again.handle.name == name
+            assert pool.stats.pool_hits == 1
+            assert pool.stats.system_allocations == 1
+
+    def test_held_bytes_counts_system_segments_only(self):
+        with SharedMemoryPool(name="t-held") as pool:
+            a = pool.allocate(256)
+            pool.allocate(256)
+            assert pool.held_bytes() == 512
+            pool.deallocate(a)
+            pool.allocate(256)  # reuse, not growth
+            assert pool.held_bytes() == 512
+
+    def test_foreign_block_rejected_on_free(self):
+        with SharedMemoryPool(name="t-a") as pool_a, \
+                SharedMemoryPool(name="t-b") as pool_b:
+            block = pool_a.allocate(64)
+            with pytest.raises(ValueError, match="does not belong"):
+                pool_b.deallocate(block)
+            pool_a.deallocate(block)
+
+
+class TestAttach:
+    def test_attach_sees_owner_writes(self):
+        with SharedMemoryPool(name="t-attach") as pool:
+            block, arr = pool.allocate_array(16)
+            arr[:] = np.arange(16.0)
+            attached = attach_block(block.handle)
+            try:
+                view = attached.as_array(16)
+                assert np.array_equal(view, np.arange(16.0))
+                view[0] = -1.0
+                assert arr[0] == -1.0
+            finally:
+                attached.close()
+
+    def test_attacher_cannot_unlink(self):
+        with SharedMemoryPool(name="t-own") as pool:
+            block = pool.allocate(64)
+            attached = attach_block(block.handle)
+            with pytest.raises(RuntimeError, match="owning process"):
+                attached.unlink()
+            attached.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_unlinks(self):
+        pool = SharedMemoryPool(name="t-close")
+        block = pool.allocate(64)
+        name = block.handle.name
+        pool.close()
+        pool.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_allocate_after_close_rejected(self):
+        pool = SharedMemoryPool(name="t-dead")
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.allocate(64)
+
+    def test_oversized_request_rejected(self):
+        with SharedMemoryPool(name="t-huge") as pool:
+            with pytest.raises(MemoryError):
+                pool.allocate(1 << 40)

@@ -1,0 +1,212 @@
+"""ParallelTrainer: determinism contract, degradation, lifecycle.
+
+Multi-process cases (anything with ``workers >= 2`` actually spawns
+children) are marked ``slow`` so the tier-1 run stays fast; the CI slow
+lane runs them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, state_digest
+from repro.core.serialization import checkpoint_digest
+from repro.core.training import TrainingDiverged
+from repro.data.provider import RandomProvider, ShardedSampler
+from repro.parallel import ModelConfig, ParallelTrainer, WorkerPoolBroken
+from repro.resilience import RetryPolicy
+from repro.resilience.faults import FaultPlan, clear_plan, install_plan
+
+INPUT = (10, 10, 10)
+OUT = (8, 8, 8)
+CFG = ModelConfig(
+    input_shape=INPUT,
+    spec="CT",
+    layered_kwargs={"width": 2, "kernel": 3, "transfer": "tanh",
+                    "final_transfer": "tanh", "output_nodes": 1},
+    loss="euclidean",
+    seed=13,
+    learning_rate=0.005,
+    momentum=0.9)
+PROVIDER_ARGS = (INPUT, OUT, False, None)
+ROUNDS = 3
+
+
+def run_parallel(workers, batch, **kwargs):
+    trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                              workers=workers, batch=batch,
+                              worker_timeout=120.0, **kwargs)
+    try:
+        report = trainer.run(ROUNDS)
+        digest = state_digest(trainer.network)
+    finally:
+        trainer.close()
+    return report, digest
+
+
+class _Replay:
+    def __init__(self, samples):
+        self.samples = list(samples)
+
+    def sample(self):
+        return self.samples.pop(0)
+
+
+class TestDeterminism:
+    def test_w1_b1_bitwise_equals_sequential_trainer(self):
+        report, digest = run_parallel(1, 1)
+        # Replay the exact same sample stream through the plain
+        # single-process Trainer.
+        sampler = ShardedSampler(RandomProvider(*PROVIDER_ARGS),
+                                 CFG.seed, 1)
+        samples = [sampler.sample_at(r, 0) for r in range(ROUNDS)]
+        net = CFG.build_network()
+        try:
+            seq_report = Trainer(net, _Replay(samples)).run(ROUNDS)
+            seq_digest = state_digest(net)
+        finally:
+            net.close()
+        assert report.losses == seq_report.losses
+        assert digest == seq_digest
+
+    def test_batch_size_changes_results(self):
+        # Sanity check that the contract is on (workers), not vacuous:
+        # different global batches must give different trajectories.
+        _, d1 = run_parallel(1, 1)
+        _, d2 = run_parallel(1, 2)
+        assert d1 != d2
+
+    @pytest.mark.slow
+    def test_worker_count_invariance(self):
+        r1, d1 = run_parallel(1, 2)
+        r2, d2 = run_parallel(2, 2)
+        assert r1.losses == r2.losses
+        assert d1 == d2
+
+    def test_repeat_runs_are_bitwise_identical(self):
+        r_a, d_a = run_parallel(1, 2)
+        r_b, d_b = run_parallel(1, 2)
+        assert r_a.losses == r_b.losses
+        assert d_a == d_b
+
+
+class TestDegradation:
+    @pytest.mark.slow
+    def test_dead_worker_does_not_change_the_checkpoint(self, monkeypatch):
+        _, clean_digest = run_parallel(1, 2)
+        # The spawned child resolves REPRO_FAULTS on first use and
+        # kills itself (os._exit) at its first "worker" check; the
+        # coordinator recomputes the orphaned slot.
+        monkeypatch.setenv("REPRO_FAULTS", "fail:worker:1")
+        try:
+            report, digest = run_parallel(2, 2)
+        finally:
+            clear_plan()  # drop any plan the parent resolved
+        assert report.worker_deaths == 1
+        assert digest == clean_digest
+
+    @pytest.mark.slow
+    def test_death_budget_exhaustion_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "fail:worker:1")
+        trainer = ParallelTrainer(
+            CFG, RandomProvider, PROVIDER_ARGS, workers=2, batch=2,
+            worker_timeout=120.0,
+            retry_policy=RetryPolicy(max_retries=0))
+        try:
+            with pytest.raises(WorkerPoolBroken, match="retry budget"):
+                trainer.run(ROUNDS)
+        finally:
+            trainer.close()
+            clear_plan()
+
+    def test_corrupted_loss_raises_diverged(self):
+        install_plan(FaultPlan.from_string("corrupt:loss:1"))
+        trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                                  workers=1, batch=1)
+        try:
+            with pytest.raises(TrainingDiverged):
+                trainer.run(1)
+        finally:
+            trainer.close()
+            clear_plan()
+
+
+class TestLifecycle:
+    def test_checkpoints_and_report(self, tmp_path):
+        trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                                  workers=1, batch=2)
+        try:
+            report = trainer.run(ROUNDS, checkpoint_every=2,
+                                 checkpoint_dir=tmp_path)
+            digest = state_digest(trainer.network)
+        finally:
+            trainer.close()
+        assert report.workers == 1
+        assert report.batch == 2
+        assert len(report.losses) == ROUNDS
+        assert len(report.round_seconds) == ROUNDS
+        assert report.worker_deaths == 0
+        names = [p.split("/")[-1] for p in report.checkpoints]
+        assert names == ["ckpt-00000000.npz", "ckpt-00000002.npz",
+                         "ckpt-00000003.npz"]
+        assert checkpoint_digest(report.checkpoints[-1]) == digest
+
+    def test_rounds_counter_counts_global_updates(self):
+        trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                                  workers=1, batch=3)
+        try:
+            trainer.run(2)
+            assert trainer.network.rounds == 2
+        finally:
+            trainer.close()
+
+    def test_callback_sees_each_round(self):
+        seen = []
+        trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                                  workers=1, batch=1)
+        try:
+            report = trainer.run(
+                ROUNDS, callback=lambda i, loss: seen.append((i, loss)))
+        finally:
+            trainer.close()
+        assert seen == list(enumerate(report.losses))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS, workers=0)
+        with pytest.raises(ValueError, match="batch"):
+            ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS, batch=0)
+        trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS)
+        try:
+            with pytest.raises(ValueError, match="rounds"):
+                trainer.run(-1)
+            with pytest.raises(ValueError, match="checkpoint_dir"):
+                trainer.run(1, checkpoint_every=1)
+        finally:
+            trainer.close()
+        trainer.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            trainer.run(1)
+
+    def test_shipped_config_has_resolved_conv_modes(self):
+        trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS)
+        try:
+            assert isinstance(trainer.config.conv_mode, dict)
+        finally:
+            trainer.close()
+
+
+def test_shard_assignments_cover_batch_exactly():
+    trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                              workers=1, batch=5)
+    try:
+        assignments = trainer._assignments()
+        assert sorted(i for s in assignments.values() for i in s) \
+            == list(range(5))
+    finally:
+        trainer.close()
+
+
+def test_w1b1_matches_digest_of_numpy_reduce():
+    # reduce()/batch of a single slot is a bitwise no-op: x/1.0 == x.
+    x = np.random.default_rng(0).standard_normal(16)
+    assert np.array_equal(x / 1.0, x)

@@ -1,0 +1,126 @@
+"""Property-based tests for the serving tile planner.
+
+The geometric contract behind seam-free stitching: every output voxel
+of the dense result is written by at least one tile, every tile stays
+inside the volume, and the tile-shape chooser respects the fov floor,
+the volume ceiling, and the voxel budget (5-smooth where it claims to
+be).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.tiler import (choose_tile_shape, largest_fast_len,
+                                 plan_volume)
+from repro.tensor.fourier import next_fast_len
+from repro.utils.shapes import voxels
+
+axis = st.tuples(st.integers(1, 5), st.integers(0, 19))
+geometry = st.tuples(axis, axis, axis)
+budget = st.one_of(st.none(), st.integers(1, 4000))
+
+
+def unpack(geom):
+    fov = tuple(f for f, _ in geom)
+    volume = tuple(f + extra for f, extra in geom)
+    return volume, fov
+
+
+class TestLargestFastLen:
+    @given(n=st.integers(1, 2000), floor=st.integers(1, 2000))
+    @settings(max_examples=60)
+    def test_result_is_the_largest_5_smooth_in_range(self, n, floor):
+        result = largest_fast_len(n, floor)
+        if result is None:
+            # No 5-smooth integer in [floor, n] at all.
+            assert all(next_fast_len(k) != k for k in range(floor, n + 1))
+            return
+        assert floor <= result <= n
+        assert next_fast_len(result) == result  # 5-smooth
+        # Maximal: nothing 5-smooth above it within range.
+        assert all(next_fast_len(k) != k for k in range(result + 1, n + 1))
+
+
+class TestChooseTileShape:
+    @given(geom=geometry, max_voxels=budget,
+           fast_sizes=st.booleans())
+    @settings(max_examples=60)
+    def test_bounds_and_budget(self, geom, max_voxels, fast_sizes):
+        volume, fov = unpack(geom)
+        tile = choose_tile_shape(volume, fov, max_voxels=max_voxels,
+                                 fast_sizes=fast_sizes)
+        for t, f, v in zip(tile, fov, volume):
+            assert f <= t <= v
+        if max_voxels is not None and voxels(fov) <= max_voxels:
+            assert voxels(tile) <= max_voxels
+
+    @given(geom=geometry)
+    @settings(max_examples=30)
+    def test_unsatisfiable_budget_returns_fov_tile(self, geom):
+        volume, fov = unpack(geom)
+        # A budget below prod(fov) cannot be met; fov is the hard floor.
+        tile = choose_tile_shape(volume, fov, max_voxels=voxels(fov) - 1,
+                                 fast_sizes=False)
+        assert tile == fov
+
+    @given(geom=geometry, max_voxels=budget)
+    @settings(max_examples=40)
+    def test_fast_sizes_are_5_smooth_when_possible(self, geom, max_voxels):
+        volume, fov = unpack(geom)
+        tile = choose_tile_shape(volume, fov, max_voxels=max_voxels,
+                                 fast_sizes=True)
+        for t, f, v in zip(tile, fov, volume):
+            if largest_fast_len(v, f) is not None and t != f:
+                # A 5-smooth choice existed on this axis; unless pinned
+                # to the fov floor, the planner must have taken one.
+                assert next_fast_len(t) == t
+
+
+class TestPlanVolume:
+    @given(geom=geometry, max_voxels=budget,
+           fast_sizes=st.booleans())
+    @settings(max_examples=60)
+    def test_seam_free_coverage(self, geom, max_voxels, fast_sizes):
+        volume, fov = unpack(geom)
+        plan = plan_volume(volume, fov, max_voxels=max_voxels,
+                           fast_sizes=fast_sizes)
+        assert plan.dense_shape == tuple(
+            v - f + 1 for v, f in zip(volume, fov))
+        assert plan.output_tile == tuple(
+            t - f + 1 for t, f in zip(plan.input_tile, fov))
+        counts = np.zeros(plan.dense_shape, dtype=np.int64)
+        o = plan.output_tile
+        for ic, oc in plan.tiles:
+            assert ic == oc  # corners coincide (output = input - fov + 1)
+            for d in range(3):
+                assert 0 <= ic[d]
+                assert ic[d] + plan.input_tile[d] <= volume[d]
+                assert oc[d] + o[d] <= plan.dense_shape[d]
+            counts[oc[0]:oc[0] + o[0],
+                   oc[1]:oc[1] + o[1],
+                   oc[2]:oc[2] + o[2]] += 1
+        # Every dense output voxel is computed by at least one tile —
+        # no seams, no gaps.  (Boundary tiles shift back, so "exactly
+        # once" is deliberately NOT the contract; recompute is.)
+        assert counts.min() >= 1
+
+    @given(geom=geometry, max_voxels=budget)
+    @settings(max_examples=40)
+    def test_recompute_fraction_bounds(self, geom, max_voxels):
+        volume, fov = unpack(geom)
+        plan = plan_volume(volume, fov, max_voxels=max_voxels)
+        assert 0.0 <= plan.recompute_fraction < 1.0
+        assert plan.num_tiles >= 1
+        assert plan.tile_input_voxels == voxels(plan.input_tile)
+        assert plan.halo == tuple(f - 1 for f in fov)
+
+    @given(geom=geometry)
+    @settings(max_examples=20)
+    def test_single_tile_when_budget_allows_whole_volume(self, geom):
+        volume, fov = unpack(geom)
+        plan = plan_volume(volume, fov, max_voxels=voxels(volume),
+                           fast_sizes=False)
+        assert plan.input_tile == volume
+        assert plan.num_tiles == 1
+        assert plan.tiles == [((0, 0, 0), (0, 0, 0))]

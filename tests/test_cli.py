@@ -118,6 +118,56 @@ class TestCliCommands:
         assert load_network(net, ckpt) == 1
 
 
+class TestParallelTrain:
+    _FAST = ["--rounds", "1", "--input-size", "20", "--volume-size",
+             "32", "--conv-mode", "direct"]
+
+    def test_workers_exceeding_cpus_exits_nonzero(self, monkeypatch,
+                                                  capsys):
+        monkeypatch.setattr("repro.parallel.trainer.visible_cpus",
+                            lambda: 1)
+        assert main(["train", "--workers", "2", *self._FAST]) == 2
+        err = capsys.readouterr().err
+        assert "--workers 2 exceeds the 1 visible CPU(s)" in err
+        assert "--oversubscribe" in err
+
+    def test_workers_within_cpus_accepted(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.parallel.trainer.visible_cpus",
+                            lambda: 8)
+        assert main(["train", "--workers", "1", "--batch", "2",
+                     *self._FAST]) == 0
+        out = capsys.readouterr().out
+        assert "data-parallel: 1 process(es), global batch 2" in out
+        assert "state digest: " in out
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_invalid_worker_count_rejected(self, value, capsys):
+        assert main(["train", "--workers", value, *self._FAST]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_incompatible_flags_rejected(self, tmp_path, capsys):
+        assert main(["train", "--workers", "1", "--resume",
+                     "--checkpoint-dir", str(tmp_path), *self._FAST]) == 2
+        assert "not supported with data-parallel" \
+            in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_digest_is_workers_invariant_via_cli(self, capsys):
+        """--workers 1 and --workers 2 print the same state digest for
+        the same seed (the acceptance contract, at CLI level)."""
+
+        def digest_of(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            return [line for line in out.splitlines()
+                    if line.startswith("state digest: ")][0]
+
+        base = ["train", "--batch", "2", "--seed", "3", *self._FAST]
+        d1 = digest_of([*base, "--workers", "1"])
+        d2 = digest_of([*base, "--workers", "2", "--oversubscribe"])
+        assert d1 == d2
+
+
 class TestObservabilityCommands:
     _SIZE = ["--input-size", "20", "--volume-size", "32"]
 

@@ -116,6 +116,35 @@ def test_bench_traced_round_metrics_disabled(benchmark):
         reg.enable()
 
 
+def test_bench_traced_round_span_tracing(benchmark):
+    """Same round with hierarchical span tracing on (REPRO_TRACING
+    semantics) — compare against test_bench_traced_round to see the
+    per-span cost in situ.  Span recording costs ~3µs/span micro
+    (open + close + ring append); at this toy 18³ scale the round is
+    only a few ms, so the relative overhead is larger than at the
+    representative volumes the CI trace-smoke lane gates at ≤5%."""
+    from repro.observability.tracing import Tracer, set_tracer
+
+    previous = set_tracer(Tracer(enabled=True, process="bench"))
+    try:
+        benchmark(traced_training, 1, 1)
+    finally:
+        set_tracer(previous)
+
+
+def test_bench_traced_round_span_tracing_off(benchmark):
+    """The tracing-off fast path (one enabled-check branch per
+    instrumentation site) — the pair of
+    test_bench_traced_round_span_tracing."""
+    from repro.observability.tracing import Tracer, set_tracer
+
+    previous = set_tracer(Tracer(enabled=False, process="bench"))
+    try:
+        benchmark(traced_training, 1, 1)
+    finally:
+        set_tracer(previous)
+
+
 def test_bench_traced_round_repro_check(benchmark):
     """Same round with the REPRO_CHECK runtime checker enabled —
     compare against test_bench_traced_round for the debug-mode cost

@@ -23,7 +23,18 @@ Commands
     trainer counters — see docs/observability.md).
 ``trace``
     Run a short traced training workload and write ``chrome://tracing``
-    JSON.
+    JSON — or, with ``--merge``, combine per-process span trace files
+    (``repro.trace/v1``, e.g. from ``repro serve --trace-dir``) into
+    one Chrome trace with stable pid/tid naming; ``--tree`` prints the
+    span-tree text view instead.
+``profile``
+    Run a short profiled training workload and emit the per-layer
+    ``cost_model.json`` (measured seconds + analytic FLOPs/bytes per
+    (edge, backend, op); see docs/observability.md).
+``slo``
+    Run a short serving workload under a deadline and print the SLO
+    report: p50/p95/p99 admission-wait, service and end-to-end
+    latencies plus deadline attainment.
 ``gradcheck``
     Finite-difference verification of a spec-file network's gradients
     (use after adding custom ops).
@@ -153,8 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     tr = sub.add_parser("trace",
                         help="run a short traced training workload and "
-                             "write chrome://tracing JSON")
+                             "write chrome://tracing JSON, or merge "
+                             "per-process span trace files")
     tr.add_argument("--out", default="trace.json", metavar="FILE")
+    tr.add_argument("--merge", nargs="+", default=None, metavar="FILE",
+                    help="merge repro.trace/v1 per-process trace files "
+                         "(e.g. from repro serve --trace-dir) into one "
+                         "chrome://tracing JSON at --out")
+    tr.add_argument("--tree", action="store_true",
+                    help="with --merge: print the span-tree text view "
+                         "instead of writing Chrome JSON")
     tr.add_argument("--rounds", type=int, default=3)
     tr.add_argument("--workers", type=int, default=2)
     tr.add_argument("--input-size", type=int, default=20)
@@ -162,6 +181,39 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--conv-mode", default="fft",
                     choices=("auto", "direct", "fft"))
     tr.add_argument("--seed", type=int, default=0)
+
+    prof = sub.add_parser("profile",
+                          help="run a short profiled training workload "
+                               "and emit the per-layer cost model")
+    prof.add_argument("--out", default="cost_model.json", metavar="FILE",
+                      help="where to write the validated "
+                           "repro.cost_model/v1 JSON")
+    prof.add_argument("--rounds", type=int, default=3)
+    prof.add_argument("--workers", type=int, default=1)
+    prof.add_argument("--input-size", type=int, default=20)
+    prof.add_argument("--volume-size", type=int, default=32)
+    prof.add_argument("--conv-mode", default="fft",
+                      choices=("auto", "direct", "fft"))
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--json", action="store_true",
+                      help="print the cost model as JSON instead of a "
+                           "table")
+
+    slo = sub.add_parser("slo",
+                         help="run a short serving workload under a "
+                              "deadline and print the SLO report")
+    slo.add_argument("--requests", type=int, default=12)
+    slo.add_argument("--volume-size", type=int, default=16)
+    slo.add_argument("--deadline", type=float, default=5.0,
+                     metavar="SECONDS",
+                     help="per-request deadline (default 5.0)")
+    slo.add_argument("--workers", type=int, default=2,
+                     help="serving worker tasks")
+    slo.add_argument("--conv-mode", default="fft",
+                     choices=("direct", "fft"))
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--json", action="store_true",
+                     help="print the report as JSON instead of a table")
 
     gc = sub.add_parser("gradcheck",
                         help="finite-difference check of a spec file's "
@@ -203,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--request-retries", type=int, default=0,
                      metavar="K",
                      help="re-run a failed request up to K times")
+    srv.add_argument("--trace-dir", default=None, metavar="DIR",
+                     help="enable request tracing and write this "
+                          "process's repro.trace/v1 span file into DIR "
+                          "on shutdown (merge with repro trace --merge)")
 
     inf = sub.add_parser("infer",
                          help="send one volume to a repro serve endpoint")
@@ -221,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
     inf.add_argument("--max-attempts", type=int, default=1,
                      help="total submissions when the server answers "
                           "503 (sleeps its Retry-After hint in between)")
+    inf.add_argument("--trace-id", default=None, metavar="ID",
+                     help="send an X-Trace-Id header so a tracing "
+                          "server records the request under this trace")
 
     lint = sub.add_parser("lint",
                           help="run the concurrency/metrics lint rules "
@@ -352,7 +411,6 @@ def _cmd_train_parallel(args) -> int:
               "force.", file=sys.stderr)
         return 2
     for flag, value in (("--resume", args.resume),
-                        ("--trace-out", args.trace_out),
                         ("--task-retries", args.task_retries),
                         ("--task-timeout", args.task_timeout)):
         if value:
@@ -380,6 +438,17 @@ def _cmd_train_parallel(args) -> int:
             conv_mode=args.conv_mode, loss="binary-logistic",
             seed=args.seed, learning_rate=args.learning_rate,
             momentum=args.momentum)
+    if args.trace_out:
+        # Hierarchical round tracing: the env flag is inherited by the
+        # spawned workers, whose spans ship back over the pipe, so the
+        # coordinator's buffer holds the whole multi-process trace.
+        import os as _os
+
+        from repro.observability.tracing import get_tracer
+
+        _os.environ["REPRO_TRACING"] = "1"
+        get_tracer().enable()
+
     graph = config.build_graph()
     graph.validate()
     graph.propagate_shapes(config.input_shape)
@@ -422,6 +491,19 @@ def _cmd_train_parallel(args) -> int:
         return 1
     finally:
         trainer.close()
+    if args.trace_out:
+        import json
+
+        from repro.observability.tracing import (get_tracer,
+                                                 spans_to_chrome_trace)
+
+        spans = get_tracer().spans()
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(spans_to_chrome_trace(spans), fh)
+        processes = sorted({s.process for s in spans})
+        print(f"trace written to {args.trace_out} "
+              f"({len(spans)} spans from {len(processes)} process(es): "
+              f"{', '.join(processes)})")
     if args.metrics:
         from repro.observability import render_metrics
 
@@ -579,6 +661,8 @@ def _cmd_trace(args) -> int:
     from repro.observability import write_chrome_trace
     from repro.scheduler import TraceRecorder
 
+    if args.merge:
+        return _cmd_trace_merge(args)
     recorder = TraceRecorder()
     _training_workload(args, recorder=recorder)
     write_chrome_trace(recorder, args.out)
@@ -590,6 +674,101 @@ def _cmd_trace(args) -> int:
           f"{s.failed} failed")
     print("open chrome://tracing (or https://ui.perfetto.dev) and load "
           "the file to inspect the task cascade")
+    return 0
+
+
+def _cmd_trace_merge(args) -> int:
+    """``repro trace --merge``: per-process span files -> one Chrome
+    trace on the shared epoch-aligned timeline."""
+    import json
+
+    from repro.observability.tracing import (merge_trace_files,
+                                             read_trace_file,
+                                             render_span_tree)
+
+    try:
+        if args.tree:
+            spans = []
+            for path in args.merge:
+                spans.extend(read_trace_file(path))
+            spans.sort(key=lambda s: (s.start, s.process, s.span_id))
+            print(render_span_tree(spans))
+            return 0
+        doc = merge_trace_files(args.merge, args.out)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    processes = sorted({e["args"]["name"] for e in doc["traceEvents"]
+                        if e.get("ph") == "M"
+                        and e.get("name") == "process_name"})
+    print(f"merged {len(args.merge)} trace file(s) into {args.out}: "
+          f"{len(slices)} spans across {len(processes)} process(es) "
+          f"({', '.join(processes)})")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.observability.profile import (get_profiler,
+                                             load_cost_model,
+                                             render_cost_model,
+                                             write_cost_model)
+
+    profiler = get_profiler()
+    profiler.enable()
+    profiler.clear()
+    _training_workload(args)
+    if not len(profiler):
+        print("no profiled samples were recorded", file=sys.stderr)
+        return 1
+    write_cost_model(args.out, profiler)
+    doc = load_cost_model(args.out)  # round-trips the validation
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_cost_model(doc))
+    print(f"cost model written to {args.out} "
+          f"({len(doc['entries'])} (edge, backend, op) entries)")
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.observability.slo import render_slo_report
+    from repro.serving import (DeadlineExceeded, InferenceServer,
+                               ModelRegistry, ModelSpec)
+
+    spec = ModelSpec(name="default", spec="CT", conv_mode=args.conv_mode,
+                     builder_kwargs={"width": 2, "kernel": 3,
+                                     "transfer": "tanh"})
+    registry = ModelRegistry(max_models=2)
+    registry.register(spec)
+    server = InferenceServer(registry, num_workers=args.workers)
+    server.start()
+    rng = np.random.default_rng(args.seed)
+    missed = 0
+    try:
+        for _ in range(args.requests):
+            volume = rng.standard_normal((args.volume_size,) * 3)
+            try:
+                server.infer("default", volume, timeout=args.deadline)
+            except DeadlineExceeded:
+                missed += 1
+    finally:
+        server.stop()
+    report = server.slo.report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_slo_report(report))
+    attainment = report["deadline"]["attainment"]
+    print(f"{args.requests} request(s), deadline {args.deadline:.2f}s: "
+          f"{missed} missed, attainment {attainment:.1%}")
     return 0
 
 
@@ -618,6 +797,7 @@ def _cmd_gradcheck(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import os
     import signal
     import time
 
@@ -625,6 +805,14 @@ def _cmd_serve(args) -> int:
     from repro.serving import (InferenceServer, ModelRegistry, ModelSpec,
                                ServingHTTPServer)
     from repro.serving.tiler import DEFAULT_TILE_VOXELS
+
+    if args.trace_dir:
+        from repro.observability.tracing import get_tracer
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        tracer = get_tracer()
+        tracer.enable()
+        tracer.set_process("serve")
 
     spec = ModelSpec.from_files(args.name, args.spec,
                                 checkpoint=args.checkpoint,
@@ -659,6 +847,13 @@ def _cmd_serve(args) -> int:
         print("shutting down")
     finally:
         http.stop()
+        if args.trace_dir:
+            from repro.observability.tracing import write_trace_file
+
+            path = os.path.join(args.trace_dir,
+                                f"trace-serve-{os.getpid()}.json")
+            write_trace_file(path)
+            print(f"trace file written to {path}")
     return 0
 
 
@@ -680,7 +875,8 @@ def _cmd_infer(args) -> int:
         volume = np.random.default_rng(args.seed).standard_normal(shape)
     client = HttpServingClient(args.url, max_attempts=args.max_attempts)
     try:
-        dense = client.infer(args.model, volume, timeout=args.timeout)
+        dense = client.infer(args.model, volume, timeout=args.timeout,
+                             trace_id=args.trace_id)
     except ServerOverloaded as exc:
         print(f"rejected: {exc} (retry after {exc.retry_after:.2f}s)",
               file=sys.stderr)
@@ -694,6 +890,8 @@ def _cmd_infer(args) -> int:
     print(f"input {volume.shape} -> dense {dense.shape}; "
           f"mean {dense.mean():.6f}, min {dense.min():.6f}, "
           f"max {dense.max():.6f}")
+    if client.last_trace_id:
+        print(f"trace id: {client.last_trace_id}")
     if args.output:
         np.save(args.output, dense)
         print(f"output written to {args.output}")
@@ -734,6 +932,8 @@ _COMMANDS = {
     "train": _cmd_train,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "slo": _cmd_slo,
     "gradcheck": _cmd_gradcheck,
     "serve": _cmd_serve,
     "infer": _cmd_infer,

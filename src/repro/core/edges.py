@@ -34,6 +34,7 @@ transform + head crop.
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from typing import Callable, Optional
 
@@ -48,6 +49,8 @@ from repro.tensor.conv_direct import (
     correlate_valid,
 )
 from repro.observability.metrics import get_registry
+from repro.observability.profile import get_profiler
+from repro.observability.tracing import flight_dump, flight_note
 from repro.tensor.conv_fft import FftConvPlan
 from repro.tensor.fft_cache import TransformCache
 from repro.tensor.fourier import forward_transform
@@ -153,6 +156,9 @@ class ConvEdge(RuntimeEdge):
         """Flip this edge to direct convolution after an FFT failure."""
         self.fft_ok = False
         get_registry().counter("resilience.fft_fallback").inc()
+        flight_note("FFT degradation", edge=self.name,
+                    error=f"{type(exc).__name__}: {exc}")
+        flight_dump(f"fft-degraded-{self.name}")
         warnings.warn(
             f"FFT convolution failed on edge {self.name!r} "
             f"({type(exc).__name__}: {exc}); falling back to direct "
@@ -181,9 +187,56 @@ class ConvEdge(RuntimeEdge):
         return self.cache.get_or_compute(
             "ker", self.name, lambda: self.plan.kernel_spectrum(self.kernel.array))
 
-    # -- transforms -----------------------------------------------------------
+    # -- profiled entry points ------------------------------------------------
+    # Thin timing brackets around the real transforms; the disabled
+    # profiler costs one attribute read (docs/observability.md
+    # "Cost model").
 
     def forward(self, image: np.ndarray) -> np.ndarray:
+        profiler = get_profiler()
+        if not profiler.enabled:
+            return self._forward(image)
+        t0 = time.monotonic()
+        try:
+            return self._forward(image)
+        finally:
+            profiler.record_conv(self.name, self.effective_mode, "fwd",
+                                 time.monotonic() - t0, self.src.shape,
+                                 self.spec.kernel, self.sparsity)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        profiler = get_profiler()
+        if not profiler.enabled:
+            return self._backward(grad)
+        t0 = time.monotonic()
+        try:
+            return self._backward(grad)
+        finally:
+            profiler.record_conv(self.name, self.effective_mode, "bwd",
+                                 time.monotonic() - t0, self.src.shape,
+                                 self.spec.kernel, self.sparsity)
+
+    def capture_update(self, optimizer: SGD) -> Callable[[], None]:
+        update = self._capture_update(optimizer)
+
+        def profiled_update() -> None:
+            profiler = get_profiler()
+            if not profiler.enabled:
+                update()
+                return
+            t0 = time.monotonic()
+            try:
+                update()
+            finally:
+                profiler.record_conv(
+                    self.name, self.effective_mode, "upd",
+                    time.monotonic() - t0, self.src.shape,
+                    self.spec.kernel, self.sparsity)
+        return profiled_update
+
+    # -- transforms -----------------------------------------------------------
+
+    def _forward(self, image: np.ndarray) -> np.ndarray:
         if self.mode == "fft" and self.fft_ok:
             try:
                 product = self.plan.forward_product(
@@ -201,7 +254,7 @@ class ConvEdge(RuntimeEdge):
             return forward_transform(result, self.plan.transform_shape)
         return result
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def _backward(self, grad: np.ndarray) -> np.ndarray:
         if self.mode == "fft" and self.fft_ok:
             try:
                 product = self.plan.backward_product(
@@ -216,7 +269,7 @@ class ConvEdge(RuntimeEdge):
             return forward_transform(result, self.plan.transform_shape)
         return result
 
-    def capture_update(self, optimizer: SGD) -> Callable[[], None]:
+    def _capture_update(self, optimizer: SGD) -> Callable[[], None]:
         kernel = self.kernel
         image = self.src.fwd_image
         grad = self.dst.bwd_image

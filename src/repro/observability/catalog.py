@@ -80,4 +80,16 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "parallel.bytes_shared",
     "parallel.worker_deaths",
     "parallel.reassigned_samples",
+    # observability/tracing.py (docs/observability.md "Spans")
+    "tracing.spans",
+    "tracing.dropped",
+    "flight.dumps",
+    # observability/profile.py (docs/observability.md "Cost model")
+    "profile.samples",
+    # observability/slo.py (docs/observability.md "SLO accounting")
+    "slo.admission_wait_seconds",
+    "slo.service_seconds",
+    "slo.e2e_seconds",
+    "slo.requests.ok",
+    "slo.requests.violated",
 })

@@ -236,6 +236,41 @@ class Histogram(_Metric):
     def reset(self) -> None:
         self._shards.clear()
 
+    def _quantile_from(self, merged: _HistogramShard, q: float
+                       ) -> Optional[float]:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if merged.count == 0:
+            return None
+        target = q * merged.count
+        cumulative = 0
+        for i, bucket_count in enumerate(merged.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count < target:
+                cumulative += bucket_count
+                continue
+            # The quantile lands in bucket i: interpolate linearly
+            # between its bounds (clamped to the observed min/max, so
+            # single-bucket distributions don't report the boundary).
+            lo = self.buckets[i - 1] if i > 0 else merged.min
+            hi = self.buckets[i] if i < len(self.buckets) else merged.max
+            lo = max(lo, merged.min) if merged.min is not None else lo
+            hi = min(hi, merged.max) if merged.max is not None else hi
+            if hi <= lo:
+                return lo
+            fraction = (target - cumulative) / bucket_count
+            return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+        return merged.max  # pragma: no cover - counts always sum up
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile from the bucket counts (linear
+        interpolation within the containing bucket; None when empty).
+
+        Same estimator contract as Prometheus ``histogram_quantile``:
+        exact at bucket boundaries, bounded error inside a bucket."""
+        return self._quantile_from(self._merged(), q)
+
     def snapshot(self) -> dict:
         merged = self._merged()
         labels = [f"le={b:g}" for b in self.buckets] + ["le=+inf"]
@@ -245,6 +280,9 @@ class Histogram(_Metric):
             "mean": merged.sum / merged.count if merged.count else 0.0,
             "min": merged.min,
             "max": merged.max,
+            "p50": self._quantile_from(merged, 0.50),
+            "p95": self._quantile_from(merged, 0.95),
+            "p99": self._quantile_from(merged, 0.99),
             "buckets": dict(zip(labels, merged.counts)),
         }
 
@@ -272,6 +310,7 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], _Metric] = {}
+        self._read_hooks: list = []
         self.enabled = bool(enabled)
 
     # -- lifecycle -----------------------------------------------------
@@ -324,8 +363,21 @@ class MetricsRegistry:
 
     # -- introspection -------------------------------------------------
 
+    def add_read_hook(self, hook) -> None:
+        """Register a callable invoked before reads (:meth:`metrics`,
+        :meth:`snapshot`).  Hot-path subsystems that tally privately
+        (e.g. the tracer's per-span count) use this to fold their
+        deferred totals into the counters lazily, keeping the record
+        path free of registry traffic."""
+        self._read_hooks.append(hook)
+
     def metrics(self) -> Dict[str, _Metric]:
         """All registered metrics keyed by rendered name."""
+        for hook in self._read_hooks:
+            try:
+                hook()
+            except Exception:  # pragma: no cover - hooks must not block
+                pass
         with self._lock:
             return {m.name: m for m in self._metrics.values()}
 

@@ -41,6 +41,11 @@ from repro.core.training import TrainingDiverged, TrainingReport
 from repro.data.provider import ShardedSampler, shard_indices
 from repro.memory.shared_pool import SharedMemoryPool
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import (
+    flight_dump,
+    flight_note,
+    get_tracer,
+)
 from repro.parallel.replica import ModelConfig, Replica
 from repro.parallel.summation import SharedOrderedSum
 from repro.parallel.worker import worker_main
@@ -137,6 +142,12 @@ class ParallelTrainer:
         self.worker_deaths = 0
         self._deaths_since_success = 0
 
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Stable process label for merged traces (pid 0); workers
+            # label themselves "worker-N" inside worker_main.
+            tracer.set_process("coordinator")
+
         reg = get_registry()
         self._m_workers = reg.gauge("parallel.workers")
         self._m_rounds = reg.counter("parallel.rounds")
@@ -188,6 +199,12 @@ class ParallelTrainer:
                 message = child.conn.recv()
             except (EOFError, OSError):
                 return False
+            if message[0] == "spans":
+                # A worker shipping its span buffer ahead of "done":
+                # adopt the spans under the worker's process label.
+                get_tracer().ingest(message[2],
+                                    process=f"worker-{message[1]}")
+                continue
             if message[0] == "error":
                 raise WorkerPoolBroken(
                     f"worker {message[2]} failed in round {message[1]}:\n"
@@ -202,6 +219,8 @@ class ParallelTrainer:
         self.worker_deaths += 1
         self._deaths_since_success += 1
         self._m_deaths.inc()
+        flight_note("worker death", worker=child.worker_id, phase=phase)
+        flight_dump(f"worker-death-{child.worker_id}")
         try:
             child.conn.close()
         except OSError:  # pragma: no cover - already broken
@@ -236,14 +255,33 @@ class ParallelTrainer:
                 for position, worker_id in enumerate(live)}
 
     def _run_round(self, round_index: int) -> Tuple[float, float]:
-        """One global-minibatch round; returns (loss, barrier_wait)."""
+        """One global-minibatch round; returns (loss, barrier_wait).
+
+        With tracing on, the whole round runs inside a ``round:N``
+        span whose context is shipped to every worker in the round
+        message — so coordinator-side gradient tasks (created on this
+        thread) and worker-side spans (shipped back over the pipe)
+        all hang off one per-round tree.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._round_body(round_index, None)
+        with tracer.span(f"round:{round_index}", category="training",
+                         round=round_index, workers=1 +
+                         len(self._children)) as span:
+            return self._round_body(round_index, span.context)
+
+    def _round_body(self, round_index: int,
+                    round_ctx) -> Tuple[float, float]:
+        tracer = get_tracer()
         self._grads.reset()
         self.replica.read_params_into(self._params)
         assignments = self._assignments()
         for child in list(self._children):
             try:
                 child.conn.send(
-                    ("round", round_index, assignments[child.worker_id]))
+                    ("round", round_index, assignments[child.worker_id],
+                     round_ctx))
             except (BrokenPipeError, OSError):
                 self._handle_death(child, phase="dispatch")
         for i in assignments[0]:
@@ -251,10 +289,15 @@ class ParallelTrainer:
                 self._sampler, round_index, i, self._grads.slot(i))
             self._grads.mark_filled(i)
         wait_start = time.perf_counter()
+        barrier_t0 = tracer.now() if tracer.enabled else 0.0
         for child in list(self._children):
             if not self._receive(child, self.worker_timeout, expect="done"):
                 self._handle_death(child, phase=f"round {round_index}")
         barrier_wait = time.perf_counter() - wait_start
+        if tracer.enabled and round_ctx is not None:
+            tracer.record("barrier.wait", barrier_t0,
+                          barrier_t0 + barrier_wait, category="training",
+                          parent=round_ctx, round=round_index)
         # Recompute whatever the casualties left unfilled — slots are
         # globally indexed, so who fills them cannot change the result.
         missing = self._grads.unfilled_indices()

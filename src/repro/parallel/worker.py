@@ -5,11 +5,17 @@ with a picklable :class:`repro.parallel.ModelConfig`, a provider
 factory, shared-memory handles, and one end of a duplex pipe.  The
 worker builds its network replica once, then loops:
 
-    ("round", r, indices)  → copy the published parameters in, compute
+    ("round", r, indices[, ctx])
+                           → copy the published parameters in, compute
                              the gradient of each assigned global
                              sample into its shared slot, record the
                              loss, mark the slot filled, reply
-                             ("done", r).
+                             ("done", r).  With tracing enabled the
+                             optional ``ctx`` (the coordinator's
+                             round-span context) parents this worker's
+                             spans, which are shipped back as
+                             ("spans", worker_id, payload) just before
+                             the "done".
     ("stop",)              → detach shared memory, close the network,
                              exit 0.
 
@@ -30,6 +36,7 @@ import numpy as np
 
 from repro.data.provider import ShardedSampler
 from repro.memory.shared_pool import BlockHandle, attach_block
+from repro.observability.tracing import get_tracer
 from repro.parallel.replica import ModelConfig, Replica
 from repro.parallel.summation import SharedOrderedSum, SumHandles
 from repro.resilience.faults import InjectedFault, active_plan
@@ -47,6 +54,8 @@ def worker_main(worker_id: int, config: ModelConfig,
                 params_handle: BlockHandle, losses_handle: BlockHandle,
                 conn) -> None:
     """Run one worker until told to stop (the spawn target)."""
+    tracer = get_tracer()
+    tracer.set_process(f"worker-{worker_id}")
     grads = SharedOrderedSum.attach(sum_handles)
     params_block = attach_block(params_handle)
     losses_block = attach_block(losses_handle)
@@ -62,17 +71,29 @@ def worker_main(worker_id: int, config: ModelConfig,
             message = conn.recv()
             if message[0] == "stop":
                 break
-            _, round_index, indices = message
+            _, round_index, indices = message[:3]
+            # 4th element (when present): the coordinator's round-span
+            # context — adopt it so this worker's spans join the tree.
+            round_ctx = message[3] if len(message) > 3 else None
             try:
                 plan = active_plan()
                 if plan is not None:
                     plan.check("worker", f"worker-{worker_id}")
-                replica.write_params_from(params)
-                for i in indices:
-                    loss = replica.sample_gradient(
-                        sampler, round_index, i, grads.slot(i))
-                    losses[i] = loss
-                    grads.mark_filled(i)
+                with tracer.activate(round_ctx):
+                    with tracer.span("worker.round", category="training",
+                                     round=round_index,
+                                     samples=len(indices)):
+                        replica.write_params_from(params)
+                        for i in indices:
+                            loss = replica.sample_gradient(
+                                sampler, round_index, i, grads.slot(i))
+                            losses[i] = loss
+                            grads.mark_filled(i)
+                if tracer.enabled:
+                    # Ship this round's spans ahead of the barrier
+                    # reply; the coordinator ingests them under this
+                    # worker's process label.
+                    conn.send(("spans", worker_id, tracer.drain()))
                 conn.send(("done", round_index, worker_id))
             except InjectedFault:
                 # Simulated hard crash: no goodbye, no cleanup.

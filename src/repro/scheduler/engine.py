@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.runtime import make_lock
 from repro.observability.metrics import Counter, get_registry
+from repro.observability.tracing import flight_dump, flight_note, get_tracer
 from repro.resilience.faults import active_plan
 from repro.resilience.retry import RetryPolicy, TaskTimeout
 from repro.scheduler.task import Task, force
@@ -264,7 +265,12 @@ class TaskEngine:
                 # An injected hang may have let the watchdog abandon
                 # this task; the replacement owns it now.
                 if not task.abandoned:
-                    task.execute()
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        with tracer.task_span(task, worker=worker_index):
+                            task.execute()
+                    else:
+                        task.execute()
                     executed = True
             except BaseException as exc:  # propagate via shutdown()
                 error = exc
@@ -305,6 +311,10 @@ class TaskEngine:
                                          status="error")
                 with self._lock:
                     self._errors.append(error)
+                flight_note("engine task failed fatally",
+                            task=task.name, worker=worker_index,
+                            error=f"{type(error).__name__}: {error}")
+                flight_dump(f"engine-failed-{task_family(task.name)}")
                 self.queue.close()
                 return
             if self.recorder is not None:

@@ -19,6 +19,7 @@ import time
 from typing import Any, Callable, Optional
 
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.resilience.faults import active_plan
 from repro.resilience.retry import RetryPolicy
 from repro.scheduler.task import Task, force
@@ -115,7 +116,12 @@ class SerialEngine:
                     plan = active_plan()
                     if plan is not None:
                         plan.check(family, task.name)
-                    task.execute()
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        with tracer.task_span(task, worker=0):
+                            task.execute()
+                    else:
+                        task.execute()
                 except BaseException as exc:
                     t1 = time.perf_counter()
                     self._m_busy.inc(t1 - t0)

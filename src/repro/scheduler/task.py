@@ -31,6 +31,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.analysis.runtime import make_lock
+from repro.observability.tracing import current_context
 
 __all__ = ["TaskState", "Task", "force"]
 
@@ -63,7 +64,8 @@ class Task:
     """
 
     __slots__ = ("fn", "priority", "name", "task_id", "queued_at",
-                 "attempts", "abandoned", "_state", "_lock", "_attached")
+                 "attempts", "abandoned", "span_context", "_state",
+                 "_lock", "_attached")
 
     def __init__(self, fn: Callable[[], Any], priority: int = 0,
                  name: str = "") -> None:
@@ -71,6 +73,12 @@ class Task:
         self.priority = int(priority)
         self.name = name
         self.task_id = next(_task_ids)
+        #: The creating thread's span context (None when tracing is
+        #: off).  Tasks are spawned by the code that needs them — the
+        #: serving worker, or a worker thread executing a parent task —
+        #: so capturing here threads the request/round trace id through
+        #: the whole task cascade transitively.
+        self.span_context = current_context()
         #: perf_counter timestamp set by the engine at submit time; the
         #: worker that pops the task derives its queue wait from it.
         self.queued_at: Optional[float] = None
@@ -157,6 +165,9 @@ class Task:
         machine must stay untouched)."""
         clone = Task(self.fn, priority=self.priority, name=self.name)
         clone.attempts = self.attempts + 1
+        # The watchdog thread has no span context; keep the original's
+        # so the retry stays inside the request's trace.
+        clone.span_context = self.span_context
         return clone
 
     # -- execution -------------------------------------------------------

@@ -64,11 +64,12 @@ class ServingClient:
         self.backoff_cap = backoff_cap
 
     def infer(self, model: str, volume: np.ndarray,
-              timeout: Optional[float] = None) -> np.ndarray:
+              timeout: Optional[float] = None,
+              trace_id: Optional[str] = None) -> np.ndarray:
         for attempt in range(1, self.max_attempts + 1):
             try:
-                return self.server.submit(model, volume,
-                                          timeout=timeout).result()
+                return self.server.submit(model, volume, timeout=timeout,
+                                          trace_id=trace_id).result()
             except ServerOverloaded as exc:
                 if attempt == self.max_attempts:
                     raise
@@ -93,20 +94,30 @@ class HttpServingClient:
         self.max_attempts = max_attempts
         self.backoff_cap = backoff_cap
         self.request_timeout = request_timeout
+        #: ``X-Trace-Id`` of the last successful response ("" before
+        #: the first, or when the server traces nothing).
+        self.last_trace_id = ""
 
     def _post_once(self, model: str, volume: np.ndarray,
-                   timeout: Optional[float]) -> np.ndarray:
+                   timeout: Optional[float],
+                   trace_id: Optional[str] = None) -> np.ndarray:
         query = {"model": model}
         if timeout is not None:
             query["timeout"] = repr(float(timeout))
         url = (f"{self.base_url}/v1/infer?"
                f"{urllib.parse.urlencode(query)}")
+        headers = {"Content-Type": "application/x-npy"}
+        if trace_id:
+            # Adopt the caller's trace server-side (X-Trace-Id is
+            # echoed back; see repro.serving.http).
+            headers["X-Trace-Id"] = trace_id
         request = urllib.request.Request(
             url, data=encode_array(volume), method="POST",
-            headers={"Content-Type": "application/x-npy"})
+            headers=headers)
         try:
             with urllib.request.urlopen(
                     request, timeout=self.request_timeout) as response:
+                self.last_trace_id = response.headers.get("X-Trace-Id", "")
                 return decode_array(response.read())
         except urllib.error.HTTPError as exc:
             detail = exc.read().decode("utf-8", "replace").strip()
@@ -125,10 +136,11 @@ class HttpServingClient:
                 f"HTTP {exc.code}: {detail or exc.reason}") from None
 
     def infer(self, model: str, volume: np.ndarray,
-              timeout: Optional[float] = None) -> np.ndarray:
+              timeout: Optional[float] = None,
+              trace_id: Optional[str] = None) -> np.ndarray:
         for attempt in range(1, self.max_attempts + 1):
             try:
-                return self._post_once(model, volume, timeout)
+                return self._post_once(model, volume, timeout, trace_id)
             except ServerOverloaded as exc:
                 if attempt == self.max_attempts:
                     raise

@@ -14,7 +14,14 @@ Wire protocol (see :mod:`repro.serving.client` for the client side):
 * deadline missed in queue → **504**;
 * unknown model → **404**; malformed volume/params → **400**;
 * ``GET /healthz`` → JSON status, model list and queue depth;
-* ``GET /metrics`` → JSON snapshot of the process metrics registry.
+* ``GET /metrics`` → JSON snapshot of the process metrics registry, or
+  the Prometheus text exposition when the ``Accept`` header asks for
+  ``text/plain`` (content negotiation; JSON stays the default).
+
+With tracing enabled (``REPRO_TRACING=1``), an ``X-Trace-Id`` request
+header adopts the client's trace for the whole request span tree, and
+the response carries the request's trace id back in the same header —
+so a client can correlate its own telemetry with a server-side trace.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.observability.export import metrics_snapshot
+from repro.observability.export import metrics_snapshot, prometheus_text
 from repro.serving.client import decode_array, encode_array
 from repro.serving.pipeline import (
     DeadlineExceeded,
@@ -82,7 +89,12 @@ class _Handler(BaseHTTPRequestHandler):
                 "workers": server.num_workers,
             })
         elif path == "/metrics":
-            self._send_json(200, metrics_snapshot())
+            accept = self.headers.get("Accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                self._send(200, prometheus_text().encode("utf-8"),
+                           "text/plain; version=0.0.4; charset=utf-8")
+            else:
+                self._send_json(200, metrics_snapshot())
         else:
             self._send_error_text(404, f"no such path: {path}")
 
@@ -110,14 +122,20 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:
             self._send_error_text(400, f"bad npy payload: {exc}")
             return
+        trace_id = self.headers.get("X-Trace-Id") or None
+        request = None
         try:
-            result = self.inference.infer(model, volume, timeout=timeout)
+            request = self.inference.submit(model, volume,
+                                            timeout=timeout,
+                                            trace_id=trace_id)
+            result = request.result()
         except ServerOverloaded as exc:
             self._send_error_text(
                 503, str(exc),
                 {"Retry-After": f"{exc.retry_after:.3f}"})
         except DeadlineExceeded as exc:
-            self._send_error_text(504, str(exc))
+            self._send_error_text(504, str(exc),
+                                  self._trace_headers(request))
         except ServerClosed as exc:
             self._send_error_text(503, str(exc), {"Retry-After": "1"})
         except KeyError as exc:
@@ -125,7 +143,14 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, TypeError) as exc:
             self._send_error_text(400, str(exc))
         else:
-            self._send(200, encode_array(result), "application/x-npy")
+            self._send(200, encode_array(result), "application/x-npy",
+                       self._trace_headers(request))
+
+    @staticmethod
+    def _trace_headers(request) -> Optional[dict]:
+        if request is None or not request.trace_id:
+            return None
+        return {"X-Trace-Id": request.trace_id}
 
 
 class ServingHTTPServer:

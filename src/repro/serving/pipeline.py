@@ -50,6 +50,8 @@ import numpy as np
 
 from repro.analysis.runtime import make_condition, make_lock
 from repro.observability.metrics import get_registry
+from repro.observability.slo import SLOTracker
+from repro.observability.tracing import get_tracer
 from repro.resilience.retry import RetryPolicy
 from repro.scheduler.engine import TaskEngine
 from repro.serving.registry import ModelRegistry
@@ -102,6 +104,12 @@ class PendingRequest:
         #: Absolute monotonic deadline, or None.
         self.deadline = deadline
         self.accepted_at = time.monotonic()
+        #: Root span context of the request's trace (set at admission
+        #: when tracing is on; every tile/task span descends from it).
+        self.trace_ctx = None
+        #: The request's trace id as a string ("" when tracing is off)
+        #: — what the HTTP layer echoes back as ``X-Trace-Id``.
+        self.trace_id = ""
         self._done = threading.Event()
         self._result: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
@@ -190,6 +198,9 @@ class InferenceServer:
         self._h_latency = reg.histogram("serving.latency_seconds")
         self._h_batch = reg.histogram(
             "serving.batch_size", buckets=[1, 2, 4, 8, 16])
+        #: SLO accounting (docs/observability.md): admission-wait /
+        #: service / e2e quantiles + deadline attainment.
+        self.slo = SLOTracker(registry=reg)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -245,12 +256,15 @@ class InferenceServer:
         return max(0.05, (depth + 1) * service / max(self.num_workers, 1))
 
     def submit(self, model: str, volume: np.ndarray,
-               timeout: Optional[float] = None) -> PendingRequest:
+               timeout: Optional[float] = None,
+               trace_id: Optional[str] = None) -> PendingRequest:
         """Admit a request or reject it with :class:`ServerOverloaded`.
 
         *timeout* (seconds) becomes the request's deadline: if it is
         still queued when the deadline passes it fails with
-        :class:`DeadlineExceeded`.
+        :class:`DeadlineExceeded`.  *trace_id* adopts a caller-supplied
+        trace (the HTTP layer's ``X-Trace-Id``); with tracing enabled
+        and no id given, a fresh trace is started per request.
         """
         volume = np.asarray(volume, dtype=np.float64)
         if volume.ndim == 2:
@@ -261,6 +275,10 @@ class InferenceServer:
         self.registry.spec(model)  # unknown models fail fast, pre-queue
         deadline = None if timeout is None else time.monotonic() + timeout
         request = PendingRequest(model, volume, deadline)
+        tracer = get_tracer()
+        if tracer.enabled:
+            request.trace_ctx = tracer.make_context(trace_id)
+            request.trace_id = request.trace_ctx.trace_id
         with self._cond:
             if self._closed:
                 raise ServerClosed("server is stopped")
@@ -280,9 +298,11 @@ class InferenceServer:
             f"retry later", retry_after=self._hint_for_depth(depth))
 
     def infer(self, model: str, volume: np.ndarray,
-              timeout: Optional[float] = None) -> np.ndarray:
+              timeout: Optional[float] = None,
+              trace_id: Optional[str] = None) -> np.ndarray:
         """Blocking convenience: submit and wait for the dense output."""
-        return self.submit(model, volume, timeout=timeout).result()
+        return self.submit(model, volume, timeout=timeout,
+                           trace_id=trace_id).result()
 
     @property
     def queue_depth(self) -> int:
@@ -328,16 +348,67 @@ class InferenceServer:
 
     def _serve_one(self, request: PendingRequest) -> None:
         now = time.monotonic()
-        self._h_queue_wait.observe(now - request.accepted_at)
+        queue_wait = now - request.accepted_at
+        self._h_queue_wait.observe(queue_wait)
+        tracer = get_tracer()
+        traced = tracer.enabled and request.trace_ctx is not None
+        if traced:
+            tracer.record("admission.wait",
+                          tracer.from_monotonic(request.accepted_at),
+                          tracer.from_monotonic(now),
+                          category="serving", parent=request.trace_ctx,
+                          request=request.id)
         if request.deadline is not None and now > request.deadline:
             self._m_missed.inc()
             self._m_failed.inc()
+            self.slo.observe(queue_wait, None, None, deadline_met=False)
             request._resolve(None, DeadlineExceeded(
                 f"request {request.id} spent "
-                f"{now - request.accepted_at:.3f}s queued, past its "
-                f"deadline"))
+                f"{queue_wait:.3f}s queued, past its deadline"))
+            if traced:
+                self._record_request_span(tracer, request,
+                                          status="deadline_exceeded")
             return
         t0 = time.monotonic()
+        if traced:
+            with tracer.activate(request.trace_ctx):
+                with tracer.span("serve", category="serving",
+                                 model=request.model,
+                                 request=request.id) as span:
+                    result = self._run_request(request)
+                    if result is None:
+                        span.fail()
+        else:
+            result = self._run_request(request)
+        if result is None:  # failure already resolved by _run_request
+            if traced:
+                self._record_request_span(tracer, request, status="error")
+            return
+        t1 = time.monotonic()
+        self._h_run.observe(t1 - t0)
+        self._h_latency.observe(t1 - request.accepted_at)
+        self.slo.observe(queue_wait, t1 - t0, t1 - request.accepted_at,
+                         deadline_met=True if request.deadline is not None
+                         else None)
+        with self._ewma_lock:
+            self._ewma_service = 0.8 * self._ewma_service + 0.2 * (t1 - t0)
+        self._m_completed.inc()
+        request._resolve(result, None)
+        if traced:
+            self._record_request_span(tracer, request, status="ok")
+
+    def _record_request_span(self, tracer, request: PendingRequest,
+                             status: str) -> None:
+        """Close the request's root span (accept -> resolved)."""
+        tracer.record("request", tracer.from_monotonic(request.accepted_at),
+                      tracer.now(), category="serving",
+                      context=request.trace_ctx, status=status,
+                      model=request.model, request=request.id)
+
+    def _run_request(self, request: PendingRequest
+                     ) -> Optional[np.ndarray]:
+        """Plan/warm/run with retries.  Returns the dense output, or
+        None after resolving the request with its failure."""
         attempts = 0
         while True:
             try:
@@ -345,21 +416,13 @@ class InferenceServer:
                                    self.registry.fov(request.model),
                                    max_voxels=self.tile_voxels)
                 warm = self.registry.warm(request.model, plan.input_tile)
-                result = warm.run(request.volume, plan)
-                break
+                return warm.run(request.volume, plan)
             except Exception as exc:
                 attempts += 1
                 policy = self.retry_policy
                 if policy is None or not policy.should_retry(exc, attempts):
                     self._m_failed.inc()
                     request._resolve(None, exc)
-                    return
+                    return None
                 self._m_retried.inc()
                 time.sleep(policy.backoff(attempts - 1))
-        t1 = time.monotonic()
-        self._h_run.observe(t1 - t0)
-        self._h_latency.observe(t1 - request.accepted_at)
-        with self._ewma_lock:
-            self._ewma_service = 0.8 * self._ewma_service + 0.2 * (t1 - t0)
-        self._m_completed.inc()
-        request._resolve(result, None)

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.tiling import tile_plan
+from repro.observability.tracing import get_tracer
 from repro.tensor.fourier import next_fast_len
 from repro.utils.shapes import Shape3, as_shape3, voxels
 
@@ -177,11 +178,21 @@ def run_plan(network, volume: np.ndarray, plan: TilePlan,
     out_name = network.output_nodes[0].name
     o = plan.output_tile
     dense = np.empty(plan.dense_shape, dtype=np.float64)
+    tracer = get_tracer()
     for index, (ic, oc) in enumerate(plan.tiles):
         block = volume[ic[0]:ic[0] + in_shape[0],
                        ic[1]:ic[1] + in_shape[1],
                        ic[2]:ic[2] + in_shape[2]]
-        tile = network.forward(np.ascontiguousarray(block))[out_name]
+        block = np.ascontiguousarray(block)
+        if tracer.enabled:
+            # Child of the caller's span (the serving "serve" span);
+            # the network's fwd tasks capture this tile span in turn.
+            with tracer.span(f"tile:{index}", category="tile",
+                             corner=list(ic), tile=index,
+                             tiles=len(plan.tiles)):
+                tile = network.forward(block)[out_name]
+        else:
+            tile = network.forward(block)[out_name]
         dense[oc[0]:oc[0] + o[0],
               oc[1]:oc[1] + o[1],
               oc[2]:oc[2] + o[2]] = tile

@@ -53,6 +53,7 @@ from repro.utils.shapes import (
     effective_kernel_shape,
     full_conv_shape,
     valid_conv_shape,
+    voxels,
 )
 from repro.utils.validation import check_array3
 
@@ -63,9 +64,34 @@ __all__ = [
     "convolve_full",
     "conv_backward_input",
     "conv_kernel_gradient",
+    "direct_pass_cost",
     "flip3",
     "dilate_kernel",
 ]
+
+
+def direct_pass_cost(image_shape: int | Sequence[int],
+                     kernel_shape: int | Sequence[int],
+                     sparsity: int | Sequence[int] = 1) -> dict:
+    """Analytic cost annotation of one direct conv pass at these shapes.
+
+    ``flops`` is the Table II count ``n'^3 * k^3`` (every pass — valid
+    forward, full backward, kernel gradient — touches each
+    (output-voxel, kernel-tap) pair once).  ``bytes`` follows the
+    tap-accumulation structure of :func:`_accumulate_taps`: the output
+    block is streamed once per kernel tap plus one final write, in
+    float64.  Consumed by :mod:`repro.observability.profile` to turn
+    measured per-edge timings into achieved FLOP/s.
+    """
+    from repro.pram.costs import direct_conv_task_cost
+
+    k = voxels(kernel_shape)
+    out = voxels(valid_conv_shape(image_shape, kernel_shape, sparsity))
+    return {
+        "flops": direct_conv_task_cost(image_shape, kernel_shape,
+                                       sparsity),
+        "bytes": 8.0 * (k * out + out),
+    }
 
 
 def flip3(kernel: np.ndarray) -> np.ndarray:

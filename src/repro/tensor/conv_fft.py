@@ -223,6 +223,31 @@ class FftConvPlan:
 
     # -- introspection --------------------------------------------------------
 
+    def pass_cost(self) -> dict:
+        """Analytic cost annotation of one FFT conv pass under this plan.
+
+        ``flops`` charges one size-``transform_shape`` FFT plus the
+        pointwise spectral product (Table II's "FFT-based" column at
+        this plan's actual transform size, which may exceed the image
+        when ``fast_sizes`` padded it).  The memoized image/gradient
+        spectra are computed once per *node* and shared by its edges,
+        so the per-edge figure charges the product plus one
+        kernel-or-finalise transform — matching what a per-edge timer
+        brackets.  ``bytes`` counts the float64 spectrum traffic of
+        the pass: two spectrum reads, the product write and the
+        inverse-transform read.
+        """
+        from repro.pram.costs import fft_cost, pointwise_product_cost
+
+        n = 1
+        for extent in self.transform_shape:
+            n *= extent
+        return {
+            "flops": fft_cost(self.transform_shape)
+            + pointwise_product_cost(self.transform_shape),
+            "bytes": 8.0 * 4 * n,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FftConvPlan(image={self.image_shape}, "
                 f"kernel={self.kernel_shape}, sparsity={self.sparsity})")

@@ -1,0 +1,176 @@
+"""Cost profiler: aggregation, schema validation, edge instrumentation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Network
+from repro.graph import build_layered_network
+from repro.observability.profile import (
+    COST_MODEL_SCHEMA,
+    CostModelError,
+    CostProfiler,
+    conv_pass_bytes,
+    conv_pass_flops,
+    get_profiler,
+    load_cost_model,
+    render_cost_model,
+    set_profiler,
+    validate_cost_model,
+    write_cost_model,
+)
+from repro.pram.costs import (
+    direct_conv_task_cost,
+    fft_cost,
+    pointwise_product_cost,
+)
+from repro.tensor.conv_direct import direct_pass_cost
+from repro.tensor.conv_fft import FftConvPlan
+
+
+@pytest.fixture
+def profiler():
+    fresh = CostProfiler(enabled=True)
+    previous = set_profiler(fresh)
+    yield fresh
+    set_profiler(previous)
+
+
+class TestPassAnnotations:
+    def test_direct_flops_match_table2(self):
+        img, ker = (12, 12, 12), (3, 3, 3)
+        assert conv_pass_flops("fwd", "direct", img, ker) == \
+            direct_conv_task_cost(img, ker)
+        cost = direct_pass_cost(img, ker)
+        out = 10 ** 3
+        assert cost["bytes"] == 8.0 * (27 * out + out)
+
+    def test_fft_flops_charge_transform_plus_product(self):
+        img, ker = (12, 12, 12), (3, 3, 3)
+        expected = fft_cost(img) + pointwise_product_cost(img)
+        assert conv_pass_flops("bwd", "fft", img, ker) == expected
+        assert FftConvPlan(img, ker).pass_cost()["flops"] == expected
+        assert conv_pass_bytes("fwd", "fft", img, ker) == 8.0 * 4 * 12**3
+
+    def test_unknown_op_and_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown conv pass"):
+            conv_pass_flops("sideways", "direct", (8,) * 3, (3,) * 3)
+        with pytest.raises(ValueError, match="unknown conv backend"):
+            conv_pass_flops("fwd", "quantum", (8,) * 3, (3,) * 3)
+
+
+class TestCostProfiler:
+    def test_disabled_record_is_noop(self):
+        off = CostProfiler(enabled=False)
+        off.record("e", "direct", "fwd", 0.1)
+        off.record_conv("e", "direct", "fwd", 0.1, (8,) * 3, (3,) * 3)
+        assert len(off) == 0
+
+    def test_env_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert CostProfiler().enabled is False
+        monkeypatch.setenv("REPRO_PROFILE", "yes")
+        assert CostProfiler().enabled is True
+
+    def test_samples_aggregate_per_triple(self, profiler):
+        profiler.record("e1", "fft", "fwd", 0.5, flops=100, bytes_moved=8)
+        profiler.record("e1", "fft", "fwd", 1.5, flops=100, bytes_moved=8)
+        profiler.record("e1", "fft", "bwd", 1.0, flops=50)
+        entries = profiler.entries()
+        assert len(entries) == 2
+        fwd = next(e for e in entries if e["op"] == "fwd")
+        assert fwd["count"] == 2
+        assert fwd["seconds"] == pytest.approx(2.0)
+        assert fwd["mean_seconds"] == pytest.approx(1.0)
+        assert fwd["flops"] == 200
+        assert fwd["flops_per_second"] == pytest.approx(100.0)
+
+    def test_record_conv_derives_flops_from_shapes(self, profiler):
+        profiler.record_conv("edge", "direct", "upd", 0.25,
+                             (10, 10, 10), (3, 3, 3))
+        entry = profiler.entries()[0]
+        assert entry["flops"] == direct_conv_task_cost((10,) * 3, (3,) * 3)
+        assert entry["image_shape"] == [10, 10, 10]
+        assert entry["kernel_shape"] == [3, 3, 3]
+
+    def test_network_passes_populate_the_profiler(self, profiler):
+        graph = build_layered_network("CT", width=2, kernel=3,
+                                      transfer="tanh", output_nodes=1)
+        net = Network(graph, input_shape=(8, 8, 8), seed=3,
+                      conv_mode="direct", loss="euclidean")
+        try:
+            rng = np.random.default_rng(0)
+            x = rng.standard_normal((8, 8, 8))
+            out_name = net.output_nodes[0].name
+            target = rng.standard_normal(net.output_nodes[0].shape)
+            net.train_step(x, {out_name: target})
+        finally:
+            net.close()
+        ops = {(e["backend"], e["op"]) for e in profiler.entries()}
+        assert ("direct", "fwd") in ops
+        assert ("direct", "bwd") in ops
+        assert ("direct", "upd") in ops
+        assert all(e["edge"].startswith("conv_")
+                   for e in profiler.entries())
+
+
+class TestCostModelDocument:
+    def test_write_load_round_trip(self, profiler, tmp_path):
+        profiler.record_conv("e", "fft", "fwd", 0.1, (8,) * 3, (3,) * 3)
+        path = str(tmp_path / "cost_model.json")
+        write_cost_model(path, profiler)
+        doc = load_cost_model(path)
+        assert doc["schema"] == COST_MODEL_SCHEMA
+        assert len(doc["entries"]) == 1
+
+    def test_validate_rejects_bad_documents(self, profiler):
+        good = profiler.cost_model()
+        assert validate_cost_model(good) is good
+        for mutate, pattern in [
+            (lambda d: d.update(schema="v0"), "schema"),
+            (lambda d: d.update(created="today"), "created"),
+            (lambda d: d.update(entries={}), "entries"),
+        ]:
+            doc = dict(profiler.cost_model())
+            mutate(doc)
+            with pytest.raises(CostModelError, match=pattern):
+                validate_cost_model(doc)
+
+    def test_validate_rejects_bad_entries(self, profiler):
+        profiler.record_conv("e", "fft", "fwd", 0.1, (8,) * 3, (3,) * 3)
+        doc = profiler.cost_model()
+        doc["entries"][0]["op"] = "diagonal"
+        with pytest.raises(CostModelError, match="fwd|bwd|upd"):
+            validate_cost_model(doc)
+        doc["entries"][0]["op"] = "fwd"
+        doc["entries"][0]["seconds"] = -1
+        with pytest.raises(CostModelError, match="seconds"):
+            validate_cost_model(doc)
+        doc["entries"][0]["seconds"] = 0.1
+        doc["entries"][0]["image_shape"] = [0, 8, 8]
+        with pytest.raises(CostModelError, match="image_shape"):
+            validate_cost_model(doc)
+
+    def test_document_is_json_serialisable(self, profiler):
+        profiler.record_conv("e", "direct", "bwd", 0.1, (8,) * 3,
+                             (3,) * 3)
+        json.dumps(profiler.cost_model())
+
+    def test_render_table(self, profiler):
+        profiler.record_conv("edge_a", "fft", "fwd", 0.1, (8,) * 3,
+                             (3,) * 3)
+        text = render_cost_model(profiler.cost_model())
+        assert "edge_a" in text
+        assert "gflop/s" in text
+
+
+class TestGlobalProfiler:
+    def test_get_set_round_trip(self):
+        mine = CostProfiler(enabled=True)
+        previous = set_profiler(mine)
+        try:
+            assert get_profiler() is mine
+        finally:
+            set_profiler(previous)
+        assert get_profiler() is previous

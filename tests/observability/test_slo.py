@@ -1,0 +1,155 @@
+"""SLO tracker, histogram quantiles and the Prometheus exposition."""
+
+import pytest
+
+from repro.observability.export import prometheus_text
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import SLOTracker, render_slo_report
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) is None
+        snap = h.snapshot()
+        assert snap["p50"] is None
+        assert snap["p95"] is None
+        assert snap["p99"] is None
+
+    def test_single_value_collapses_all_quantiles(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.25)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(0.25)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 10.0, 100.0])
+        for v in (2.0, 3.0, 4.0):
+            h.observe(v)
+        # All mass is in the (1, 10] bucket; interpolation may not
+        # exceed the observed extremes.
+        assert h.quantile(0.99) <= 4.0
+        assert h.quantile(0.01) >= 2.0
+
+    def test_interpolation_is_monotone_in_q(self):
+        h = MetricsRegistry().histogram("h")
+        for i in range(100):
+            h.observe(0.001 * (i + 1))
+        values = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+        snap = h.snapshot()
+        assert snap["p50"] == pytest.approx(h.quantile(0.5))
+
+    def test_bad_q_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestSLOTracker:
+    def _tracker(self, **kwargs):
+        return SLOTracker(registry=MetricsRegistry(), **kwargs)
+
+    def test_components_feed_their_histograms(self):
+        slo = self._tracker()
+        slo.observe(0.01, 0.2, 0.21, deadline_met=True)
+        slo.observe(0.02, 0.3, 0.32, deadline_met=True)
+        report = slo.report()
+        assert report["admission_wait"]["count"] == 2
+        assert report["service"]["count"] == 2
+        assert report["e2e"]["mean"] == pytest.approx(0.265)
+        assert report["deadline"]["ok"] == 2
+        assert report["deadline"]["violated"] == 0
+        assert report["deadline"]["attainment"] == 1.0
+
+    def test_queue_expired_request_counts_wait_only(self):
+        slo = self._tracker()
+        slo.observe(1.5, None, None, deadline_met=False)
+        report = slo.report()
+        assert report["admission_wait"]["count"] == 1
+        assert report["service"]["count"] == 0
+        assert report["e2e"]["count"] == 0
+        assert report["deadline"]["violated"] == 1
+        assert report["deadline"]["attainment"] == 0.0
+
+    def test_objective_classifies_undeadlined_requests(self):
+        slo = self._tracker(objective_seconds=0.5)
+        slo.observe(0.0, 0.1, 0.1)   # under the objective
+        slo.observe(0.0, 0.9, 0.9)   # over it
+        deadline = slo.report()["deadline"]
+        assert deadline["ok"] == 1
+        assert deadline["violated"] == 1
+        assert deadline["objective_seconds"] == 0.5
+
+    def test_no_objective_counts_undeadlined_as_ok(self):
+        slo = self._tracker()
+        slo.observe(0.0, 9.0, 9.0)
+        assert slo.report()["deadline"]["ok"] == 1
+
+    def test_empty_report_renders(self):
+        text = render_slo_report(self._tracker().report())
+        assert "admission_wait" in text
+        assert "p99" in text
+
+    def test_render_formats_milliseconds_and_attainment(self):
+        slo = self._tracker()
+        slo.observe(0.001, 0.002, 0.003, deadline_met=True)
+        slo.observe(0.001, 0.002, 0.003, deadline_met=False)
+        text = render_slo_report(slo.report())
+        assert "50.0%" in text
+
+
+class TestPrometheusExposition:
+    def test_counter_gauge_histogram_families(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.tasks").inc(3)
+        reg.gauge("queue.depth").set(7)
+        h = reg.histogram("slo.e2e_seconds", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = prometheus_text(reg)
+        lines = text.splitlines()
+        assert "# TYPE repro_engine_tasks_total counter" in lines
+        assert "repro_engine_tasks_total 3" in lines
+        assert "# TYPE repro_queue_depth gauge" in lines
+        assert "repro_queue_depth 7" in lines
+        assert "# TYPE repro_slo_e2e_seconds histogram" in lines
+        assert 'repro_slo_e2e_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_slo_e2e_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_slo_e2e_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_slo_e2e_seconds_count 3" in lines
+
+    def test_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1.0, 2.0, 3.0])
+        for v in (0.5, 1.5, 2.5):
+            h.observe(v)
+        text = prometheus_text(reg)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("repro_h_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_labels_survive_and_names_sanitise(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits", model="a-b", tier="l1").inc()
+        text = prometheus_text(reg)
+        assert 'repro_cache_hits_total{model="a-b",tier="l1"} 1' in text
+
+    def test_one_type_header_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits", model="a").inc()
+        reg.counter("cache.hits", model="b").inc(2)
+        text = prometheus_text(reg)
+        headers = [line for line in text.splitlines()
+                   if line.startswith("# TYPE repro_cache_hits_total")]
+        assert len(headers) == 1
+
+    def test_empty_registry_gives_empty_exposition(self):
+        assert prometheus_text(MetricsRegistry()) == ""

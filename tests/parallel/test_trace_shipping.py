@@ -1,0 +1,166 @@
+"""Cross-process span propagation: coordinator round contexts reach
+spawn workers, workers ship their spans home, and the merged stream
+forms one connected tree per round.
+
+``ParallelTrainer`` spawns ``workers - 1`` children (the coordinator
+fills shard 0 itself), so single-process behaviour — round spans,
+inline gradient task spans, barrier accounting — is covered at
+``workers=1`` in the tier-1 run, and the actual pipe shipping needs
+``workers >= 2`` and is marked ``slow``.  Spawned children inherit
+``REPRO_TRACING`` through the environment (spawn re-reads
+``os.environ``), so the fixture sets both the env var and an enabled
+global tracer in the parent.
+"""
+
+import pytest
+
+from repro.data.provider import RandomProvider
+from repro.observability.tracing import Tracer, get_tracer, set_tracer
+from repro.parallel import ModelConfig, ParallelTrainer
+from repro.resilience.faults import clear_plan
+
+INPUT = (10, 10, 10)
+OUT = (8, 8, 8)
+CFG = ModelConfig(
+    input_shape=INPUT,
+    spec="CT",
+    layered_kwargs={"width": 2, "kernel": 3, "transfer": "tanh",
+                    "final_transfer": "tanh", "output_nodes": 1},
+    loss="euclidean",
+    seed=13,
+    learning_rate=0.005,
+    momentum=0.9)
+PROVIDER_ARGS = (INPUT, OUT, False, None)
+ROUNDS = 2
+
+
+@pytest.fixture
+def tracer(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACING", "1")
+    fresh = Tracer(enabled=True)
+    previous = set_tracer(fresh)
+    yield fresh
+    set_tracer(previous)
+
+
+def run_traced(workers, batch, **kwargs):
+    trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                              workers=workers, batch=batch,
+                              worker_timeout=120.0, **kwargs)
+    try:
+        report = trainer.run(ROUNDS)
+    finally:
+        trainer.close()
+    return report, get_tracer().spans()
+
+
+def round_roots(spans):
+    return [s for s in spans if s.name.startswith("round:")]
+
+
+def assert_connected(spans):
+    """Every span's parent must exist in the stream (or be a root)."""
+    ids = {s.span_id for s in spans}
+    orphans = [s for s in spans
+               if s.parent_id is not None and s.parent_id not in ids]
+    assert not orphans, \
+        f"orphaned spans: {[(s.name, s.process) for s in orphans]}"
+
+
+def chain_to_root(span, by_id):
+    cursor, seen = span, set()
+    while cursor.parent_id is not None:
+        assert cursor.span_id not in seen, "parent cycle"
+        seen.add(cursor.span_id)
+        cursor = by_id[cursor.parent_id]
+    return cursor
+
+
+class TestCoordinatorRounds:
+    def test_each_round_is_one_tree(self, tracer):
+        _, spans = run_traced(1, 1)
+        roots = round_roots(spans)
+        assert len(roots) == ROUNDS
+        assert all(s.process == "coordinator" for s in roots)
+        assert all(s.parent_id is None for s in roots)
+        # One trace per round, and nothing crosses between them.
+        assert len({s.trace_id for s in roots}) == ROUNDS
+        assert_connected(spans)
+
+    def test_gradient_task_spans_chain_to_the_round(self, tracer):
+        _, spans = run_traced(1, 1)
+        by_id = {s.span_id: s for s in spans}
+        fwd = [s for s in spans if s.category == "fwd"]
+        assert fwd, "no fwd task spans recorded"
+        for span in fwd:
+            assert chain_to_root(span, by_id).name.startswith("round:")
+
+    def test_barrier_wait_recorded_per_round(self, tracer):
+        _, spans = run_traced(1, 1)
+        barriers = [s for s in spans if s.name == "barrier.wait"]
+        assert len(barriers) == ROUNDS
+        root_ids = {s.span_id for s in round_roots(spans)}
+        assert all(s.parent_id in root_ids for s in barriers)
+        assert all(s.end >= s.start for s in barriers)
+
+    def test_tracing_off_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACING", raising=False)
+        previous = set_tracer(Tracer(enabled=False))
+        try:
+            trainer = ParallelTrainer(CFG, RandomProvider, PROVIDER_ARGS,
+                                      workers=1, batch=1,
+                                      worker_timeout=120.0)
+            try:
+                report = trainer.run(1)
+            finally:
+                trainer.close()
+            assert len(report.losses) == 1
+            assert len(get_tracer().spans()) == 0
+        finally:
+            set_tracer(previous)
+
+
+@pytest.mark.slow
+class TestWorkerShipping:
+    def test_worker_spans_come_home_connected(self, tracer):
+        _, spans = run_traced(2, 2)
+        assert {"coordinator", "worker-1"} <= {s.process for s in spans}
+        by_id = {s.span_id: s for s in spans}
+        rounds = [s for s in spans if s.process == "worker-1"
+                  and s.name == "worker.round"]
+        assert len(rounds) == ROUNDS
+        for wr in rounds:
+            # worker.round is parented on the coordinator's round span
+            # (the context travelled over the pipe).
+            parent = by_id[wr.parent_id]
+            assert parent.name.startswith("round:")
+            assert parent.process == "coordinator"
+            assert wr.trace_id == parent.trace_id
+        shipped_fwd = [s for s in spans if s.process == "worker-1"
+                       and s.category == "fwd"]
+        assert shipped_fwd, "worker-1 shipped no task spans"
+        for span in shipped_fwd:
+            assert chain_to_root(span, by_id).name.startswith("round:")
+        assert_connected(spans)
+
+    def test_killed_worker_round_stays_connected(self, tracer,
+                                                 monkeypatch):
+        # The child kills itself at its first "worker" fault check,
+        # before shipping anything; the coordinator recomputes the
+        # orphaned slot.  The trace must survive: all rounds rooted,
+        # no dangling parents from the dead process.
+        monkeypatch.setenv("REPRO_FAULTS", "fail:worker:1")
+        try:
+            report, spans = run_traced(2, 2)
+        finally:
+            clear_plan()
+        assert report.worker_deaths == 1
+        roots = round_roots(spans)
+        assert len(roots) == ROUNDS
+        by_id = {s.span_id: s for s in spans}
+        fwd = [s for s in spans if s.category == "fwd"]
+        assert fwd, "coordinator recorded no gradient task spans"
+        for span in fwd:
+            assert chain_to_root(span, by_id).name.startswith("round:")
+        assert all(s.process == "coordinator" for s in spans)
+        assert_connected(spans)

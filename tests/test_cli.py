@@ -321,6 +321,75 @@ class TestGradcheckCommand:
                      "--conv-mode", "fft"]) == 0
 
 
+class TestObservabilityCli:
+    _SIZE = ["--input-size", "20", "--volume-size", "32"]
+
+    def test_profile_writes_validated_cost_model(self, capsys, tmp_path):
+        import json
+
+        from repro.observability.profile import validate_cost_model
+
+        out_file = tmp_path / "cost_model.json"
+        assert main(["profile", "--out", str(out_file), "--rounds", "1",
+                     *self._SIZE, "--conv-mode", "direct"]) == 0
+        out = capsys.readouterr().out
+        assert "cost model written" in out
+        assert "gflop/s" in out
+        doc = validate_cost_model(json.load(open(out_file)))
+        assert {e["op"] for e in doc["entries"]} == {"fwd", "bwd", "upd"}
+
+    def test_profile_json_mode(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "cost_model.json"
+        assert main(["profile", "--out", str(out_file), "--rounds", "1",
+                     *self._SIZE, "--json"]) == 0
+        stdout = capsys.readouterr().out
+        doc = json.loads(stdout[:stdout.rindex("}") + 1])
+        assert doc["schema"] == "repro.cost_model/v1"
+
+    def test_slo_reports_attainment(self, capsys):
+        assert main(["slo", "--requests", "3", "--volume-size", "12",
+                     "--workers", "1", "--deadline", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "attainment" in out
+
+    def test_trace_merge_and_tree(self, capsys, tmp_path):
+        import json
+
+        from repro.observability.tracing import Tracer, write_trace_file
+
+        a = Tracer(enabled=True, process="coordinator")
+        b = Tracer(enabled=True, process="worker-1")
+        with a.span("round:0"):
+            pass
+        with b.span("worker.round"):
+            pass
+        pa, pb = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        write_trace_file(pa, a)
+        write_trace_file(pb, b)
+        merged = tmp_path / "merged.json"
+        assert main(["trace", "--merge", pa, pb,
+                     "--out", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "coordinator, worker-1" in out
+        doc = json.load(open(merged))
+        pids = {e["pid"] for e in doc["traceEvents"]
+                if e.get("ph") == "M" and e.get("name") == "process_name"}
+        assert pids == {0, 1}
+        assert main(["trace", "--merge", pa, pb, "--tree"]) == 0
+        tree = capsys.readouterr().out
+        assert "round:0" in tree and "worker.round" in tree
+
+    def test_trace_merge_rejects_garbage(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert main(["trace", "--merge", str(bogus),
+                     "--out", str(tmp_path / "out.json")]) == 1
+        assert "merge failed" in capsys.readouterr().err
+
+
 class TestAsciiChart:
     def test_renders_all_series(self):
         chart = reporting.ascii_chart(

@@ -239,7 +239,22 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--port", type=int, default=8473,
                      help="TCP port (0 picks a free one)")
     srv.add_argument("--workers", type=int, default=2,
-                     help="serving worker tasks")
+                     help="serving worker tasks (threads; per process "
+                          "in --fleet mode)")
+    srv.add_argument("--fleet", type=int, default=0, metavar="N",
+                     help="run N supervised worker processes behind a "
+                          "failover router instead of one in-process "
+                          "server (0 = single process, the default)")
+    srv.add_argument("--inflight-per-worker", type=int, default=4,
+                     help="fleet mode: dispatch window per worker "
+                          "process")
+    srv.add_argument("--request-attempts", type=int, default=3,
+                     metavar="K",
+                     help="fleet mode: total dispatch attempts per "
+                          "request (first try + failovers)")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     help="seconds a SIGTERM graceful drain may take "
+                          "before leftovers are failed")
     srv.add_argument("--max-queue", type=int, default=16,
                      help="admission-queue capacity (beyond it requests "
                           "are rejected with 503 + Retry-After)")
@@ -280,6 +295,16 @@ def build_parser() -> argparse.ArgumentParser:
     inf.add_argument("--trace-id", default=None, metavar="ID",
                      help="send an X-Trace-Id header so a tracing "
                           "server records the request under this trace")
+
+    flt = sub.add_parser("fleet",
+                         help="inspect a running serving fleet")
+    flt_sub = flt.add_subparsers(dest="fleet_command", required=True)
+    flt_status = flt_sub.add_parser(
+        "status", help="render /healthz of a repro serve endpoint as a "
+                       "per-worker table")
+    flt_status.add_argument("--url", default="http://127.0.0.1:8473")
+    flt_status.add_argument("--json", action="store_true",
+                            help="print the raw health document")
 
     lint = sub.add_parser("lint",
                           help="run the concurrency/metrics lint rules "
@@ -817,36 +842,65 @@ def _cmd_serve(args) -> int:
     spec = ModelSpec.from_files(args.name, args.spec,
                                 checkpoint=args.checkpoint,
                                 conv_mode=args.conv_mode)
-    registry = ModelRegistry(max_models=args.max_models)
-    registry.register(spec)
-    retry_policy = (RetryPolicy(max_retries=args.request_retries)
-                    if args.request_retries else None)
-    inference = InferenceServer(
-        registry, num_workers=args.workers, max_queue=args.max_queue,
-        max_batch=args.max_batch,
-        tile_voxels=args.tile_voxels or DEFAULT_TILE_VOXELS,
-        retry_policy=retry_policy)
+    if args.fleet > 0:
+        from repro.serving import FleetServer
+
+        inference = FleetServer(
+            [spec], num_workers=args.fleet,
+            max_queue=args.max_queue, max_batch=args.max_batch,
+            threads_per_worker=args.workers,
+            inflight_per_worker=args.inflight_per_worker,
+            tile_voxels=args.tile_voxels or DEFAULT_TILE_VOXELS,
+            max_models=args.max_models,
+            max_attempts=args.request_attempts)
+    else:
+        registry = ModelRegistry(max_models=args.max_models)
+        registry.register(spec)
+        retry_policy = (RetryPolicy(max_retries=args.request_retries)
+                        if args.request_retries else None)
+        inference = InferenceServer(
+            registry, num_workers=args.workers,
+            max_queue=args.max_queue, max_batch=args.max_batch,
+            tile_voxels=args.tile_voxels or DEFAULT_TILE_VOXELS,
+            retry_policy=retry_policy)
     http = ServingHTTPServer(inference, host=args.host, port=args.port)
     http.start()
     fov = spec.fov
     print(f"model {args.name!r}: spec {spec.spec}, "
           f"fov {fov} ({args.conv_mode}"
           f"{', random weights' if not args.checkpoint else ''})")
-    print(f"serving on {http.url} "
-          f"(workers {args.workers}, queue {args.max_queue}, "
-          f"batch {args.max_batch})", flush=True)
-    # SIGTERM (e.g. from a CI harness) shuts down as gracefully as ^C.
+    if args.fleet > 0:
+        print(f"serving on {http.url} "
+              f"(fleet of {args.fleet} worker processes, "
+              f"queue {args.max_queue}, batch {args.max_batch})",
+              flush=True)
+    else:
+        print(f"serving on {http.url} "
+              f"(workers {args.workers}, queue {args.max_queue}, "
+              f"batch {args.max_batch})", flush=True)
+    # SIGTERM (e.g. from a CI harness or an orchestrator) shuts down
+    # as gracefully as ^C; fleet mode drains first (stop admitting,
+    # finish in-flight, /healthz flips to draining/503) so no accepted
+    # request is dropped by a rolling restart.
     def _sigterm(_signum, _frame):
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _sigterm)
+    stopped = False
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
+        if args.fleet > 0:
+            print("draining", flush=True)
+            drained = http.drain(timeout=args.drain_timeout)
+            stopped = True
+            print("drained" if drained
+                  else f"drain timed out after {args.drain_timeout}s")
         print("shutting down")
     finally:
-        http.stop()
+        if not stopped:
+            http.stop()
         if args.trace_dir:
             from repro.observability.tracing import write_trace_file
 
@@ -898,6 +952,61 @@ def _cmd_infer(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    # /healthz answers 503 (with the same JSON document as the body)
+    # while draining or once no worker is healthy, so the status
+    # command must read the body on HTTPError too.
+    url = f"{args.url.rstrip('/')}/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            doc = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            print(f"error: HTTP {exc.code} from {url}", file=sys.stderr)
+            return 69
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+        return 69
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"fleet status: {doc.get('status', '?')} "
+          f"(role {doc.get('role', '?')})")
+    print(f"models: {', '.join(doc.get('models', [])) or '-'}")
+    admission = doc.get("admission", {})
+    print(f"queue: {doc.get('queue_depth', '?')}"
+          f"/{doc.get('max_queue', '?')} queued, "
+          f"{doc.get('orphaned', 0)} orphaned, "
+          f"capacity {admission.get('capacity', '?')}")
+    workers = doc.get("workers")
+    if not isinstance(workers, dict):
+        # Single-process server: workers is a thread count.
+        print(f"workers: {workers}")
+        return 0
+    header = (f"{'id':>3}  {'state':<12} {'pid':>7}  {'restarts':>8}  "
+              f"{'queued':>6}  {'inflight':>8}  {'served':>7}  "
+              f"{'missed':>6}  last restart reason")
+    print(header)
+    for wid in sorted(workers, key=lambda w: int(w)):
+        info = workers[wid]
+        print(f"{wid:>3}  {info.get('state', '?'):<12} "
+              f"{str(info.get('pid', '-')):>7}  "
+              f"{info.get('restarts', 0):>8}  "
+              f"{info.get('queued', 0):>6}  "
+              f"{info.get('inflight', 0):>8}  "
+              f"{info.get('served', 0):>7}  "
+              f"{info.get('deadline_missed', 0):>6}  "
+              f"{info.get('last_restart_reason') or '-'}")
+    status = doc.get("status")
+    return 0 if status in ("ok", "draining") else 69
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import ALL_RULES, lint_paths, render_violations
 
@@ -937,6 +1046,7 @@ _COMMANDS = {
     "gradcheck": _cmd_gradcheck,
     "serve": _cmd_serve,
     "infer": _cmd_infer,
+    "fleet": _cmd_fleet,
     "lint": _cmd_lint,
 }
 

@@ -131,10 +131,15 @@ class SharedMemoryPool:
 
     def __init__(self, name: str = "shared") -> None:
         self.name = name
+        # Free lists and segment registry are shared between the fleet
+        # router's dispatcher and reader threads, so all structural
+        # mutation happens under _lock (stats stay on their own lock;
+        # the two are never nested).
+        self._lock = make_lock(f"memory.shared_pool.{name}")
         self._pools: list[Deque[AttachedBlock]] = [
-            deque() for _ in range(NUM_POOLS)]
-        self._all: Dict[str, AttachedBlock] = {}
-        self._closed = False
+            deque() for _ in range(NUM_POOLS)]  # guarded-by: _lock
+        self._all: Dict[str, AttachedBlock] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         self._stats_lock = make_lock(f"memory.shared_pool_stats.{name}")
         self.stats = AllocatorStats()  # guarded-by: _stats_lock
         reg = get_registry()
@@ -149,22 +154,23 @@ class SharedMemoryPool:
     def allocate(self, nbytes: int) -> AttachedBlock:
         """Return a block with ``handle.size >= nbytes``, reusing a
         pooled segment when one of the right size class is free."""
-        if self._closed:
-            raise RuntimeError(f"pool {self.name!r} is closed")
         size, index = _round_up_pow2(nbytes)
         if index >= NUM_POOLS:
             raise MemoryError(
                 f"request of {nbytes} bytes exceeds the largest pool "
                 f"(2**{NUM_POOLS - 1})")
-        try:
-            block = self._pools[index].popleft()
-            hit = True
-        except IndexError:
-            shm = shared_memory.SharedMemory(create=True, size=size)
-            block = AttachedBlock(
-                shm, BlockHandle(shm.name, size, index), owner=True)
-            self._all[shm.name] = block
-            hit = False
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"pool {self.name!r} is closed")
+            try:
+                block = self._pools[index].popleft()
+                hit = True
+            except IndexError:
+                shm = shared_memory.SharedMemory(create=True, size=size)
+                block = AttachedBlock(
+                    shm, BlockHandle(shm.name, size, index), owner=True)
+                self._all[shm.name] = block
+                hit = False
         with self._stats_lock:
             self.stats.bytes_requested += nbytes
             if hit:
@@ -183,11 +189,14 @@ class SharedMemoryPool:
 
     def deallocate(self, block: AttachedBlock) -> None:
         """Return *block* to its free list (never to the system)."""
-        if block.handle.name not in self._all:
-            raise ValueError(
-                f"block {block.handle.name!r} does not belong to pool "
-                f"{self.name!r}")
-        self._pools[block.handle.pool_index].append(block)
+        with self._lock:
+            if self._closed:
+                return  # close() already unlinked everything
+            if block.handle.name not in self._all:
+                raise ValueError(
+                    f"block {block.handle.name!r} does not belong to "
+                    f"pool {self.name!r}")
+            self._pools[block.handle.pool_index].append(block)
         with self._stats_lock:
             self.stats.deallocations += 1
         self._m_free.inc()
@@ -211,7 +220,8 @@ class SharedMemoryPool:
 
     def pooled_chunks(self) -> list[int]:
         """Number of idle blocks per pool (diagnostics)."""
-        return [len(p) for p in self._pools]
+        with self._lock:
+            return [len(p) for p in self._pools]
 
     def close(self) -> None:
         """Unlink every segment this pool ever created (idempotent).
@@ -219,14 +229,16 @@ class SharedMemoryPool:
         Outstanding views become invalid; callers must stop using
         arrays obtained from the pool before closing it.
         """
-        if self._closed:
-            return
-        self._closed = True
-        for block in self._all.values():
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            blocks = list(self._all.values())
+            self._all.clear()
+            for pool in self._pools:
+                pool.clear()
+        for block in blocks:
             block.unlink()
-        self._all.clear()
-        for pool in self._pools:
-            pool.clear()
 
     def __enter__(self) -> "SharedMemoryPool":
         return self

@@ -61,6 +61,7 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "serving.requests.failed",
     "serving.requests.deadline_missed",
     "serving.requests.retried",
+    "serving.requests.shed",
     "serving.queue_wait_seconds",
     "serving.run_seconds",
     "serving.latency_seconds",
@@ -69,6 +70,20 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "serving.model_cache.miss",
     "serving.model_cache.evicted",
     "serving.model_cache.entries",
+    # serving/fleet.py + serving/supervisor.py (docs/serving.md
+    # "Serving fleet")
+    "fleet.workers",
+    "fleet.workers.healthy",
+    "fleet.workers.quarantined",
+    "fleet.worker_deaths",
+    "fleet.restarts",
+    "fleet.heartbeats.missed",
+    "fleet.queue.depth",
+    "fleet.requests.dispatched",
+    "fleet.requests.requeued",
+    "fleet.requests.shed",
+    "fleet.requests.failover",
+    "fleet.worker.served",
     # analysis/runtime.py (docs/static_analysis.md)
     "analysis.lock_order_violations",
     "analysis.race_violations",

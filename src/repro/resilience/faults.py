@@ -48,6 +48,25 @@ Spec grammar (comma-separated entries):
   from the plan's seeded RNG;
 * ``seed=N`` — seed for probabilistic specs (default 0);
 * ``hang=SECONDS`` — sleep duration of ``hang`` faults (default 30).
+
+Serving-fleet faults
+--------------------
+Fleet worker processes check the ``serve_worker`` family once per
+dispatched request, plus the per-worker family
+``serve_worker@<worker_id>`` (built with :func:`worker_family`), so a
+plan can kill or wedge one *specific* worker deterministically:
+
+* ``fail:serve_worker:3`` — the third request dispatched to *any*
+  worker crashes its process (``os._exit``, no goodbye);
+* ``hang:serve_worker@1:1,hang=2`` — worker 1 wedges for 2 s on its
+  first request, long enough for the supervisor's heartbeat watchdog
+  to declare it hung and reroute its traffic.
+
+Occurrence counts are per *process*: a restarted worker starts its
+counts from zero, which is exactly what makes crash loops (and the
+restart-storm circuit breaker that quarantines them) reproducible —
+``fail:serve_worker@1:1`` kills worker 1's replacement on its first
+request too, every time.
 """
 
 from __future__ import annotations
@@ -69,7 +88,15 @@ __all__ = [
     "active_plan",
     "install_plan",
     "clear_plan",
+    "worker_family",
 ]
+
+
+def worker_family(family: str, worker_id: int) -> str:
+    """The per-worker fault family (``"serve_worker@3"``): lets a plan
+    target one specific fleet worker while ``family`` alone targets
+    whichever worker checks next."""
+    return f"{family}@{worker_id}"
 
 KINDS = ("fail", "hang", "corrupt")
 

@@ -7,7 +7,11 @@ ROADMAP's production leg — the path from "trained checkpoint" to
 FFT-fast tiles (:mod:`repro.serving.tiler`), run through warm
 dense-equivalent twins (:mod:`repro.serving.registry`), and scheduled
 through a bounded, micro-batching pipeline with explicit backpressure
-(:mod:`repro.serving.pipeline`).  See ``docs/serving.md``.
+(:mod:`repro.serving.pipeline`).  A multi-process, fault-tolerant
+fleet (:mod:`repro.serving.fleet` + :mod:`repro.serving.supervisor`)
+routes requests over N supervised worker processes with consistent-hash
+model affinity, heartbeat health checks, crash/hang failover, tiered
+load shedding and graceful drain.  See ``docs/serving.md``.
 """
 
 from repro.serving.client import (
@@ -16,16 +20,28 @@ from repro.serving.client import (
     decode_array,
     encode_array,
 )
+from repro.serving.fleet import FleetRequest, FleetServer, HashRing
 from repro.serving.http import ServingHTTPServer, serve_http
 from repro.serving.pipeline import (
+    ADMISSION_FRACTIONS,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
     DeadlineExceeded,
     InferenceServer,
     PendingRequest,
     ServerClosed,
+    ServerDraining,
     ServerOverloaded,
     ServingError,
+    admission_limit,
 )
 from repro.serving.registry import ModelRegistry, ModelSpec, WarmModel
+from repro.serving.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    WorkerConfig,
+)
 from repro.serving.tiler import (
     DEFAULT_TILE_VOXELS,
     TilePlan,
@@ -36,6 +52,18 @@ from repro.serving.tiler import (
 )
 
 __all__ = [
+    "FleetRequest",
+    "FleetServer",
+    "HashRing",
+    "Supervisor",
+    "SupervisorConfig",
+    "WorkerConfig",
+    "ADMISSION_FRACTIONS",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "ServerDraining",
+    "admission_limit",
     "HttpServingClient",
     "ServingClient",
     "decode_array",

@@ -9,6 +9,13 @@ Python process, e.g. for tests and benchmarks); :class:`HttpServingClient`
 speaks the ``repro serve`` wire protocol (npy request/response bodies,
 503 + ``Retry-After`` for overload, 504 for missed deadlines) over
 stdlib ``urllib`` so no dependencies are added.
+
+Retry sleeps are **deadline-capped**: when a request carries a timeout,
+the client tracks the absolute deadline across overload retries and
+fails fast with :class:`DeadlineExceeded` rather than sleeping past the
+point where a resubmission would be dead on arrival; each retry also
+passes only the *remaining* budget to the server, so the server-side
+deadline matches the client's.
 """
 
 from __future__ import annotations
@@ -33,6 +40,39 @@ __all__ = ["ServingClient", "HttpServingClient", "encode_array",
            "decode_array"]
 
 
+def _retry_sleep(exc: ServerOverloaded, backoff_cap: float,
+                 deadline: Optional[float]) -> float:
+    """Seconds to sleep before the next overload retry, capped at the
+    remaining deadline budget.
+
+    Raises :class:`DeadlineExceeded` when the sleep would consume the
+    whole remaining budget — a resubmission after it would be dead on
+    arrival, so fail fast with the deadline error instead.
+    """
+    sleep_s = min(exc.retry_after, backoff_cap)
+    if deadline is not None:
+        remaining = deadline - time.monotonic()
+        if sleep_s >= remaining:
+            raise DeadlineExceeded(
+                f"deadline exhausted while backing off from overload "
+                f"(retry_after {exc.retry_after:.3f}s >= remaining "
+                f"{max(remaining, 0.0):.3f}s)") from exc
+    return sleep_s
+
+
+def _remaining_timeout(timeout: Optional[float],
+                       deadline: Optional[float]) -> Optional[float]:
+    """The request-timeout to send on this attempt: the remaining
+    budget against the absolute *deadline* (None when unbounded)."""
+    if deadline is None:
+        return None
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        raise DeadlineExceeded(
+            f"deadline of {timeout}s exhausted before resubmission")
+    return remaining
+
+
 def encode_array(array: np.ndarray) -> bytes:
     """npy-serialize *array* (the wire format of ``repro serve``)."""
     buf = io.BytesIO()
@@ -49,7 +89,8 @@ class ServingClient:
     """In-process client with overload retry.
 
     On :class:`~repro.serving.pipeline.ServerOverloaded` the client
-    sleeps for the server's ``retry_after`` hint and resubmits, up to
+    sleeps for the server's ``retry_after`` hint (capped at the
+    request's remaining deadline budget) and resubmits, up to
     *max_attempts* total submissions; the final rejection propagates so
     callers can tell sustained saturation from a transient burst.
     """
@@ -65,15 +106,20 @@ class ServingClient:
 
     def infer(self, model: str, volume: np.ndarray,
               timeout: Optional[float] = None,
-              trace_id: Optional[str] = None) -> np.ndarray:
+              trace_id: Optional[str] = None, **submit_kwargs
+              ) -> np.ndarray:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         for attempt in range(1, self.max_attempts + 1):
             try:
-                return self.server.submit(model, volume, timeout=timeout,
-                                          trace_id=trace_id).result()
+                return self.server.submit(
+                    model, volume,
+                    timeout=_remaining_timeout(timeout, deadline),
+                    trace_id=trace_id, **submit_kwargs).result()
             except ServerOverloaded as exc:
                 if attempt == self.max_attempts:
                     raise
-                time.sleep(min(exc.retry_after, self.backoff_cap))
+                time.sleep(_retry_sleep(exc, self.backoff_cap, deadline))
         raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -100,10 +146,13 @@ class HttpServingClient:
 
     def _post_once(self, model: str, volume: np.ndarray,
                    timeout: Optional[float],
-                   trace_id: Optional[str] = None) -> np.ndarray:
+                   trace_id: Optional[str] = None,
+                   priority: Optional[int] = None) -> np.ndarray:
         query = {"model": model}
         if timeout is not None:
             query["timeout"] = repr(float(timeout))
+        if priority is not None:
+            query["priority"] = str(int(priority))
         url = (f"{self.base_url}/v1/infer?"
                f"{urllib.parse.urlencode(query)}")
         headers = {"Content-Type": "application/x-npy"}
@@ -137,14 +186,19 @@ class HttpServingClient:
 
     def infer(self, model: str, volume: np.ndarray,
               timeout: Optional[float] = None,
-              trace_id: Optional[str] = None) -> np.ndarray:
+              trace_id: Optional[str] = None,
+              priority: Optional[int] = None) -> np.ndarray:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         for attempt in range(1, self.max_attempts + 1):
             try:
-                return self._post_once(model, volume, timeout, trace_id)
+                return self._post_once(
+                    model, volume, _remaining_timeout(timeout, deadline),
+                    trace_id, priority=priority)
             except ServerOverloaded as exc:
                 if attempt == self.max_attempts:
                     raise
-                time.sleep(min(exc.retry_after, self.backoff_cap))
+                time.sleep(_retry_sleep(exc, self.backoff_cap, deadline))
         raise AssertionError("unreachable")  # pragma: no cover
 
     def health(self) -> dict:

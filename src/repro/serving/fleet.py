@@ -1,0 +1,794 @@
+"""Fault-tolerant serving fleet: router + supervised workers.
+
+The ZNNi observation (PAPERS.md) is that inference throughput on one
+host comes from running many workers side by side.  This module is the
+robustness half of that design: a :class:`FleetServer` router in the
+front-end process distributes requests over N supervised
+:func:`~repro.serving.supervisor.serve_worker_main` processes and
+keeps serving through worker crashes, hangs, restart storms and
+graceful drains.
+
+Routing
+-------
+Models map to workers through a consistent-hash ring
+(:class:`HashRing`, SHA-1 virtual nodes).  Affinity is the point: a
+model's requests keep landing on the same worker, whose
+:class:`~repro.serving.registry.ModelRegistry` twin — FFT kernel
+spectra and all — stays warm.  When a worker leaves (crash,
+quarantine, drain) only ~1/N of models remap; the rest keep their warm
+cache.  :meth:`HashRing.walk` yields the full preference order, which
+is also the failover order.
+
+Failover
+--------
+A request dispatched to a worker that dies mid-flight is requeued to
+the next healthy worker on its ring walk, against a bounded attempt
+budget and its own deadline — the crash is absorbed, not surfaced.
+Inference here is idempotent *and bitwise deterministic* (fixed
+tap-order direct conv, deterministic sums), so a retried request
+returns byte-identical output; the chaos tests assert exactly that.
+
+Data path
+---------
+Volumes cross the process boundary through
+:class:`~repro.memory.shared_pool.SharedMemoryPool` blocks, never
+pickled: the router copies the input volume into a pooled block,
+the worker writes the dense output into a second block, and the router
+copies it out before recycling both.  Blocks belonging to a dead
+worker are reclaimed only after the supervisor has *joined* the
+process — a killed-but-not-yet-dead worker can never scribble into a
+recycled block.
+
+Degradation tiers
+-----------------
+Admission reuses the pipeline's priority fractions
+(:data:`~repro.serving.pipeline.ADMISSION_FRACTIONS`): under overload
+the lowest-priority tenants are shed first, with ``retry_after`` hints
+derived from an EWMA of fleet service time.  With *no* healthy workers
+(all quarantined mid restart-storm) requests park in an orphan queue
+until a worker returns or their deadlines expire — accepted requests
+are never silently dropped, every one resolves.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set
+
+import numpy as np
+
+from repro.analysis.runtime import make_condition
+from repro.memory.shared_pool import SharedMemoryPool
+from repro.observability.metrics import get_registry
+from repro.observability.slo import SLOTracker
+from repro.observability.tracing import flight_note, get_tracer
+from repro.serving.pipeline import (
+    PRIORITY_NORMAL,
+    ADMISSION_FRACTIONS,
+    DeadlineExceeded,
+    PendingRequest,
+    ServerClosed,
+    ServerDraining,
+    ServerOverloaded,
+    ServingError,
+    admission_limit,
+)
+from repro.serving.registry import ModelSpec
+from repro.serving.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    WorkerConfig,
+    error_from_kind,
+)
+from repro.serving.tiler import DEFAULT_TILE_VOXELS
+
+__all__ = ["HashRing", "FleetRequest", "FleetServer"]
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each node contributes *replicas* points at
+    ``sha1(f"{node}#{i}")``; a key maps to the first node clockwise of
+    its own hash.  Removing a node deletes only that node's points, so
+    only the keys it owned remap (~1/N of all keys) — the property the
+    fleet's warm-cache affinity depends on, and the one the hypothesis
+    test pins down.
+    """
+
+    def __init__(self, nodes: Iterable[int], replicas: int = 64) -> None:
+        self.nodes = sorted(set(nodes))
+        if not self.nodes:
+            raise ValueError("hash ring needs at least one node")
+        self.replicas = replicas
+        points = []
+        for node in self.nodes:
+            for i in range(replicas):
+                points.append((self._point(f"{node}#{i}"), node))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    @staticmethod
+    def _point(key: str) -> int:
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def lookup(self, key: str) -> int:
+        """The node owning *key*."""
+        return next(self.walk(key))
+
+    def walk(self, key: str) -> Iterator[int]:
+        """All nodes in *key*'s preference (= failover) order."""
+        if not self.nodes:
+            return
+        start = bisect.bisect_right(self._hashes, self._point(key))
+        seen: Set[int] = set()
+        total = len(self._owners)
+        for offset in range(total):
+            node = self._owners[(start + offset) % total]
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+    def without(self, node: int) -> "HashRing":
+        """A new ring with *node* removed (for remap analysis)."""
+        return HashRing([n for n in self.nodes if n != node],
+                        replicas=self.replicas)
+
+
+class FleetRequest(PendingRequest):
+    """A :class:`PendingRequest` with a failover budget."""
+
+    def __init__(self, model: str, volume: np.ndarray,
+                 deadline: Optional[float],
+                 priority: int = PRIORITY_NORMAL) -> None:
+        super().__init__(model, volume, deadline, priority=priority)
+        #: Dispatch attempts consumed (capped by the fleet's budget).
+        self.attempts = 0
+        #: Workers this request has already been dispatched to.
+        self.tried: Set[int] = set()
+        self.dispatched_at: Optional[float] = None
+        self.worker: Optional[int] = None
+
+
+#: Router states.
+_STATE_NEW = "new"
+_STATE_OK = "ok"
+_STATE_DRAINING = "draining"
+_STATE_STOPPED = "stopped"
+
+
+class FleetServer:
+    """Router over a supervised fleet of serving worker processes.
+
+    Duck-type compatible with
+    :class:`~repro.serving.pipeline.InferenceServer` (``submit`` /
+    ``infer`` / ``health`` / ``start`` / ``stop`` / ``begin_drain`` /
+    ``wait_drained``), so the HTTP front end and clients work
+    unchanged.
+
+    Parameters
+    ----------
+    specs:
+        The servable :class:`~repro.serving.registry.ModelSpec` list;
+        every worker registers (and, given *prewarm_shape*, prewarms)
+        all of them, so any worker can serve any model on failover.
+    num_workers:
+        Worker *processes* (each with *threads_per_worker* engine
+        threads inside).
+    max_queue:
+        Fleet-wide admission capacity (queued, not in-flight).
+    inflight_per_worker:
+        Dispatch window per worker; also each worker's local queue
+        bound, so a worker never rejects what the router sends.
+    max_attempts:
+        Total dispatch attempts per request (first try + failovers).
+    worker_faults:
+        Optional ``REPRO_FAULTS``-style plan string installed *inside
+        every worker process* (chaos testing; see
+        :mod:`repro.resilience.faults`).
+    """
+
+    def __init__(self, specs: Iterable[ModelSpec], num_workers: int = 3,
+                 max_queue: int = 32, max_batch: int = 4,
+                 threads_per_worker: int = 1,
+                 inflight_per_worker: int = 4,
+                 tile_voxels: int = DEFAULT_TILE_VOXELS,
+                 max_models: int = 4,
+                 prewarm_shape=None,
+                 max_attempts: int = 3,
+                 worker_faults: Optional[str] = None,
+                 supervisor_config: Optional[SupervisorConfig] = None,
+                 pool_name: str = "fleet") -> None:
+        if num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {num_workers}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.specs = {spec.name: spec for spec in specs}
+        if not self.specs:
+            raise ValueError("fleet needs at least one model spec")
+        #: Field of view per model, resolved once — the router sizes
+        #: output blocks without ever building a network.
+        self._fovs = {name: spec.fov
+                      for name, spec in self.specs.items()}
+        self.num_workers = num_workers
+        self.max_queue = max_queue
+        self.inflight_per_worker = inflight_per_worker
+        self.max_attempts = max_attempts
+        self.tile_voxels = tile_voxels
+        self.ring = HashRing(range(num_workers))
+        self._worker_config = WorkerConfig(
+            specs=tuple(self.specs.values()),
+            threads=threads_per_worker, max_batch=max_batch,
+            inflight=inflight_per_worker, tile_voxels=tile_voxels,
+            max_models=max_models,
+            prewarm_shape=(tuple(prewarm_shape)
+                           if prewarm_shape is not None else None),
+            faults=worker_faults)
+        self.supervisor = Supervisor(
+            self._worker_config, num_workers,
+            config=supervisor_config,
+            on_message=self._on_message,
+            on_worker_up=self._on_worker_up,
+            on_worker_down=self._on_worker_down)
+        self._pool: Optional[SharedMemoryPool] = None
+        self._pool_name = pool_name
+        self._cond = make_condition("serving.fleet")
+        self._state = _STATE_NEW  # guarded-by: _cond
+        self._healthy: Set[int] = set()  # guarded-by: _cond
+        self._lanes: Dict[int, Deque[FleetRequest]] = {
+            wid: deque() for wid in range(num_workers)
+        }  # guarded-by: _cond
+        self._inflight: Dict[int, Dict[int, FleetRequest]] = {
+            wid: {} for wid in range(num_workers)
+        }  # guarded-by: _cond
+        #: Requests with no healthy worker to go to (yet).
+        self._orphans: Deque[FleetRequest] = deque()  # guarded-by: _cond
+        #: rid -> (in_block, out_block, out_shape) while dispatched.
+        self._blocks: Dict[int, tuple] = {}  # guarded-by: _cond
+        self._threads: List[threading.Thread] = []
+        self._ewma_lock = threading.Lock()
+        self._ewma_service = 0.1  # guarded-by: _ewma_lock
+        self._worker_stats: Dict[int, Dict[str, int]] = {
+            wid: {"served": 0, "deadline_missed": 0}
+            for wid in range(num_workers)
+        }  # guarded-by: _cond
+        reg = get_registry()
+        self._m_accepted = reg.counter("serving.requests.accepted")
+        self._m_rejected = reg.counter("serving.requests.rejected")
+        self._m_completed = reg.counter("serving.requests.completed")
+        self._m_failed = reg.counter("serving.requests.failed")
+        self._m_missed = reg.counter("serving.requests.deadline_missed")
+        self._m_depth = reg.gauge("fleet.queue.depth")
+        self._m_dispatched = reg.counter("fleet.requests.dispatched")
+        self._m_requeued = reg.counter("fleet.requests.requeued")
+        self._m_shed = reg.counter("fleet.requests.shed")
+        self._m_failover = reg.counter("fleet.requests.failover")
+        self._m_worker_served = {
+            wid: reg.counter("fleet.worker.served", worker=str(wid))
+            for wid in range(num_workers)}
+        self.slo = SLOTracker(registry=reg)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, ready_timeout: float = 120.0) -> "FleetServer":
+        with self._cond:
+            if self._state != _STATE_NEW:
+                return self
+            self._state = _STATE_OK
+        self._pool = SharedMemoryPool(self._pool_name)
+        self.supervisor.start()
+        for wid in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._dispatch_loop, args=(wid,),
+                name=f"fleet-dispatch-{wid}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        janitor = threading.Thread(target=self._janitor_loop,
+                                   name="fleet-janitor", daemon=True)
+        janitor.start()
+        self._threads.append(janitor)
+        if not self.supervisor.wait_ready(timeout=ready_timeout,
+                                          min_workers=1):
+            self.stop()
+            raise ServingError(
+                f"no fleet worker became ready within {ready_timeout}s")
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admitting; everything accepted keeps running to
+        completion on the still-live workers."""
+        with self._cond:
+            if self._state == _STATE_OK:
+                self._state = _STATE_DRAINING
+                self._cond.notify_all()
+        flight_note("fleet draining")
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while self._pending_locked():
+                if self._state == _STATE_STOPPED:
+                    break
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(min(remaining, 0.02))
+                else:
+                    self._cond.wait(0.02)
+            return not self._pending_locked()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: drain, then stop.  True when every
+        accepted request resolved in time."""
+        self.begin_drain()
+        drained = self.wait_drained(timeout)
+        self.stop()
+        return drained
+
+    def stop(self) -> None:
+        with self._cond:
+            if self._state == _STATE_STOPPED:
+                return
+            self._state = _STATE_STOPPED
+            leftovers: List[FleetRequest] = list(self._orphans)
+            self._orphans.clear()
+            for lane in self._lanes.values():
+                leftovers.extend(lane)
+                lane.clear()
+            for flights in self._inflight.values():
+                leftovers.extend(flights.values())
+                flights.clear()
+            entries = list(self._blocks.values())
+            self._blocks.clear()
+            self._cond.notify_all()
+        for request in leftovers:
+            self._m_failed.inc()
+            request._resolve(None, ServerClosed(
+                f"fleet stopped before request {request.id} resolved"))
+        self.supervisor.stop()
+        # Workers are confirmed dead: reclaiming and unlinking every
+        # shared segment is now safe.
+        if self._pool is not None:
+            for in_block, out_block, _ in entries:
+                self._pool.deallocate(in_block)
+                self._pool.deallocate(out_block)
+            self._pool.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, model: str, volume: np.ndarray,
+               timeout: Optional[float] = None,
+               trace_id: Optional[str] = None,
+               priority: int = PRIORITY_NORMAL) -> FleetRequest:
+        """Admit a request (same contract as
+        :meth:`InferenceServer.submit`, plus cross-worker failover)."""
+        volume = np.asarray(volume, dtype=np.float64)
+        if volume.ndim == 2:
+            volume = volume[np.newaxis, ...]
+        if volume.ndim != 3:
+            raise ValueError(
+                f"volume must be 2D or 3D, got {volume.ndim}D")
+        fov = self._fov(model)  # unknown models fail fast, pre-queue
+        if any(v < f for v, f in zip(volume.shape, fov)):
+            raise ValueError(
+                f"volume {volume.shape} smaller than model "
+                f"{model!r}'s field of view {fov}")
+        limit = admission_limit(priority, self.max_queue)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        request = FleetRequest(model, volume, deadline,
+                               priority=priority)
+        tracer = get_tracer()
+        if tracer.enabled:
+            request.trace_ctx = tracer.make_context(trace_id)
+            request.trace_id = request.trace_ctx.trace_id
+        draining = False
+        with self._cond:
+            if self._state == _STATE_DRAINING:
+                draining = True
+            elif self._state != _STATE_OK:
+                raise ServerClosed("fleet is stopped")
+            else:
+                depth = self._depth_locked()
+                if depth < limit:
+                    self._route_locked(request)
+                    self._m_accepted.inc()
+                    self._m_depth.set(self._depth_locked())
+                    self._cond.notify_all()
+                    return request
+        # Reject outside the condition (non-reentrant lock; the hint
+        # takes the EWMA lock) — mirrors InferenceServer.submit.
+        if draining:
+            raise ServerDraining(
+                "fleet is draining; submit elsewhere",
+                retry_after=self._hint_for_depth(self.queue_depth))
+        self._m_rejected.inc()
+        if limit < self.max_queue:
+            self._m_shed.inc()
+        raise ServerOverloaded(
+            f"fleet admission queue full for priority {priority} "
+            f"({depth}/{limit} of {self.max_queue}); retry later",
+            retry_after=self._hint_for_depth(depth))
+
+    def infer(self, model: str, volume: np.ndarray,
+              timeout: Optional[float] = None,
+              trace_id: Optional[str] = None,
+              priority: int = PRIORITY_NORMAL) -> np.ndarray:
+        """Blocking convenience: submit and wait for the output."""
+        return self.submit(model, volume, timeout=timeout,
+                           trace_id=trace_id, priority=priority).result()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return self._depth_locked()
+
+    def health(self) -> dict:
+        """Fleet health: router state plus per-worker supervisor state
+        (restart counts, quarantine reasons, lane depths)."""
+        with self._cond:
+            state = self._state
+            healthy = set(self._healthy)
+            lane_depths = {wid: len(lane)
+                           for wid, lane in self._lanes.items()}
+            inflight = {wid: len(flights)
+                        for wid, flights in self._inflight.items()}
+            orphans = len(self._orphans)
+            depth = self._depth_locked()
+            stats = {wid: dict(s)
+                     for wid, s in self._worker_stats.items()}
+        if state == _STATE_OK and not healthy:
+            status = "unavailable"
+        elif state == _STATE_OK:
+            status = "ok"
+        elif state == _STATE_DRAINING:
+            status = "draining"
+        else:
+            status = "stopped"
+        workers = self.supervisor.status()
+        for wid_str, info in workers.items():
+            wid = int(wid_str)
+            info["queued"] = lane_depths.get(wid, 0)
+            info["inflight"] = inflight.get(wid, 0)
+            info["served"] = stats[wid]["served"]
+            info["deadline_missed"] = stats[wid]["deadline_missed"]
+        return {
+            "status": status,
+            "role": "fleet",
+            "models": sorted(self.specs),
+            "queue_depth": depth,
+            "orphaned": orphans,
+            "max_queue": self.max_queue,
+            "workers": workers,
+            "admission": {
+                "depth": depth,
+                "capacity": self.max_queue,
+                "limits": {
+                    str(p): admission_limit(p, self.max_queue)
+                    for p in sorted(ADMISSION_FRACTIONS)
+                },
+            },
+        }
+
+    # -- internals -----------------------------------------------------
+
+    def _fov(self, model: str):
+        try:
+            return self._fovs[model]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {model!r}; registered: "
+                f"{sorted(self.specs)}") from None
+
+    def _depth_locked(self) -> int:
+        return (sum(len(lane) for lane in self._lanes.values())
+                + len(self._orphans))
+
+    def _pending_locked(self) -> int:
+        return (self._depth_locked()
+                + sum(len(f) for f in self._inflight.values()))
+
+    def _hint_for_depth(self, depth: int) -> float:
+        with self._ewma_lock:
+            service = self._ewma_service
+        workers = max(len(self.supervisor.healthy_ids()), 1)
+        return max(0.05, (depth + 1) * service / workers)
+
+    def _route_locked(self, request: FleetRequest) -> None:
+        """Append *request* to its preferred healthy worker's lane
+        (skipping workers it already died on), or park it."""
+        for wid in self.ring.walk(request.model):
+            if wid in self._healthy and wid not in request.tried:
+                self._lanes[wid].append(request)
+                return
+        # Every healthy worker was tried already (or none is healthy):
+        # allow a retried request back onto a previously-tried healthy
+        # worker rather than starving it.
+        for wid in self.ring.walk(request.model):
+            if wid in self._healthy:
+                self._lanes[wid].append(request)
+                return
+        self._orphans.append(request)
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_loop(self, wid: int) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    if self._state == _STATE_STOPPED:
+                        return
+                    if (wid in self._healthy and self._lanes[wid]
+                            and len(self._inflight[wid])
+                            < self.inflight_per_worker):
+                        request = self._lanes[wid].popleft()
+                        self._m_depth.set(self._depth_locked())
+                        break
+                    self._cond.wait(0.05)
+            self._dispatch(wid, request)
+
+    def _dispatch(self, wid: int, request: FleetRequest) -> None:
+        now = time.monotonic()
+        if request.deadline is not None and now > request.deadline:
+            self._fail(request, DeadlineExceeded(
+                f"request {request.id} spent "
+                f"{now - request.accepted_at:.3f}s queued, past its "
+                f"deadline"), missed=True)
+            return
+        assert self._pool is not None
+        fov = self._fovs[request.model]
+        out_shape = tuple(v - f + 1
+                          for v, f in zip(request.volume.shape, fov))
+        in_block, in_array = self._pool.allocate_array(
+            request.volume.shape)
+        in_array[...] = request.volume
+        out_block = self._pool.allocate(
+            max(1, int(np.prod(out_shape)) * 8))
+        remaining = (None if request.deadline is None
+                     else request.deadline - now)
+        request.attempts += 1
+        request.tried.add(wid)
+        request.dispatched_at = now
+        request.worker = wid
+        with self._cond:
+            self._inflight[wid][request.id] = request
+            self._blocks[request.id] = (in_block, out_block, out_shape)
+        sent = self.supervisor.send(wid, (
+            "request", request.id, request.model,
+            in_block.handle, request.volume.shape,
+            out_block.handle, out_shape, remaining))
+        if not sent:
+            # The worker died between lane pop and send.  Its death
+            # callback may have already popped the in-flight entry and
+            # requeued the request — only the side that wins the pop
+            # reroutes, so the request is never dispatched twice.
+            with self._cond:
+                owned = self._inflight[wid].pop(request.id,
+                                                None) is not None
+                entry = (self._blocks.pop(request.id, None)
+                         if owned else None)
+            if entry is not None:
+                self._pool.deallocate(entry[0])
+                self._pool.deallocate(entry[1])
+            if owned:
+                self._retry_or_fail(request, ServingError(
+                    f"worker {wid} unavailable at dispatch"))
+            return
+        self._m_dispatched.inc()
+
+    # -- completion (supervisor callbacks) -----------------------------
+
+    def _on_message(self, wid: int, message: tuple) -> None:
+        kind = message[0]
+        if kind == "result":
+            self._on_result(wid, message[1])
+        elif kind == "error":
+            _, rid, ekind, emsg, retry_after = message
+            self._on_error(wid, rid, ekind, emsg, retry_after)
+
+    def _pop_flight(self, wid: int, rid: int):
+        with self._cond:
+            request = self._inflight[wid].pop(rid, None)
+            entry = self._blocks.pop(rid, None)
+            self._cond.notify_all()
+        return request, entry
+
+    def _on_result(self, wid: int, rid: int) -> None:
+        request, entry = self._pop_flight(wid, rid)
+        if request is None or entry is None:
+            # Stale completion (the request was already rerouted or
+            # failed); just recycle any blocks still attributed to it.
+            if entry is not None:
+                self._pool.deallocate(entry[0])
+                self._pool.deallocate(entry[1])
+            return
+        in_block, out_block, out_shape = entry
+        result = np.array(out_block.as_array(out_shape), copy=True)
+        self._pool.deallocate(in_block)
+        self._pool.deallocate(out_block)
+        t1 = time.monotonic()
+        service = t1 - (request.dispatched_at or t1)
+        with self._ewma_lock:
+            self._ewma_service = (0.8 * self._ewma_service
+                                  + 0.2 * service)
+        with self._cond:
+            self._worker_stats[wid]["served"] += 1
+        self._m_completed.inc()
+        self._m_worker_served[wid].inc()
+        self.slo.observe(
+            (request.dispatched_at or t1) - request.accepted_at,
+            service, t1 - request.accepted_at,
+            deadline_met=(True if request.deadline is not None
+                          else None))
+        self._record_spans(request, wid, status="ok")
+        request._resolve(result, None)
+
+    def _on_error(self, wid: int, rid: int, ekind: str, emsg: str,
+                  retry_after: float) -> None:
+        request, entry = self._pop_flight(wid, rid)
+        if entry is not None:
+            self._pool.deallocate(entry[0])
+            self._pool.deallocate(entry[1])
+        if request is None:
+            return
+        error = error_from_kind(ekind, emsg, retry_after)
+        if ekind == "deadline":
+            self._fail(request, error, missed=True, worker=wid)
+        elif ekind in ("unknown-model", "bad-request"):
+            self._fail(request, error, worker=wid)
+        else:
+            # Transient worker-side failure: spend a failover attempt.
+            self._retry_or_fail(request, error)
+
+    def _on_worker_up(self, wid: int) -> None:
+        with self._cond:
+            if self._state == _STATE_STOPPED:
+                return
+            self._healthy.add(wid)
+            orphans = list(self._orphans)
+            self._orphans.clear()
+            for request in orphans:
+                self._route_locked(request)
+            self._cond.notify_all()
+
+    def _on_worker_down(self, wid: int, reason: str) -> None:
+        """Supervisor confirmed the worker dead (already joined):
+        reclaim its blocks and requeue everything it held."""
+        with self._cond:
+            self._healthy.discard(wid)
+            queued = list(self._lanes[wid])
+            self._lanes[wid].clear()
+            flights = list(self._inflight[wid].values())
+            self._inflight[wid].clear()
+            entries = [self._blocks.pop(r.id, None) for r in flights]
+            self._cond.notify_all()
+        for entry in entries:
+            if entry is not None and self._pool is not None:
+                self._pool.deallocate(entry[0])
+                self._pool.deallocate(entry[1])
+        flight_note("fleet rerouting after worker death", worker=wid,
+                    reason=reason, queued=len(queued),
+                    inflight=len(flights))
+        for request in flights:
+            self._m_failover.inc()
+            self._retry_or_fail(request, ServingError(
+                f"worker {wid} died mid-request: {reason}"))
+        with self._cond:
+            if self._state != _STATE_STOPPED:
+                for request in queued:
+                    # Never dispatched there — reroute without
+                    # touching the attempt budget.
+                    self._route_locked(request)
+                self._cond.notify_all()
+
+    def _retry_or_fail(self, request: FleetRequest,
+                       error: BaseException) -> None:
+        if (request.deadline is not None
+                and time.monotonic() > request.deadline):
+            self._fail(request, DeadlineExceeded(
+                f"request {request.id} ran out of deadline after "
+                f"{request.attempts} attempt(s); last error: {error}"),
+                missed=True)
+            return
+        if request.attempts >= self.max_attempts:
+            self._fail(request, ServingError(
+                f"request {request.id} failed after "
+                f"{request.attempts} attempt(s): {error}"))
+            return
+        with self._cond:
+            if self._state == _STATE_STOPPED:
+                stopped = True
+            else:
+                stopped = False
+                self._route_locked(request)
+                self._cond.notify_all()
+        if stopped:
+            self._fail(request, ServerClosed(
+                f"fleet stopped before request {request.id} resolved"))
+        else:
+            self._m_requeued.inc()
+
+    def _fail(self, request: FleetRequest, error: BaseException,
+              missed: bool = False,
+              worker: Optional[int] = None) -> None:
+        self._m_failed.inc()
+        if missed:
+            self._m_missed.inc()
+            wid = worker if worker is not None else request.worker
+            if wid is not None:
+                with self._cond:
+                    self._worker_stats[wid]["deadline_missed"] += 1
+            self.slo.observe(
+                time.monotonic() - request.accepted_at, None, None,
+                deadline_met=False)
+        self._record_spans(
+            request, worker if worker is not None else request.worker,
+            status="deadline_exceeded" if missed else "error")
+        request._resolve(None, error)
+
+    def _record_spans(self, request: FleetRequest,
+                      wid: Optional[int], status: str) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled or request.trace_ctx is None:
+            return
+        if request.dispatched_at is not None:
+            tracer.record(
+                "fleet.dispatch",
+                tracer.from_monotonic(request.dispatched_at),
+                tracer.now(), category="serving",
+                parent=request.trace_ctx, worker=wid,
+                attempt=request.attempts, request=request.id)
+        tracer.record("request",
+                      tracer.from_monotonic(request.accepted_at),
+                      tracer.now(), category="serving",
+                      context=request.trace_ctx, status=status,
+                      model=request.model, request=request.id)
+
+    # -- background hygiene --------------------------------------------
+
+    def _janitor_loop(self) -> None:
+        """Expire queued/orphaned requests whose deadline passed while
+        no worker could take them (e.g. all quarantined)."""
+        while True:
+            time.sleep(0.05)
+            now = time.monotonic()
+            expired: List[FleetRequest] = []
+            with self._cond:
+                if self._state == _STATE_STOPPED:
+                    return
+                for lane in list(self._lanes.values()) + [self._orphans]:
+                    keep: Deque[FleetRequest] = deque()
+                    while lane:
+                        request = lane.popleft()
+                        if (request.deadline is not None
+                                and now > request.deadline):
+                            expired.append(request)
+                        else:
+                            keep.append(request)
+                    lane.extend(keep)
+                self._m_depth.set(self._depth_locked())
+                if expired:
+                    self._cond.notify_all()
+            for request in expired:
+                self._fail(request, DeadlineExceeded(
+                    f"request {request.id} expired before any worker "
+                    f"could take it"), missed=True)

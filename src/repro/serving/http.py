@@ -38,6 +38,7 @@ from repro.serving.pipeline import (
     DeadlineExceeded,
     InferenceServer,
     ServerClosed,
+    ServerDraining,
     ServerOverloaded,
 )
 
@@ -80,14 +81,17 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib name
         path = urlparse(self.path).path
         if path == "/healthz":
-            server = self.inference
-            self._send_json(200, {
-                "status": "ok",
-                "models": server.registry.model_names(),
-                "queue_depth": server.queue_depth,
-                "max_queue": server.max_queue,
-                "workers": server.num_workers,
-            })
+            # health() is robustness-aware: status flips to "draining"
+            # during graceful shutdown, and a fleet back end reports
+            # per-worker state, restart counts and quarantine reasons.
+            health = self.inference.health()
+            if health.get("status") == "ok":
+                self._send_json(200, health)
+            else:
+                # Non-ok (draining/stopped/no healthy workers): 503 so
+                # external load balancers stop routing here, with the
+                # full health document as the body.
+                self._send_json(503, health, {"Retry-After": "1"})
         elif path == "/metrics":
             accept = self.headers.get("Accept", "")
             if "text/plain" in accept or "openmetrics" in accept:
@@ -116,6 +120,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_text(
                     400, f"bad timeout: {query['timeout'][0]!r}")
                 return
+        priority = 1
+        if "priority" in query:
+            try:
+                priority = int(query["priority"][0])
+            except ValueError:
+                self._send_error_text(
+                    400, f"bad priority: {query['priority'][0]!r}")
+                return
         length = int(self.headers.get("Content-Length", "0"))
         try:
             volume = decode_array(self.rfile.read(length))
@@ -127,7 +139,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             request = self.inference.submit(model, volume,
                                             timeout=timeout,
-                                            trace_id=trace_id)
+                                            trace_id=trace_id,
+                                            priority=priority)
             result = request.result()
         except ServerOverloaded as exc:
             self._send_error_text(
@@ -136,6 +149,10 @@ class _Handler(BaseHTTPRequestHandler):
         except DeadlineExceeded as exc:
             self._send_error_text(504, str(exc),
                                   self._trace_headers(request))
+        except ServerDraining as exc:
+            self._send_error_text(
+                503, str(exc),
+                {"Retry-After": f"{exc.retry_after:.3f}"})
         except ServerClosed as exc:
             self._send_error_text(503, str(exc), {"Retry-After": "1"})
         except KeyError as exc:
@@ -154,11 +171,20 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServingHTTPServer:
-    """Owns a ThreadingHTTPServer bound to an InferenceServer.
+    """Owns a ThreadingHTTPServer bound to an inference back end.
+
+    The back end is duck-typed: anything with ``submit``/``health``/
+    ``start``/``stop`` (and ``begin_drain``/``wait_drained`` for
+    graceful drain) works — both the in-process
+    :class:`~repro.serving.pipeline.InferenceServer` and the
+    multi-process :class:`~repro.serving.fleet.FleetServer`.
 
     ``start()`` returns immediately (the accept loop runs on a daemon
     thread); ``stop()`` shuts down HTTP first, then the pipeline, so
-    in-flight requests resolve before the process exits.
+    in-flight requests resolve before the process exits.  ``drain()``
+    is the graceful path: admission stops (``/healthz`` flips to
+    draining/503 while HTTP keeps answering, so load balancers see the
+    transition), accepted requests finish, then everything shuts down.
     """
 
     def __init__(self, inference: InferenceServer, host: str = "127.0.0.1",
@@ -194,6 +220,17 @@ class ServingHTTPServer:
             self._thread.join()
             self._thread = None
         self.inference.stop()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Gracefully drain the back end, then stop HTTP.
+
+        Returns True when every accepted request resolved within
+        *timeout* (leftovers are failed, never dropped).
+        """
+        self.inference.begin_drain()
+        drained = self.inference.wait_drained(timeout)
+        self.stop()
+        return drained
 
     def __enter__(self) -> "ServingHTTPServer":
         return self.start()

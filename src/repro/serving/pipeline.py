@@ -31,16 +31,30 @@ The serving pipeline is deliberately small and explicit:
   re-runs a failed request body (fresh attempt, same warm model) with
   the policy's backoff before the error is surfaced to the client.
 
+* **Tiered load shedding.**  Requests carry a priority (0 = high,
+  1 = normal, 2 = low).  Each tier may only fill a fraction of the
+  admission queue (:data:`ADMISSION_FRACTIONS`), so under sustained
+  overload the lowest-priority tenants are rejected first while
+  high-priority traffic still finds queue space.
+
+* **Graceful drain.**  :meth:`InferenceServer.begin_drain` stops
+  admitting (new submissions fail with :class:`ServerDraining`, which
+  clients must *not* retry against this server) while queued and
+  in-flight requests keep running; :meth:`InferenceServer.drain` then
+  waits for the queue to empty before stopping — zero accepted
+  requests are dropped by a drain.
+
 Everything is observable: ``serving.queue.depth``,
-``serving.requests.{accepted,rejected,completed,failed,deadline_missed,
-retried}``, and latency histograms ``serving.queue_wait_seconds``,
-``serving.run_seconds``, ``serving.latency_seconds``,
-``serving.batch_size``.
+``serving.requests.{accepted,rejected,shed,completed,failed,
+deadline_missed,retried}``, and latency histograms
+``serving.queue_wait_seconds``, ``serving.run_seconds``,
+``serving.latency_seconds``, ``serving.batch_size``.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from collections import deque
@@ -61,10 +75,48 @@ __all__ = [
     "ServingError",
     "ServerOverloaded",
     "ServerClosed",
+    "ServerDraining",
     "DeadlineExceeded",
     "PendingRequest",
     "InferenceServer",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+    "ADMISSION_FRACTIONS",
+    "admission_limit",
 ]
+
+#: Request priority tiers.  Lower value = more important.  Under
+#: overload the *highest-numbered* tiers are shed first.
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+#: Fraction of the admission queue each priority tier may fill.  A
+#: tier-p submission is shed once the queue depth reaches
+#: ``max_queue * ADMISSION_FRACTIONS[p]`` — so when the queue is half
+#: full, low-priority tenants are already rejected while normal and
+#: high traffic still gets in.
+ADMISSION_FRACTIONS = {
+    PRIORITY_HIGH: 1.0,
+    PRIORITY_NORMAL: 0.85,
+    PRIORITY_LOW: 0.5,
+}
+
+
+def admission_limit(priority: int, max_queue: int) -> int:
+    """Queue depth at which tier-*priority* submissions are shed.
+
+    Rounds up: on small queues a 0.85 fraction must not cost the
+    normal tier a slot it would have had before tiers existed.
+    """
+    try:
+        fraction = ADMISSION_FRACTIONS[priority]
+    except KeyError:
+        raise ValueError(
+            f"priority must be one of {sorted(ADMISSION_FRACTIONS)}, "
+            f"got {priority!r}") from None
+    return max(1, math.ceil(max_queue * fraction))
 
 
 class ServingError(Exception):
@@ -87,6 +139,18 @@ class ServerClosed(ServingError):
     """The server was stopped; the request was not (or will not be) run."""
 
 
+class ServerDraining(ServerClosed):
+    """The server is draining for shutdown: it no longer admits new
+    requests (in-flight ones still finish).  A subclass of
+    :class:`ServerClosed` so clients treat it as terminal for this
+    server rather than retrying against it.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class DeadlineExceeded(ServingError):
     """The request's deadline passed while it waited in the queue."""
 
@@ -97,12 +161,15 @@ class PendingRequest:
     _ids = itertools.count(1)
 
     def __init__(self, model: str, volume: np.ndarray,
-                 deadline: Optional[float]) -> None:
+                 deadline: Optional[float],
+                 priority: int = PRIORITY_NORMAL) -> None:
         self.id = next(self._ids)
         self.model = model
         self.volume = volume
         #: Absolute monotonic deadline, or None.
         self.deadline = deadline
+        #: Admission tier (see :data:`ADMISSION_FRACTIONS`).
+        self.priority = priority
         self.accepted_at = time.monotonic()
         #: Root span context of the request's trace (set at admission
         #: when tracing is on; every tile/task span descends from it).
@@ -176,6 +243,8 @@ class InferenceServer:
         self._cond = make_condition("serving.pipeline")
         self._queue: Deque[PendingRequest] = deque()  # guarded-by: _cond
         self._closed = False  # guarded-by: _cond
+        self._draining = False  # guarded-by: _cond
+        self._inflight = 0  # guarded-by: _cond
         self._started = False  # guarded-by: _cond
         self._engine: Optional[TaskEngine] = None
         #: Test/ops hook: clear to pause dequeuing (admission still
@@ -189,6 +258,7 @@ class InferenceServer:
         self._m_depth = reg.gauge("serving.queue.depth")
         self._m_accepted = reg.counter("serving.requests.accepted")
         self._m_rejected = reg.counter("serving.requests.rejected")
+        self._m_shed = reg.counter("serving.requests.shed")
         self._m_completed = reg.counter("serving.requests.completed")
         self._m_failed = reg.counter("serving.requests.failed")
         self._m_missed = reg.counter("serving.requests.deadline_missed")
@@ -233,6 +303,45 @@ class InferenceServer:
             self._engine.shutdown()
             self._engine = None
 
+    def begin_drain(self) -> None:
+        """Stop admitting; queued and in-flight requests keep running.
+
+        New submissions fail with :class:`ServerDraining` and
+        :meth:`health` reports ``"draining"`` (the HTTP layer turns
+        that into 503 so load balancers stop routing here).
+        """
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or in flight (or *timeout*
+        passes).  Returns True when fully drained."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while self._queue or self._inflight:
+                if self._closed:
+                    break
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(min(remaining, 0.02))
+                else:
+                    self._cond.wait(0.02)
+            return not self._queue and not self._inflight
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop admitting, finish everything that
+        was accepted, then stop.  Returns True when every accepted
+        request resolved before *timeout* (leftovers are failed with
+        :class:`ServerClosed` by :meth:`stop`, never dropped)."""
+        self.begin_drain()
+        drained = self.wait_drained(timeout)
+        self.stop()
+        return drained
+
     def __enter__(self) -> "InferenceServer":
         return self.start()
 
@@ -257,7 +366,8 @@ class InferenceServer:
 
     def submit(self, model: str, volume: np.ndarray,
                timeout: Optional[float] = None,
-               trace_id: Optional[str] = None) -> PendingRequest:
+               trace_id: Optional[str] = None,
+               priority: int = PRIORITY_NORMAL) -> PendingRequest:
         """Admit a request or reject it with :class:`ServerOverloaded`.
 
         *timeout* (seconds) becomes the request's deadline: if it is
@@ -265,6 +375,8 @@ class InferenceServer:
         :class:`DeadlineExceeded`.  *trace_id* adopts a caller-supplied
         trace (the HTTP layer's ``X-Trace-Id``); with tracing enabled
         and no id given, a fresh trace is started per request.
+        *priority* selects the admission tier: low-priority requests
+        are shed at a lower queue depth than high-priority ones.
         """
         volume = np.asarray(volume, dtype=np.float64)
         if volume.ndim == 2:
@@ -272,42 +384,92 @@ class InferenceServer:
         if volume.ndim != 3:
             raise ValueError(
                 f"volume must be 2D or 3D, got {volume.ndim}D")
+        limit = admission_limit(priority, self.max_queue)
         self.registry.spec(model)  # unknown models fail fast, pre-queue
         deadline = None if timeout is None else time.monotonic() + timeout
-        request = PendingRequest(model, volume, deadline)
+        request = PendingRequest(model, volume, deadline,
+                                 priority=priority)
         tracer = get_tracer()
         if tracer.enabled:
             request.trace_ctx = tracer.make_context(trace_id)
             request.trace_id = request.trace_ctx.trace_id
+        draining = False
         with self._cond:
-            if self._closed:
+            if self._draining and not self._closed:
+                draining = True
+            elif self._closed:
                 raise ServerClosed("server is stopped")
-            depth = len(self._queue)
-            if depth < self.max_queue:
-                self._queue.append(request)
-                self._m_depth.set(len(self._queue))
-                self._m_accepted.inc()
-                self._cond.notify()
-                return request
+            else:
+                depth = len(self._queue)
+                if depth < limit:
+                    self._queue.append(request)
+                    self._m_depth.set(len(self._queue))
+                    self._m_accepted.inc()
+                    self._cond.notify()
+                    return request
         # Rejection happens outside the queue lock: the hint touches the
         # EWMA lock, and re-entering self._cond here would deadlock a
         # non-reentrant lock (the default Condition's RLock masked this).
+        if draining:
+            raise ServerDraining(
+                "server is draining; submit elsewhere",
+                retry_after=self._hint_for_depth(self.queue_depth))
         self._m_rejected.inc()
+        if limit < self.max_queue:
+            # Sheddable tier rejected below full capacity: count it as
+            # deliberate tiered load shedding, not plain overload.
+            self._m_shed.inc()
         raise ServerOverloaded(
-            f"admission queue full ({self.max_queue}); "
-            f"retry later", retry_after=self._hint_for_depth(depth))
+            f"admission queue full for priority {priority} "
+            f"({depth}/{limit} of {self.max_queue}); retry later",
+            retry_after=self._hint_for_depth(depth))
 
     def infer(self, model: str, volume: np.ndarray,
               timeout: Optional[float] = None,
-              trace_id: Optional[str] = None) -> np.ndarray:
+              trace_id: Optional[str] = None,
+              priority: int = PRIORITY_NORMAL) -> np.ndarray:
         """Blocking convenience: submit and wait for the dense output."""
         return self.submit(model, volume, timeout=timeout,
-                           trace_id=trace_id).result()
+                           trace_id=trace_id, priority=priority).result()
 
     @property
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    def health(self) -> dict:
+        """Robustness-aware health snapshot (what ``/healthz`` serves).
+
+        ``status`` is ``"ok"``, ``"draining"`` or ``"stopped"``; the
+        admission block reports depth against both total capacity and
+        each priority tier's shed threshold.
+        """
+        with self._cond:
+            if self._closed:
+                status = "stopped"
+            elif self._draining:
+                status = "draining"
+            else:
+                status = "ok"
+            depth = len(self._queue)
+            inflight = self._inflight
+        return {
+            "status": status,
+            "role": "server",
+            "models": self.registry.model_names(),
+            "queue_depth": depth,
+            "inflight": inflight,
+            "max_queue": self.max_queue,
+            "workers": self.num_workers,
+            "admission": {
+                "depth": depth,
+                "capacity": self.max_queue,
+                "limits": {
+                    str(p): admission_limit(p, self.max_queue)
+                    for p in sorted(ADMISSION_FRACTIONS)
+                },
+            },
+        }
 
     # -- workers -------------------------------------------------------
 
@@ -335,6 +497,7 @@ class InferenceServer:
                         rest.append(candidate)
                 self._queue.extendleft(reversed(rest))
             self._m_depth.set(len(self._queue))
+            self._inflight += len(batch)
             return batch
 
     def _worker_loop(self) -> None:
@@ -344,7 +507,12 @@ class InferenceServer:
                 return
             self._h_batch.observe(len(batch))
             for request in batch:
-                self._serve_one(request)
+                try:
+                    self._serve_one(request)
+                finally:
+                    with self._cond:
+                        self._inflight -= 1
+                        self._cond.notify_all()
 
     def _serve_one(self, request: PendingRequest) -> None:
         now = time.monotonic()

@@ -40,7 +40,12 @@ from repro.core.tiling import tile_plan
 from repro.graph.builders import build_layered_network, pool_to_filter_spec
 from repro.graph.specfile import load_layered_kwargs
 from repro.observability.metrics import get_registry
-from repro.serving.tiler import TilePlan, run_plan
+from repro.serving.tiler import (
+    DEFAULT_TILE_VOXELS,
+    TilePlan,
+    plan_volume,
+    run_plan,
+)
 from repro.utils.shapes import Shape3, as_shape3
 
 __all__ = ["ModelSpec", "WarmModel", "ModelRegistry"]
@@ -54,6 +59,13 @@ class ModelSpec:
     spec string (``width``, ``kernel``, ``window``, ...); serving
     always builds the skip-kernel twin, so any ``skip_kernels`` flag
     the training spec carried is dropped.
+
+    ``seed`` fixes the weight initialisation when no checkpoint is
+    given.  A spec must rebuild to the *same* network wherever and
+    whenever it is built — fleet workers each build their own copy,
+    and a restarted worker rebuilds from scratch; unseeded random
+    weights would silently break the failover bitwise-identity
+    contract for checkpoint-less models.
     """
 
     name: str
@@ -61,16 +73,17 @@ class ModelSpec:
     checkpoint: Optional[str] = None
     conv_mode: str = "fft"
     builder_kwargs: Dict[str, object] = field(default_factory=dict)
+    seed: int = 0
 
     @classmethod
     def from_files(cls, name: str, spec_path, checkpoint: Optional[str] = None,
-                   conv_mode: str = "fft") -> "ModelSpec":
+                   conv_mode: str = "fft", seed: int = 0) -> "ModelSpec":
         """Load a :class:`ModelSpec` from a ``[layered]`` spec file."""
         kwargs = dict(load_layered_kwargs(spec_path))
         spec = str(kwargs.pop("spec"))
         kwargs.pop("skip_kernels", None)
         return cls(name=name, spec=spec, checkpoint=checkpoint,
-                   conv_mode=conv_mode, builder_kwargs=kwargs)
+                   conv_mode=conv_mode, builder_kwargs=kwargs, seed=seed)
 
     @property
     def fov(self) -> Shape3:
@@ -98,6 +111,7 @@ class WarmModel:
         self.network = Network(graph, input_shape=self.input_tile,
                                conv_mode=spec.conv_mode,
                                num_workers=num_workers,
+                               seed=spec.seed,
                                deterministic_sums=True)
         if spec.checkpoint is not None:
             load_network(self.network, spec.checkpoint)
@@ -194,6 +208,33 @@ class ModelRegistry:
     def model_names(self):
         with self._lock:
             return sorted(self._specs)
+
+    def specs(self) -> list:
+        """Every registered :class:`ModelSpec` (name-sorted copy).
+
+        This is the fleet supervisor's restart contract: specs are
+        picklable, so a respawned worker process rebuilds (and
+        re-prewarms) exactly the models the dead worker served.
+        """
+        with self._lock:
+            return [self._specs[name] for name in sorted(self._specs)]
+
+    def prewarm_all(self, volume_shape,
+                    tile_voxels: int = DEFAULT_TILE_VOXELS) -> dict:
+        """Build the warm twin of every registered model at the tile
+        shape a *volume_shape* request would use.
+
+        Returns ``{model name: input tile}``.  A restarted fleet worker
+        calls this before reporting ready, so the first request it
+        serves after a crash pays no cold-build latency.
+        """
+        tiles = {}
+        for name in self.model_names():
+            plan = plan_volume(volume_shape, self.fov(name),
+                               max_voxels=tile_voxels)
+            self.warm(name, plan.input_tile)
+            tiles[name] = plan.input_tile
+        return tiles
 
     def spec(self, name: str) -> ModelSpec:
         with self._lock:

@@ -96,3 +96,61 @@ class TestOverloadOverHttp:
         inference.gate.set()
         for request in accepted:
             request.result(timeout=30)
+
+
+class TestDrainOverHttp:
+    def test_healthz_503_with_body_while_draining(self, http_server):
+        http_server.inference.begin_drain()
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"{http_server.url}/healthz",
+                                   timeout=30)
+        assert info.value.code == 503
+        # Load balancers key off the 503; operators still get the full
+        # document in the body (`repro fleet status` reads it there).
+        doc = json.loads(info.value.read().decode("utf-8"))
+        assert doc["status"] == "draining"
+        assert doc["models"] == ["small"]
+
+    def test_infer_rejected_while_draining(self, http_server, volume):
+        http_server.inference.begin_drain()
+        request = urllib.request.Request(
+            f"{http_server.url}/v1/infer?model=small",
+            data=encode_array(volume), method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 503
+        assert float(info.value.headers["Retry-After"]) > 0
+
+    def test_drain_helper_finishes_then_stops(self, http_server, volume):
+        client = HttpServingClient(http_server.url)
+        assert client.infer("small", volume).size > 0
+        assert http_server.drain(timeout=30)
+        # The socket is closed once drained; nothing was dropped.
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            client.health()
+
+
+class TestPriorityOverHttp:
+    def test_priority_param_reaches_admission(self, http_server, volume):
+        import time
+
+        inference = http_server.inference
+        inference.gate.clear()
+        time.sleep(0.05)
+        # max_queue=2 → the low tier's limit is 1; the second low-
+        # priority POST is shed while capacity remains for normal ones.
+        accepted = [inference.submit("small", volume)]
+        client = HttpServingClient(http_server.url, max_attempts=1)
+        with pytest.raises(ServerOverloaded):
+            client.infer("small", volume, priority=2)
+        inference.gate.set()
+        for request in accepted:
+            request.result(timeout=30)
+
+    def test_bad_priority_is_400(self, http_server, volume):
+        request = urllib.request.Request(
+            f"{http_server.url}/v1/infer?model=small&priority=nope",
+            data=encode_array(volume), method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400

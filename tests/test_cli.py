@@ -414,3 +414,73 @@ class TestAsciiChart:
         assert main(["figure", "7", "--chart"]) == 0
         out = capsys.readouterr().out
         assert "network width" in out
+
+
+class TestFleetCli:
+    def test_serve_parser_accepts_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--spec", "m.spec", "--fleet", "3",
+             "--inflight-per-worker", "2", "--request-attempts", "4",
+             "--drain-timeout", "5"])
+        assert args.fleet == 3
+        assert args.inflight_per_worker == 2
+        assert args.request_attempts == 4
+        assert args.drain_timeout == 5.0
+
+    def test_fleet_defaults_to_single_process(self):
+        args = build_parser().parse_args(["serve", "--spec", "m.spec"])
+        assert args.fleet == 0
+
+    def test_fleet_status_parser(self):
+        args = build_parser().parse_args(["fleet", "status", "--json"])
+        assert args.command == "fleet"
+        assert args.json
+
+    def test_fleet_status_renders_worker_table(self, capsys,
+                                               monkeypatch):
+        # `repro fleet status` reads /healthz; fake the HTTP round
+        # trip and check the rendering of a fleet-shaped document.
+        import io
+        import json as jsonlib
+        import urllib.request
+
+        doc = {
+            "status": "ok", "role": "fleet", "models": ["small"],
+            "queue_depth": 1, "orphaned": 0, "max_queue": 16,
+            "admission": {"capacity": 16},
+            "workers": {
+                "0": {"state": "healthy", "pid": 11, "restarts": 2,
+                      "queued": 1, "inflight": 0, "served": 9,
+                      "deadline_missed": 0,
+                      "last_restart_reason": "crash: injected fault"},
+                "1": {"state": "quarantined", "pid": None,
+                      "restarts": 3, "queued": 0, "inflight": 0,
+                      "served": 4, "deadline_missed": 1,
+                      "last_restart_reason":
+                          "hang: no heartbeat for 0.50s"},
+            },
+        }
+
+        def fake_urlopen(url, timeout=None):
+            body = io.BytesIO(jsonlib.dumps(doc).encode("utf-8"))
+            body.read  # noqa: B018 - shaped like HTTPResponse enough
+            class Resp:
+                def __enter__(self):
+                    return body
+                def __exit__(self, *exc):
+                    return False
+            return Resp()
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        assert main(["fleet", "status"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet status: ok" in out
+        assert "quarantined" in out
+        assert "crash: injected fault" in out
+        assert "hang: no heartbeat" in out
+
+    def test_fleet_status_unreachable_exits_nonzero(self, capsys):
+        # Nothing listens on this port.
+        assert main(["fleet", "status",
+                     "--url", "http://127.0.0.1:9"]) == 69
+        assert "cannot reach" in capsys.readouterr().err

@@ -35,6 +35,14 @@ Commands
     Run a short serving workload under a deadline and print the SLO
     report: p50/p95/p99 admission-wait, service and end-to-end
     latencies plus deadline attainment.
+``loadtest``
+    Generate (or load) a seed-deterministic workload trace and replay
+    it — through the discrete-event serving simulator (``--sim``) or
+    against a live in-process server / worker fleet, optionally with
+    the closed-loop autoscaler — emitting a ``repro.loadtest/v1``
+    report: p50/p99 latency, served fraction, shed/deadline counts
+    and worker-seconds cost (see docs/serving.md "Capacity
+    planning").
 ``gradcheck``
     Finite-difference verification of a spec-file network's gradients
     (use after adding custom ops).
@@ -214,6 +222,65 @@ def build_parser() -> argparse.ArgumentParser:
     slo.add_argument("--seed", type=int, default=0)
     slo.add_argument("--json", action="store_true",
                      help="print the report as JSON instead of a table")
+
+    lt = sub.add_parser("loadtest",
+                        help="replay a workload trace (live or --sim) "
+                             "and emit a loadtest report")
+    lt.add_argument("--scenario", default="steady",
+                    choices=("steady", "diurnal", "flash-crowd",
+                             "multi-model"),
+                    help="trace scenario preset (default: steady)")
+    lt.add_argument("--trace", default=None, metavar="FILE",
+                    help="replay this repro.workload/v1 JSONL trace "
+                         "instead of generating one")
+    lt.add_argument("--duration", type=float, default=30.0,
+                    help="generated trace length in seconds")
+    lt.add_argument("--rate", type=float, default=1.0,
+                    help="base arrival rate in requests/second")
+    lt.add_argument("--multiplier", type=float, default=1.0,
+                    metavar="X",
+                    help="load multiplier: compress the trace X x in "
+                         "time (default 1.0)")
+    lt.add_argument("--seed", type=int, default=0)
+    lt.add_argument("--size", default="12:24", metavar="MIN:MAX",
+                    help="request cube-edge bounds in voxels "
+                         "(default 12:24)")
+    lt.add_argument("--deadline", type=float, default=30.0,
+                    help="per-request deadline in seconds "
+                         "(0 = no deadline)")
+    lt.add_argument("--sim", action="store_true",
+                    help="replay through the discrete-event serving "
+                         "simulator instead of a live server")
+    lt.add_argument("--workers", type=int, default=2,
+                    help="initial worker count (simulated workers, "
+                         "or serving threads without --fleet)")
+    lt.add_argument("--fleet", type=int, default=0, metavar="N",
+                    help="live mode: run N supervised worker "
+                         "processes behind the failover router "
+                         "(0 = in-process server, the default)")
+    lt.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                    help="enable the hysteresis autoscaler between "
+                         "MIN and MAX workers (live autoscaling "
+                         "needs --fleet)")
+    lt.add_argument("--control-interval", type=float, default=0.5,
+                    help="autoscaler tick interval in seconds")
+    lt.add_argument("--max-queue", type=int, default=32,
+                    help="admission-queue capacity")
+    lt.add_argument("--cost-model", default=None, metavar="FILE",
+                    help="sim mode: derive per-request service cost "
+                         "from this repro profile cost_model.json")
+    lt.add_argument("--speed", type=float, default=1.0,
+                    help="live mode: replay time compression factor")
+    lt.add_argument("--conv-mode", default="fft",
+                    choices=("direct", "fft"))
+    lt.add_argument("--out", default=None, metavar="FILE",
+                    help="write the report JSON here")
+    lt.add_argument("--emit-trace", default=None, metavar="FILE",
+                    help="also write the replayed trace as "
+                         "repro.workload/v1 JSONL")
+    lt.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of a "
+                         "table")
 
     gc = sub.add_parser("gradcheck",
                         help="finite-difference check of a spec file's "
@@ -797,6 +864,186 @@ def _cmd_slo(args) -> int:
     return 0
 
 
+def _parse_range(value: str, what: str):
+    try:
+        lo_s, hi_s = value.split(":", 1)
+        lo, hi = int(lo_s), int(hi_s)
+    except ValueError:
+        raise SystemExit(
+            f"--{what} must look like MIN:MAX, got {value!r}")
+    if not 1 <= lo <= hi:
+        raise SystemExit(
+            f"--{what} needs 1 <= MIN <= MAX, got {value!r}")
+    return lo, hi
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+
+    from repro.loadgen import (
+        HysteresisPolicy,
+        ServiceModel,
+        SimConfig,
+        build_report,
+        dump_report,
+        generate_trace,
+        load_trace,
+        render_loadtest_report,
+        replay_trace,
+        scenario_config,
+        simulate_serving,
+        validate_loadtest_report,
+        write_trace,
+    )
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        size_min, size_max = _parse_range(args.size, "size")
+        config = scenario_config(
+            args.scenario, seed=args.seed, duration=args.duration,
+            base_rate=args.rate, size_min=size_min,
+            size_max=size_max,
+            deadline=args.deadline if args.deadline > 0 else None)
+        trace = generate_trace(config)
+    if args.multiplier != 1.0:
+        trace = trace.scaled(args.multiplier)
+    if args.emit_trace:
+        write_trace(args.emit_trace, trace)
+
+    policy = None
+    if args.autoscale:
+        lo, hi = _parse_range(args.autoscale, "autoscale")
+        policy = HysteresisPolicy(min_workers=lo, max_workers=hi)
+
+    if args.sim:
+        report = _loadtest_sim(args, trace, policy, ServiceModel,
+                               SimConfig, simulate_serving,
+                               build_report)
+    else:
+        report = _loadtest_live(args, trace, policy, replay_trace,
+                                build_report)
+    validate_loadtest_report(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(dump_report(report))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_loadtest_report(report))
+    return 0
+
+
+def _loadtest_sim(args, trace, policy, ServiceModel, SimConfig,
+                  simulate_serving, build_report) -> dict:
+    service = ServiceModel()
+    if args.cost_model:
+        from repro.observability.profile import load_cost_model
+
+        service = ServiceModel.from_cost_model(
+            load_cost_model(args.cost_model))
+    config = SimConfig(workers=args.workers,
+                       max_queue=args.max_queue, service=service,
+                       control_interval=args.control_interval)
+    result = simulate_serving(trace, config, policy)
+    counts = {"served": 0, "shed": 0, "deadline": 0, "failed": 0}
+    latencies = []
+    waits = []
+    for outcome in result.outcomes:
+        counts[outcome.status] += 1
+        if outcome.latency is not None:
+            latencies.append(outcome.latency)
+        if outcome.wait is not None:
+            waits.append(outcome.wait)
+    autoscaler = {"enabled": False}
+    if policy is not None:
+        autoscaler = {
+            "enabled": True,
+            "min": policy.min_workers,
+            "max": policy.max_workers,
+            "initial": min(max(args.workers, policy.min_workers),
+                           policy.max_workers),
+            "final": result.final_workers,
+            "decisions": len(result.decisions),
+        }
+    return build_report(
+        "sim", trace, counts, latencies, waits=waits,
+        worker_seconds=result.worker_seconds, workers=args.workers,
+        autoscaler=autoscaler, multiplier=args.multiplier)
+
+
+def _loadtest_live(args, trace, policy, replay_trace,
+                   build_report) -> dict:
+    import time
+
+    from repro.loadgen import FleetAutoscaler
+    from repro.serving import (FleetServer, InferenceServer,
+                               ModelRegistry, ModelSpec)
+
+    names = sorted({r.model for r in trace.requests}) or ["default"]
+    specs = [ModelSpec(name=name, spec="CT",
+                       conv_mode=args.conv_mode,
+                       builder_kwargs={"width": 2, "kernel": 3,
+                                       "transfer": "tanh"})
+             for name in names]
+    if policy is not None and args.fleet <= 0:
+        raise SystemExit(
+            "live autoscaling scales worker processes: "
+            "combine --autoscale with --fleet N")
+    autoscaler = None
+    if args.fleet > 0:
+        prewarm = min((r.shape for r in trace.requests),
+                      default=None)
+        server = FleetServer(
+            specs, num_workers=args.fleet,
+            max_queue=args.max_queue, threads_per_worker=1,
+            prewarm_shape=prewarm)
+    else:
+        registry = ModelRegistry(max_models=4)
+        for spec in specs:
+            registry.register(spec)
+        server = InferenceServer(registry, num_workers=args.workers,
+                                 max_queue=args.max_queue)
+    started = time.monotonic()
+    server.start()
+    try:
+        if policy is not None:
+            autoscaler = FleetAutoscaler(
+                server, policy,
+                interval=args.control_interval).start()
+        result = replay_trace(trace, server, speed=args.speed)
+    finally:
+        if autoscaler is not None:
+            autoscaler.stop()
+        elapsed = time.monotonic() - started
+        server.stop()
+    counts = {"served": 0, "shed": 0, "deadline": 0, "failed": 0}
+    latencies = []
+    for outcome in result.outcomes:
+        counts[outcome.status] += 1
+        if outcome.latency is not None:
+            latencies.append(outcome.latency)
+    if autoscaler is not None:
+        worker_seconds = autoscaler.worker_seconds
+        autoscaler_doc = {
+            "enabled": True,
+            "min": policy.min_workers,
+            "max": policy.max_workers,
+            "initial": args.fleet,
+            "final": server.active_workers,
+            "decisions": len(autoscaler.decisions()),
+        }
+    else:
+        workers = args.fleet if args.fleet > 0 else args.workers
+        worker_seconds = workers * elapsed
+        autoscaler_doc = {"enabled": False}
+    return build_report(
+        "live", trace, counts, latencies,
+        worker_seconds=worker_seconds,
+        workers=args.fleet if args.fleet > 0 else args.workers,
+        autoscaler=autoscaler_doc, multiplier=args.multiplier)
+
+
 def _cmd_gradcheck(args) -> int:
     import numpy as np
 
@@ -1043,6 +1290,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "slo": _cmd_slo,
+    "loadtest": _cmd_loadtest,
     "gradcheck": _cmd_gradcheck,
     "serve": _cmd_serve,
     "infer": _cmd_infer,

@@ -1,0 +1,89 @@
+"""Traffic-scale load generation, replay and closed-loop autoscaling.
+
+The capacity-planning subsystem (docs/serving.md, "Capacity
+planning"): seed-deterministic workload traces
+(:mod:`repro.loadgen.traces`), a discrete-event serving simulator
+(:mod:`repro.loadgen.sim`), an open-loop live replay harness
+(:mod:`repro.loadgen.replay`), autoscaling policies and the live
+fleet autoscaler (:mod:`repro.loadgen.autoscale`), and the versioned
+loadtest report (:mod:`repro.loadgen.report`).  Surfaced as
+``repro loadtest``.
+"""
+
+from repro.loadgen.autoscale import (
+    AutoscalePolicy,
+    FleetAutoscaler,
+    HysteresisPolicy,
+    ScaleDecision,
+    Signals,
+)
+from repro.loadgen.replay import (
+    LiveOutcome,
+    LiveReplayResult,
+    replay_trace,
+)
+from repro.loadgen.report import (
+    LOADTEST_SCHEMA,
+    LoadtestReportError,
+    build_report,
+    calibration_report,
+    dump_report,
+    latency_stats,
+    render_loadtest_report,
+    validate_loadtest_report,
+)
+from repro.loadgen.sim import (
+    ServiceModel,
+    SimConfig,
+    SimRequestOutcome,
+    SimResult,
+    simulate_serving,
+)
+from repro.loadgen.traces import (
+    SCENARIOS,
+    WORKLOAD_SCHEMA,
+    FlashCrowd,
+    Trace,
+    TraceConfig,
+    TraceRequest,
+    WorkloadError,
+    generate_trace,
+    load_trace,
+    scenario_config,
+    write_trace,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "FleetAutoscaler",
+    "HysteresisPolicy",
+    "ScaleDecision",
+    "Signals",
+    "LiveOutcome",
+    "LiveReplayResult",
+    "replay_trace",
+    "LOADTEST_SCHEMA",
+    "LoadtestReportError",
+    "build_report",
+    "calibration_report",
+    "dump_report",
+    "latency_stats",
+    "render_loadtest_report",
+    "validate_loadtest_report",
+    "ServiceModel",
+    "SimConfig",
+    "SimRequestOutcome",
+    "SimResult",
+    "simulate_serving",
+    "SCENARIOS",
+    "WORKLOAD_SCHEMA",
+    "FlashCrowd",
+    "Trace",
+    "TraceConfig",
+    "TraceRequest",
+    "WorkloadError",
+    "generate_trace",
+    "load_trace",
+    "scenario_config",
+    "write_trace",
+]

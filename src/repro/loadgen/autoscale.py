@@ -1,0 +1,261 @@
+"""Closed-loop autoscaling: policy contract + hysteresis default.
+
+The autoscaler closes the loop the ROADMAP asks for: observed demand
+(queue depth, estimated wait) feeds back into supply (fleet worker
+count).  The policy itself is a pure decision function so the *same*
+policy object drives both the discrete-event simulator
+(:mod:`repro.loadgen.sim`) and a live
+:class:`~repro.serving.fleet.FleetServer` — simulation results
+transfer because nothing but the signal source changes.
+
+Policy contract
+---------------
+A policy is any object with ``decide(signals) -> int`` mapping a
+:class:`Signals` snapshot to a *target* worker count.  The caller
+clamps to ``[min_workers, max_workers]`` and applies the change;
+``decide`` must tolerate being called at any cadence and must not
+assume its previous target was applied (a scale-down may still be
+draining).  Policies may keep internal state (cooldowns).
+
+The default :class:`HysteresisPolicy` scales on queue depth per
+worker with separate up/down thresholds and a cooldown, which makes
+it provably stable under constant load: the scale-up condition at
+``w`` workers (``depth > high * w``) and the scale-down condition at
+``w + step`` (``depth < low * w``) cannot both hold when
+``low < high``, so decisions converge instead of oscillating — the
+hypothesis property test exercises exactly this.
+
+Live wiring
+-----------
+:class:`FleetAutoscaler` samples the *catalog gauges*
+(``fleet.queue.depth``, ``serving.service.ewma_seconds``,
+``fleet.worker.inflight``) rather than any private server state, and
+calls :meth:`FleetServer.scale_to` when the policy's clamped target
+differs from the current active worker count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from repro.analysis.runtime import make_lock
+from repro.observability.metrics import get_registry
+
+__all__ = [
+    "Signals",
+    "AutoscalePolicy",
+    "HysteresisPolicy",
+    "ScaleDecision",
+    "FleetAutoscaler",
+]
+
+
+@dataclass(frozen=True)
+class Signals:
+    """One observation of the serving system, policy input."""
+
+    #: Requests queued (admitted, not yet dispatched).
+    queue_depth: int
+    #: Estimated queueing wait in seconds (EWMA- or Little's-law
+    #: derived; the simulator uses its exact EWMA of observed waits).
+    ewma_wait_seconds: float
+    #: Requests currently executing across all workers.
+    inflight: int
+    #: Active worker count the decision starts from.
+    workers: int
+
+
+class AutoscalePolicy(Protocol):
+    """Anything with ``decide(signals) -> int`` (target workers)."""
+
+    min_workers: int
+    max_workers: int
+
+    def decide(self, signals: Signals) -> int:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One autoscaler tick, for the loadtest report."""
+
+    t: float
+    workers: int
+    target: int
+    queue_depth: int
+    ewma_wait_seconds: float
+
+
+class HysteresisPolicy:
+    """Queue-depth hysteresis with a wait-time override.
+
+    Scale **up** by *step* when queue depth exceeds
+    ``high_depth_per_worker`` per worker, or when the estimated wait
+    exceeds ``high_wait_seconds``.  Scale **down** by *step* only when
+    the post-shrink fleet would still sit below the *low* threshold
+    (``depth < low_depth_per_worker * (workers - step)``) and the wait
+    signal is calm — the asymmetric guard that prevents down/up
+    flapping.  A cooldown of ``cooldown_ticks`` decisions separates
+    consecutive changes.
+    """
+
+    def __init__(self, min_workers: int = 1, max_workers: int = 8,
+                 high_depth_per_worker: float = 4.0,
+                 low_depth_per_worker: float = 1.0,
+                 high_wait_seconds: float = float("inf"),
+                 cooldown_ticks: int = 2, step: int = 1) -> None:
+        if min_workers < 1:
+            raise ValueError(
+                f"min_workers must be >= 1, got {min_workers}")
+        if max_workers < min_workers:
+            raise ValueError(
+                f"max_workers ({max_workers}) must be >= min_workers "
+                f"({min_workers})")
+        if not 0 <= low_depth_per_worker < high_depth_per_worker:
+            raise ValueError(
+                "need 0 <= low_depth_per_worker < "
+                f"high_depth_per_worker, got {low_depth_per_worker} "
+                f"vs {high_depth_per_worker}")
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.high = high_depth_per_worker
+        self.low = low_depth_per_worker
+        self.high_wait = high_wait_seconds
+        self.cooldown_ticks = cooldown_ticks
+        self.step = step
+        self._cooldown = 0
+
+    def decide(self, signals: Signals) -> int:
+        workers = min(max(signals.workers, self.min_workers),
+                      self.max_workers)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return workers
+        depth = signals.queue_depth
+        hot = (depth > self.high * workers
+               or signals.ewma_wait_seconds > self.high_wait)
+        if hot and workers < self.max_workers:
+            self._cooldown = self.cooldown_ticks
+            return min(workers + self.step, self.max_workers)
+        shrunk = workers - self.step
+        calm = (shrunk >= self.min_workers
+                and depth < self.low * shrunk
+                and signals.ewma_wait_seconds <= self.high_wait)
+        if calm:
+            self._cooldown = self.cooldown_ticks
+            return shrunk
+        return workers
+
+
+class FleetAutoscaler:
+    """Background thread scaling a live fleet from catalog gauges.
+
+    Reads ``fleet.queue.depth`` and ``serving.service.ewma_seconds``
+    (role=fleet) from the metrics registry, derives a Little's-law
+    wait estimate ``depth * service / workers``, and applies the
+    policy via :meth:`FleetServer.scale_to`.  Also integrates
+    worker-seconds (capacity × time) — the cost axis of the loadtest
+    report.
+    """
+
+    def __init__(self, fleet, policy: AutoscalePolicy,
+                 interval: float = 0.5) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.fleet = fleet
+        self.policy = policy
+        self.interval = interval
+        self._lock = make_lock("loadgen.autoscaler")
+        self._decisions: List[ScaleDecision] = []  # guarded-by: _lock
+        self._worker_seconds = 0.0  # guarded-by: _lock
+        self._last_sample: Optional[float] = None  # guarded-by: _lock
+        self._started_at: Optional[float] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        reg = get_registry()
+        self._g_depth = reg.gauge("fleet.queue.depth")
+        self._g_service = reg.gauge("serving.service.ewma_seconds",
+                                    role="fleet")
+        self._m_decisions = reg.counter("autoscale.decisions")
+        self._g_target = reg.gauge("autoscale.workers.target")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "FleetAutoscaler":
+        if self._thread is not None:
+            return self
+        self._started_at = time.monotonic()
+        with self._lock:
+            self._last_sample = self._started_at
+        self._thread = threading.Thread(
+            target=self._loop, name="fleet-autoscaler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._account(time.monotonic())
+
+    def __enter__(self) -> "FleetAutoscaler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- accounting ----------------------------------------------------
+
+    def _account(self, now: float) -> None:
+        workers = self.fleet.active_workers
+        with self._lock:
+            if self._last_sample is not None:
+                self._worker_seconds += workers * (
+                    now - self._last_sample)
+            self._last_sample = now
+
+    @property
+    def worker_seconds(self) -> float:
+        """Capacity integral so far (workers × seconds)."""
+        with self._lock:
+            return self._worker_seconds
+
+    def decisions(self) -> List[ScaleDecision]:
+        with self._lock:
+            return list(self._decisions)
+
+    # -- control loop --------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    def tick(self) -> None:
+        """One observe-decide-act cycle (public for tests)."""
+        now = time.monotonic()
+        self._account(now)
+        workers = self.fleet.active_workers
+        depth = int(self._g_depth.value)
+        service = float(self._g_service.value)
+        wait = depth * service / max(workers, 1)
+        inflight = self.fleet.total_inflight
+        signals = Signals(queue_depth=depth, ewma_wait_seconds=wait,
+                          inflight=inflight, workers=workers)
+        target = min(max(self.policy.decide(signals),
+                         self.policy.min_workers),
+                     self.policy.max_workers)
+        self._m_decisions.inc()
+        self._g_target.set(target)
+        elapsed = now - (self._started_at or now)
+        with self._lock:
+            self._decisions.append(ScaleDecision(
+                t=elapsed, workers=workers, target=target,
+                queue_depth=depth, ewma_wait_seconds=wait))
+        if target != workers:
+            self.fleet.scale_to(target)

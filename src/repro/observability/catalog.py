@@ -70,6 +70,7 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "serving.model_cache.miss",
     "serving.model_cache.evicted",
     "serving.model_cache.entries",
+    "serving.service.ewma_seconds",
     # serving/fleet.py + serving/supervisor.py (docs/serving.md
     # "Serving fleet")
     "fleet.workers",
@@ -84,6 +85,12 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "fleet.requests.shed",
     "fleet.requests.failover",
     "fleet.worker.served",
+    "fleet.worker.inflight",
+    "fleet.scale_ups",
+    "fleet.scale_downs",
+    # loadgen/autoscale.py (docs/serving.md "Capacity planning")
+    "autoscale.decisions",
+    "autoscale.workers.target",
     # analysis/runtime.py (docs/static_analysis.md)
     "analysis.lock_order_violations",
     "analysis.race_violations",

@@ -223,6 +223,10 @@ class FleetServer:
         self.inflight_per_worker = inflight_per_worker
         self.max_attempts = max_attempts
         self.tile_voxels = tile_voxels
+        #: Worker ids currently part of the fleet (scale-up adds,
+        #: scale-down removes; distinct from _healthy, which tracks
+        #: liveness of active workers).
+        self._active: Set[int] = set(range(num_workers))  # guarded-by: _cond
         self.ring = HashRing(range(num_workers))
         self._worker_config = WorkerConfig(
             specs=tuple(self.specs.values()),
@@ -274,6 +278,14 @@ class FleetServer:
         self._m_worker_served = {
             wid: reg.counter("fleet.worker.served", worker=str(wid))
             for wid in range(num_workers)}
+        self._m_worker_inflight = {
+            wid: reg.gauge("fleet.worker.inflight", worker=str(wid))
+            for wid in range(num_workers)}
+        self._m_scale_ups = reg.counter("fleet.scale_ups")
+        self._m_scale_downs = reg.counter("fleet.scale_downs")
+        self._g_ewma = reg.gauge("serving.service.ewma_seconds",
+                                 role="fleet")
+        self._g_ewma.set(self._ewma_service)
         self.slo = SLOTracker(registry=reg)
 
     # -- lifecycle -----------------------------------------------------
@@ -345,9 +357,10 @@ class FleetServer:
             for lane in self._lanes.values():
                 leftovers.extend(lane)
                 lane.clear()
-            for flights in self._inflight.values():
+            for wid, flights in self._inflight.items():
                 leftovers.extend(flights.values())
                 flights.clear()
+                self._m_worker_inflight[wid].set(0)
             entries = list(self._blocks.values())
             self._blocks.clear()
             self._cond.notify_all()
@@ -471,10 +484,13 @@ class FleetServer:
             info["inflight"] = inflight.get(wid, 0)
             info["served"] = stats[wid]["served"]
             info["deadline_missed"] = stats[wid]["deadline_missed"]
+        with self._cond:
+            active = sorted(self._active)
         return {
             "status": status,
             "role": "fleet",
             "models": sorted(self.specs),
+            "active_workers": active,
             "queue_depth": depth,
             "orphaned": orphans,
             "max_queue": self.max_queue,
@@ -488,6 +504,140 @@ class FleetServer:
                 },
             },
         }
+
+    # -- scaling -------------------------------------------------------
+
+    @property
+    def active_workers(self) -> int:
+        """Workers currently part of the fleet (healthy or not)."""
+        with self._cond:
+            return len(self._active)
+
+    def active_worker_ids(self) -> List[int]:
+        with self._cond:
+            return sorted(self._active)
+
+    @property
+    def total_inflight(self) -> int:
+        with self._cond:
+            return sum(len(f) for f in self._inflight.values())
+
+    def scale_to(self, target: int, drain_timeout: float = 15.0,
+                 ready_timeout: Optional[float] = None) -> List[int]:
+        """Scale the fleet to *target* active workers.
+
+        Scale-up allocates fresh worker ids (never reusing retired
+        ones), wires their lanes/metrics, and spawns the processes;
+        they take traffic once prewarmed (ready).  Scale-down retires
+        the highest-id workers one at a time: the victim leaves the
+        ring immediately (its queued requests reroute without
+        spending failover budget), its in-flight requests get
+        *drain_timeout* seconds to finish, then the process is
+        gracefully retired via
+        :meth:`~repro.serving.supervisor.Supervisor.retire_worker`.
+
+        With *ready_timeout* the call additionally waits that many
+        seconds for newly added workers to report ready.  Returns the
+        active worker ids after the change.
+        """
+        if target < 1:
+            raise ValueError(
+                f"target must be >= 1, got {target}")
+        added: List[int] = []
+        while True:
+            with self._cond:
+                if self._state != _STATE_OK:
+                    raise ServingError(
+                        "fleet is not running; cannot scale")
+                current = len(self._active)
+            if current < target:
+                added.append(self._scale_up_one())
+            elif current > target:
+                self._scale_down_one(drain_timeout)
+            else:
+                break
+        if ready_timeout is not None and added:
+            deadline = time.monotonic() + ready_timeout
+            for wid in added:
+                while (not self.supervisor.is_healthy(wid)
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+        return self.active_worker_ids()
+
+    def _scale_up_one(self) -> int:
+        wid = self.supervisor.add_worker()
+        reg = get_registry()
+        self._m_worker_served[wid] = reg.counter(
+            "fleet.worker.served", worker=str(wid))
+        self._m_worker_inflight[wid] = reg.gauge(
+            "fleet.worker.inflight", worker=str(wid))
+        with self._cond:
+            self._lanes[wid] = deque()
+            self._inflight[wid] = {}
+            self._worker_stats[wid] = {"served": 0,
+                                       "deadline_missed": 0}
+            self._active.add(wid)
+            # The ring may include the newcomer before it is ready:
+            # _route_locked only lands requests on healthy workers.
+            self.ring = HashRing(sorted(self._active),
+                                 replicas=self.ring.replicas)
+        thread = threading.Thread(
+            target=self._dispatch_loop, args=(wid,),
+            name=f"fleet-dispatch-{wid}", daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        self.supervisor.spawn_worker(wid)
+        self._m_scale_ups.inc()
+        flight_note("fleet scaled up", worker=wid)
+        return wid
+
+    def _scale_down_one(self, drain_timeout: float) -> int:
+        with self._cond:
+            if len(self._active) <= 1:
+                raise ValueError(
+                    "cannot scale the fleet below 1 worker")
+            victim = max(self._active)
+            self._active.discard(victim)
+            self._healthy.discard(victim)
+            self.ring = HashRing(sorted(self._active),
+                                 replicas=self.ring.replicas)
+            queued = list(self._lanes[victim])
+            self._lanes[victim].clear()
+            for request in queued:
+                # Never dispatched to the victim — reroute without
+                # touching the attempt budget.
+                self._route_locked(request)
+            self._m_depth.set(self._depth_locked())
+            self._cond.notify_all()
+        flight_note("fleet scaling down", worker=victim,
+                    requeued=len(queued))
+        deadline = time.monotonic() + drain_timeout
+        with self._cond:
+            while (self._inflight[victim]
+                   and self._state != _STATE_STOPPED
+                   and time.monotonic() < deadline):
+                self._cond.wait(0.02)
+        self.supervisor.retire_worker(victim)
+        # Leftovers mean the drain timed out (or the worker died while
+        # draining): requeue through the normal failover machinery.
+        with self._cond:
+            leftovers = list(self._inflight[victim].values())
+            self._inflight[victim].clear()
+            self._m_worker_inflight[victim].set(0)
+            entries = [self._blocks.pop(r.id, None)
+                       for r in leftovers]
+        for entry in entries:
+            if entry is not None and self._pool is not None:
+                self._pool.deallocate(entry[0])
+                self._pool.deallocate(entry[1])
+        for request in leftovers:
+            self._retry_or_fail(request, ServingError(
+                f"worker {victim} retired before request "
+                f"{request.id} resolved"))
+        self._m_scale_downs.inc()
+        flight_note("fleet scaled down", worker=victim,
+                    leftovers=len(leftovers))
+        return victim
 
     # -- internals -----------------------------------------------------
 
@@ -572,6 +722,7 @@ class FleetServer:
         with self._cond:
             self._inflight[wid][request.id] = request
             self._blocks[request.id] = (in_block, out_block, out_shape)
+            self._m_worker_inflight[wid].set(len(self._inflight[wid]))
         sent = self.supervisor.send(wid, (
             "request", request.id, request.model,
             in_block.handle, request.volume.shape,
@@ -586,6 +737,8 @@ class FleetServer:
                                                 None) is not None
                 entry = (self._blocks.pop(request.id, None)
                          if owned else None)
+                self._m_worker_inflight[wid].set(
+                    len(self._inflight[wid]))
             if entry is not None:
                 self._pool.deallocate(entry[0])
                 self._pool.deallocate(entry[1])
@@ -609,6 +762,7 @@ class FleetServer:
         with self._cond:
             request = self._inflight[wid].pop(rid, None)
             entry = self._blocks.pop(rid, None)
+            self._m_worker_inflight[wid].set(len(self._inflight[wid]))
             self._cond.notify_all()
         return request, entry
 
@@ -630,6 +784,8 @@ class FleetServer:
         with self._ewma_lock:
             self._ewma_service = (0.8 * self._ewma_service
                                   + 0.2 * service)
+            ewma = self._ewma_service
+        self._g_ewma.set(ewma)
         with self._cond:
             self._worker_stats[wid]["served"] += 1
         self._m_completed.inc()
@@ -679,6 +835,7 @@ class FleetServer:
             self._lanes[wid].clear()
             flights = list(self._inflight[wid].values())
             self._inflight[wid].clear()
+            self._m_worker_inflight[wid].set(0)
             entries = [self._blocks.pop(r.id, None) for r in flights]
             self._cond.notify_all()
         for entry in entries:

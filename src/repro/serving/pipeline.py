@@ -255,6 +255,9 @@ class InferenceServer:
         self._ewma_lock = make_lock("serving.ewma")
         self._ewma_service = 0.1  # guarded-by: _ewma_lock
         reg = get_registry()
+        self._g_ewma = reg.gauge("serving.service.ewma_seconds",
+                                 role="server")
+        self._g_ewma.set(self._ewma_service)
         self._m_depth = reg.gauge("serving.queue.depth")
         self._m_accepted = reg.counter("serving.requests.accepted")
         self._m_rejected = reg.counter("serving.requests.rejected")
@@ -560,6 +563,8 @@ class InferenceServer:
                          else None)
         with self._ewma_lock:
             self._ewma_service = 0.8 * self._ewma_service + 0.2 * (t1 - t0)
+            ewma = self._ewma_service
+        self._g_ewma.set(ewma)
         self._m_completed.inc()
         request._resolve(result, None)
         if traced:

@@ -106,6 +106,8 @@ STATE_STARTING = "starting"
 STATE_HEALTHY = "healthy"
 STATE_RESTARTING = "restarting"
 STATE_QUARANTINED = "quarantined"
+#: Gracefully scaled down: drained, exited, never restarted.
+STATE_RETIRED = "retired"
 STATE_STOPPED = "stopped"
 
 
@@ -414,6 +416,88 @@ class Supervisor:
                     record.conn = None
         self._m_healthy.set(0)
 
+    # -- scaling -------------------------------------------------------
+
+    def add_worker(self) -> int:
+        """Allocate a new worker slot (the next unused id) without
+        spawning it yet.
+
+        Two-step on purpose: the router must wire the new id's lanes
+        and metrics *before* the process can report ready, so it calls
+        :meth:`spawn_worker` once its own structures exist.
+        """
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("supervisor is stopping")
+            if not self._records:
+                raise RuntimeError("supervisor is not started")
+            worker_id = max(self._records) + 1
+            record = _WorkerRecord(worker_id)
+            # A fresh slot must not trip the not-ready watchdog while
+            # the caller is still wiring it up.
+            record.started_at = time.monotonic()
+            self._records[worker_id] = record
+        self._update_gauges()
+        flight_note("fleet worker slot added", worker=worker_id)
+        return worker_id
+
+    def spawn_worker(self, worker_id: int) -> None:
+        """Start the process for a slot created by
+        :meth:`add_worker`."""
+        with self._lock:
+            record = self._records.get(worker_id)
+            if record is None:
+                raise KeyError(f"unknown worker {worker_id}")
+            if record.process is not None:
+                raise RuntimeError(
+                    f"worker {worker_id} already spawned")
+        self._spawn(worker_id)
+
+    def retire_worker(self, worker_id: int,
+                      join_timeout: float = 10.0) -> bool:
+        """Gracefully retire a worker: mark it RETIRED (its death is
+        expected — no restart, no down-callback), send ``stop`` so it
+        drains local in-flight requests (results still flow back),
+        then join the process.  True when it exited within
+        *join_timeout*."""
+        with self._lock:
+            record = self._records.get(worker_id)
+            if record is None:
+                raise KeyError(f"unknown worker {worker_id}")
+            if record.state in (STATE_RETIRED, STATE_STOPPED):
+                return True
+            # Mark before sending stop: the reader's EOF event must
+            # find the state already RETIRED or _handle_death would
+            # schedule a restart.
+            record.state = STATE_RETIRED
+            record.restart_at = None
+            conn = record.conn
+            send_lock = record.send_lock
+            process = record.process
+        flight_note("fleet worker retiring", worker=worker_id)
+        if conn is not None:
+            with send_lock:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass  # already dying; the join below settles it
+        clean = True
+        if process is not None:
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - stuck drain
+                clean = False
+                process.terminate()
+                process.join(timeout=2.0)
+        with self._lock:
+            if record.conn is not None:
+                try:
+                    record.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                record.conn = None
+        self._update_gauges()
+        return clean
+
     # -- routing surface ----------------------------------------------
 
     def healthy_ids(self) -> list:
@@ -582,8 +666,9 @@ class Supervisor:
             record = self._records.get(worker_id)
             if record is None or record.generation != generation:
                 return  # stale event from a previous incarnation
-            if record.state in (STATE_QUARANTINED, STATE_STOPPED):
-                return
+            if record.state in (STATE_QUARANTINED, STATE_RETIRED,
+                                STATE_STOPPED):
+                return  # expected death (or already written off)
             process = record.process
             reason = record.pending_reason
         # Join OUTSIDE the lock, and before telling anyone: only after
@@ -655,5 +740,9 @@ class Supervisor:
                           if r.state == STATE_HEALTHY)
             quarantined = sum(1 for r in self._records.values()
                               if r.state == STATE_QUARANTINED)
+            slots = sum(1 for r in self._records.values()
+                        if r.state not in (STATE_RETIRED,
+                                           STATE_STOPPED))
+        self._m_workers.set(slots)
         self._m_healthy.set(healthy)
         self._m_quarantined.set(quarantined)

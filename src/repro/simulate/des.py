@@ -69,15 +69,24 @@ class SimulationResult:
 
     def gantt(self, width: int = 72, max_workers: int = 16) -> str:
         """Text Gantt chart of the schedule (requires
-        ``record_timeline=True`` at simulation time)."""
-        if not self.timeline:
+        ``record_timeline=True`` at simulation time).
+
+        An un-recorded timeline (``None``) and a recorded-but-empty
+        one (zero tasks) are different situations and say so; lanes
+        past *max_workers* are elided with an explicit note instead
+        of silently truncating.
+        """
+        if self.timeline is None:
             return "(no timeline recorded)"
+        if not self.timeline:
+            return "(no tasks)"
         span = self.makespan or 1.0
         lanes: dict[int, list] = {}
         for st_ in self.timeline:
             lanes.setdefault(st_.worker, []).append(st_)
+        workers = sorted(lanes)
         lines = []
-        for worker in sorted(lanes)[:max_workers]:
+        for worker in workers[:max_workers]:
             row = [" "] * width
             for st_ in lanes[worker]:
                 a = int(st_.start / span * (width - 1))
@@ -85,6 +94,10 @@ class SimulationResult:
                 for i in range(a, b + 1):
                     row[i] = "#"
             lines.append(f"w{worker:<3}|{''.join(row)}|")
+        if len(workers) > max_workers:
+            elided = len(workers) - max_workers
+            lines.append(f"... ({elided} more worker"
+                         f"{'s' if elided != 1 else ''} elided)")
         return "\n".join(lines)
 
 

@@ -1,0 +1,38 @@
+"""Loadgen fixtures: a tiny trained model on disk (mirrors
+tests/serving/conftest.py) so the replay tests can drive a real
+InferenceServer."""
+
+import os
+
+import pytest
+
+from repro.core import Network
+from repro.core.serialization import save_network
+from repro.graph import build_layered_network, dump_layered_spec
+from repro.serving import ModelRegistry, ModelSpec
+
+
+@pytest.fixture(scope="session")
+def small_model_spec(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("loadgen-model"))
+    graph = build_layered_network("CTPCT", width=[2, 1], kernel=2,
+                                  window=2, transfer="tanh")
+    network = Network(graph, input_shape=(9, 9, 9), seed=11)
+    checkpoint = os.path.join(root, "ckpt.npz")
+    save_network(network, checkpoint)
+    spec_path = os.path.join(root, "model.spec")
+    with open(spec_path, "w", encoding="utf-8") as fh:
+        fh.write(dump_layered_spec("CTPCT", [2, 1], kernel=2,
+                                   window=2, transfer="tanh"))
+    yield ModelSpec.from_files("default", spec_path,
+                               checkpoint=checkpoint,
+                               conv_mode="direct")
+    network.close()
+
+
+@pytest.fixture
+def registry(small_model_spec):
+    reg = ModelRegistry(max_models=2)
+    reg.register(small_model_spec)
+    yield reg
+    reg.close()

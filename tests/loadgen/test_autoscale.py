@@ -1,0 +1,102 @@
+"""Autoscaler policy tests: hypothesis properties (never exceeds
+max workers, hysteresis-stable on constant load) plus ctor
+validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen import HysteresisPolicy, Signals
+
+signal_values = st.builds(
+    Signals,
+    queue_depth=st.integers(min_value=0, max_value=10_000),
+    ewma_wait_seconds=st.floats(min_value=0.0, max_value=1e6),
+    inflight=st.integers(min_value=0, max_value=1000),
+    workers=st.integers(min_value=0, max_value=100),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=8),
+       st.lists(signal_values, min_size=1, max_size=30))
+def test_target_always_within_bounds(min_workers, extra, signals):
+    policy = HysteresisPolicy(min_workers=min_workers,
+                              max_workers=min_workers + extra,
+                              cooldown_ticks=0)
+    for observation in signals:
+        target = policy.decide(observation)
+        assert policy.min_workers <= target <= policy.max_workers
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=60),
+       st.floats(min_value=0.0, max_value=20.0),
+       st.integers(min_value=0, max_value=3))
+def test_hysteresis_stable_on_constant_load(depth, wait, cooldown):
+    # Feed the policy its own decisions under a frozen load: after
+    # it converges it must stay put — no up/down flapping.
+    policy = HysteresisPolicy(min_workers=1, max_workers=8,
+                              high_depth_per_worker=4.0,
+                              low_depth_per_worker=1.0,
+                              cooldown_ticks=cooldown)
+    workers = 2
+    history = [workers]
+    for _ in range(40):
+        workers = policy.decide(Signals(
+            queue_depth=depth, ewma_wait_seconds=wait,
+            inflight=0, workers=workers))
+        history.append(workers)
+    tail = history[-(cooldown + 2):]
+    assert len(set(tail)) == 1, f"did not converge: {history}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6))
+def test_heavy_load_scales_up_calm_load_scales_down(step):
+    policy = HysteresisPolicy(min_workers=1, max_workers=8,
+                              cooldown_ticks=0, step=step)
+    hot = Signals(queue_depth=1000, ewma_wait_seconds=0.0,
+                  inflight=0, workers=2)
+    assert policy.decide(hot) == min(2 + step, 8)
+    calm = Signals(queue_depth=0, ewma_wait_seconds=0.0,
+                   inflight=0, workers=8)
+    down = policy.decide(calm)
+    assert down == max(8 - step, 1)
+
+
+class TestCooldown:
+    def test_cooldown_separates_changes(self):
+        policy = HysteresisPolicy(min_workers=1, max_workers=8,
+                                  cooldown_ticks=2)
+        hot = Signals(queue_depth=100, ewma_wait_seconds=0.0,
+                      inflight=0, workers=1)
+        assert policy.decide(hot) == 2
+        # Two cooldown ticks hold the line even though load is hot.
+        hot2 = Signals(queue_depth=100, ewma_wait_seconds=0.0,
+                       inflight=0, workers=2)
+        assert policy.decide(hot2) == 2
+        assert policy.decide(hot2) == 2
+        assert policy.decide(hot2) == 3
+
+    def test_wait_override_triggers_scale_up(self):
+        policy = HysteresisPolicy(min_workers=1, max_workers=4,
+                                  high_wait_seconds=1.0,
+                                  cooldown_ticks=0)
+        slow = Signals(queue_depth=0, ewma_wait_seconds=5.0,
+                       inflight=0, workers=1)
+        assert policy.decide(slow) == 2
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            HysteresisPolicy(min_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            HysteresisPolicy(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError, match="low_depth_per_worker"):
+            HysteresisPolicy(high_depth_per_worker=1.0,
+                             low_depth_per_worker=2.0)
+        with pytest.raises(ValueError, match="step"):
+            HysteresisPolicy(step=0)

@@ -1,0 +1,76 @@
+"""Live replay tests against a real in-process InferenceServer.
+
+Kept tiny (few-second traces, speed-compressed) so they stay in
+tier 1; the full fleet + autoscaler path is exercised by the slow
+tests in tests/serving/test_scale.py and the CI smoke lane.
+"""
+
+import pytest
+
+from repro.loadgen import (
+    TraceConfig,
+    generate_trace,
+    replay_trace,
+)
+from repro.serving import InferenceServer
+
+
+def _trace(**kwargs):
+    kwargs.setdefault("seed", 1)
+    kwargs.setdefault("duration", 4.0)
+    kwargs.setdefault("base_rate", 2.0)
+    kwargs.setdefault("size_min", 12)
+    kwargs.setdefault("size_max", 12)
+    kwargs.setdefault("deadline", 30.0)
+    return generate_trace(TraceConfig(**kwargs))
+
+
+class TestReplay:
+    def test_light_load_all_served(self, registry):
+        trace = _trace()
+        with InferenceServer(registry, num_workers=2,
+                             tile_voxels=1000) as server:
+            result = replay_trace(trace, server, speed=4.0)
+        assert len(result.outcomes) == len(trace)
+        assert result.served == len(trace)
+        for outcome in result.outcomes:
+            assert outcome.status == "served"
+            assert outcome.latency is not None
+            assert outcome.latency >= 0.0
+        # Open loop: wall time tracks trace duration / speed, not
+        # service time (generous bound; CI boxes are slow).
+        assert result.elapsed < 30.0
+
+    def test_progress_callback_sees_every_request(self, registry):
+        trace = _trace(seed=2, duration=2.0)
+        seen = []
+        with InferenceServer(registry, num_workers=2,
+                             tile_voxels=1000) as server:
+            replay_trace(trace, server, speed=4.0,
+                         on_progress=lambda i, s: seen.append(i))
+        assert sorted(seen) == list(range(len(trace)))
+
+    def test_overload_is_shed_not_raised(self, registry):
+        # A 1-deep queue with a single worker against a 20 req/s
+        # burst: admission must shed, and the replay must classify
+        # rather than propagate.
+        trace = _trace(seed=3, duration=2.0, base_rate=20.0)
+        with InferenceServer(registry, num_workers=1, max_queue=1,
+                             tile_voxels=1000) as server:
+            result = replay_trace(trace, server, speed=8.0)
+        statuses = {o.status for o in result.outcomes}
+        assert statuses <= {"served", "shed", "deadline"}
+        assert sum(1 for o in result.outcomes
+                   if o.status == "shed") > 0
+
+    def test_closed_server_marks_failed(self, registry):
+        trace = _trace(seed=4, duration=0.5, base_rate=4.0)
+        server = InferenceServer(registry, num_workers=1,
+                                 tile_voxels=1000).start()
+        server.stop()
+        result = replay_trace(trace, server, speed=8.0)
+        assert all(o.status == "failed" for o in result.outcomes)
+
+    def test_bad_speed_rejected(self, registry):
+        with pytest.raises(ValueError, match="speed"):
+            replay_trace(_trace(), object(), speed=0.0)

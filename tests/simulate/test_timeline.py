@@ -59,13 +59,46 @@ class TestGantt:
         _, result = run
         text = result.gantt(width=40, max_workers=3)
         lines = text.splitlines()
-        assert len(lines) == 3
-        assert all("#" in line for line in lines)
+        assert len(lines) == 4  # 3 lanes + the elision note
+        assert all("#" in line for line in lines[:3])
+        assert lines[-1] == "... (5 more workers elided)"
+
+    def test_no_elision_note_when_all_lanes_fit(self, run):
+        _, result = run
+        text = result.gantt(width=40, max_workers=8)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert "elided" not in text
+
+    def test_single_worker_elision_is_singular(self, run):
+        _, result = run
+        text = result.gantt(width=40, max_workers=7)
+        assert text.splitlines()[-1] == "... (1 more worker elided)"
 
     def test_no_timeline_message(self):
         tg = paper_task_graph(3, 5)
         result = simulate_schedule(tg, get_machine("xeon-8"), 8)
         assert "no timeline" in result.gantt()
+
+    def test_zero_tasks_distinct_from_unrecorded(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        empty = TaskGraph()
+        recorded = simulate_schedule(empty, get_machine("xeon-8"), 8,
+                                     record_timeline=True)
+        assert recorded.timeline == []
+        assert recorded.gantt() == "(no tasks)"
+        unrecorded = simulate_schedule(empty, get_machine("xeon-8"), 8)
+        assert unrecorded.timeline is None
+        assert "no timeline" in unrecorded.gantt()
+
+    def test_single_worker_renders_one_lane(self):
+        tg = paper_task_graph(3, 4)
+        result = simulate_schedule(tg, get_machine("xeon-8"), 1,
+                                   record_timeline=True)
+        lines = result.gantt(width=40).splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("w0  |")
 
 
 class TestTimelineOffByDefault:

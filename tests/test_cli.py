@@ -484,3 +484,63 @@ class TestFleetCli:
         assert main(["fleet", "status",
                      "--url", "http://127.0.0.1:9"]) == 69
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestLoadtestCli:
+    ARGS = ["loadtest", "--sim", "--scenario", "flash-crowd",
+            "--duration", "20", "--rate", "2", "--seed", "7",
+            "--size", "12:12", "--workers", "2"]
+
+    def test_sim_report_is_byte_identical(self, capsys, tmp_path):
+        # The determinism satellite: same seed, same flags => the
+        # written report file is byte-for-byte identical.
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main([*self.ARGS, "--autoscale", "1:3",
+                     "--out", str(a)]) == 0
+        assert main([*self.ARGS, "--autoscale", "1:3",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        assert len(a.read_bytes()) > 0
+
+    def test_sim_emits_valid_report(self, capsys, tmp_path):
+        import json
+
+        from repro.loadgen import validate_loadtest_report
+
+        out = tmp_path / "report.json"
+        trace = tmp_path / "trace.jsonl"
+        assert main([*self.ARGS, "--out", str(out),
+                     "--emit-trace", str(trace), "--json"]) == 0
+        stdout = capsys.readouterr().out
+        doc = validate_loadtest_report(json.load(open(out)))
+        assert doc["mode"] == "sim"
+        assert doc["trace"]["name"] == "flash-crowd"
+        assert json.loads(stdout)["schema"] == doc["schema"]
+        # The emitted trace replays to the same report.
+        from repro.loadgen import load_trace
+        assert len(load_trace(str(trace))) == doc["trace"]["requests"]
+
+    def test_table_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "loadtest (sim)" in out
+        assert "served" in out
+
+    def test_multiplier_scales_trace(self, capsys):
+        assert main([*self.ARGS, "--multiplier", "10", "--json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trace"]["multiplier"] == 10.0
+        assert doc["trace"]["duration"] == pytest.approx(2.0)
+
+    def test_bad_size_range_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--sim", "--size", "banana"])
+
+    def test_autoscale_requires_fleet_in_live_mode(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--scenario", "steady", "--duration",
+                  "1", "--autoscale", "1:2"])

@@ -53,6 +53,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 __all__ = [
     "ALL_RULES",
+    "RULE_DESCRIPTIONS",
     "LintViolation",
     "SourceFile",
     "lint_file",
@@ -81,21 +82,37 @@ _BLOCKING_BUILTINS = frozenset({"open", "print", "input"})
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    A violation carrying an in-source justification (the determinism
+    rule's ``# nondeterministic: <reason>`` escapes) is *suppressed*:
+    it is still reported for visibility (and lands in SARIF with a
+    ``suppressions`` entry) but does not fail ``repro lint``.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    suppressed: bool = False
+    justification: str = ""
 
     def __str__(self) -> str:
-        return (f"{self.path}:{self.line}:{self.col + 1}: "
+        text = (f"{self.path}:{self.line}:{self.col + 1}: "
                 f"{self.rule}: {self.message}")
+        if self.suppressed:
+            text += f" [suppressed: {self.justification}]"
+        return text
 
     def as_dict(self) -> Dict[str, object]:
-        return {"rule": self.rule, "path": self.path, "line": self.line,
-                "col": self.col, "message": self.message}
+        doc: Dict[str, object] = {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "message": self.message}
+        if self.suppressed:
+            doc["suppressed"] = True
+            doc["justification"] = self.justification
+        return doc
 
 
 class SourceFile:
@@ -632,35 +649,72 @@ def rule_metrics_name(src: SourceFile) -> Iterator[LintViolation]:
 # ---------------------------------------------------------------------------
 
 
+def rule_determinism(src: SourceFile) -> Iterator[LintViolation]:
+    """Single-file entry for the interprocedural determinism pass.
+
+    ``lint_paths`` runs the pass once over the *whole* file set instead
+    (cross-module call-graph propagation); this wrapper serves
+    ``lint_source``/``lint_file`` on self-contained modules.
+    """
+    from repro.analysis.determinism import run_determinism
+
+    yield from run_determinism([src])
+
+
 ALL_RULES = {
     "guarded-by": rule_guarded_by,
     "raw-acquire": rule_raw_acquire,
     "blocking-under-lock": rule_blocking_under_lock,
     "swap-only-critical-section": rule_swap_only,
     "metrics-name": rule_metrics_name,
+    "determinism": rule_determinism,
 }
 
+#: Rules that analyze the whole file set at once (call-graph passes),
+#: not file by file.
+_WHOLE_SET_RULES = frozenset({"determinism"})
 
-def lint_source(source: str, path: str = "<string>",
-                rules: Optional[Iterable[str]] = None) -> List[LintViolation]:
-    """Lint one source string; returns violations sorted by location."""
+
+def _select_rules(rules: Optional[Iterable[str]]) -> List[str]:
     selected = list(rules) if rules is not None else list(ALL_RULES)
     unknown = [r for r in selected if r not in ALL_RULES]
     if unknown:
         raise ValueError(f"unknown lint rule(s): {unknown}; "
                          f"available: {sorted(ALL_RULES)}")
+    return selected
+
+
+def _sorted_violations(
+        found: Iterable[LintViolation],
+        include_suppressed: bool) -> List[LintViolation]:
+    kept = [v for v in found if include_suppressed or not v.suppressed]
+    return sorted(kept, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Iterable[str]] = None,
+                include_suppressed: bool = False) -> List[LintViolation]:
+    """Lint one source string; returns violations sorted by location.
+
+    Suppressed findings (justified ``# nondeterministic:`` escapes)
+    are dropped unless *include_suppressed* is set — ``repro lint``
+    requests them so it can report them without failing on them.
+    """
+    selected = _select_rules(rules)
     src = SourceFile(path, source)
     found: List[LintViolation] = []
     for rule_name in selected:
         found.extend(ALL_RULES[rule_name](src))
-    return sorted(found, key=lambda v: (v.path, v.line, v.col, v.rule))
+    return _sorted_violations(found, include_suppressed)
 
 
 def lint_file(path: str,
-              rules: Optional[Iterable[str]] = None) -> List[LintViolation]:
+              rules: Optional[Iterable[str]] = None,
+              include_suppressed: bool = False) -> List[LintViolation]:
     with open(path, "r", encoding="utf-8") as fh:
         source = fh.read()
-    return lint_source(source, path=path, rules=rules)
+    return lint_source(source, path=path, rules=rules,
+                       include_suppressed=include_suppressed)
 
 
 def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -678,17 +732,116 @@ def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
 
 
 def lint_paths(paths: Sequence[str],
-               rules: Optional[Iterable[str]] = None) -> List[LintViolation]:
+               rules: Optional[Iterable[str]] = None,
+               include_suppressed: bool = False) -> List[LintViolation]:
     """Lint every ``.py`` file under *paths* (``fixtures`` dirs are
-    skipped — they hold deliberate violations for the rule tests)."""
+    skipped — they hold deliberate violations for the rule tests).
+
+    Per-file rules run file by file; whole-set rules (``determinism``)
+    run once over every parsed file so call-graph propagation crosses
+    module boundaries.
+    """
+    selected = _select_rules(rules)
+    per_file = [r for r in selected if r not in _WHOLE_SET_RULES]
+    whole_set = [r for r in selected if r in _WHOLE_SET_RULES]
+    sources: List[SourceFile] = []
     found: List[LintViolation] = []
     for path in _iter_python_files(paths):
-        found.extend(lint_file(path, rules=rules))
-    return found
+        with open(path, "r", encoding="utf-8") as fh:
+            src = SourceFile(path, fh.read())
+        sources.append(src)
+        for rule_name in per_file:
+            found.extend(ALL_RULES[rule_name](src))
+    if "determinism" in whole_set:
+        from repro.analysis.determinism import run_determinism
+
+        found.extend(run_determinism(sources))
+    return _sorted_violations(found, include_suppressed)
+
+
+#: One-line rule descriptions (SARIF rule metadata and docs).
+RULE_DESCRIPTIONS = {
+    "guarded-by": ("A `# guarded-by:` attribute is mutated only "
+                   "under its declared lock."),
+    "raw-acquire": ("No bare .acquire() without a try/finally "
+                    "releasing the same lock."),
+    "blocking-under-lock": ("No known-blocking calls while holding "
+                            "a lock."),
+    "swap-only-critical-section": ("Algorithm-4 critical sections "
+                                   "contain only pointer swaps."),
+    "metrics-name": ("Every literal metric name appears in the "
+                     "observability catalog."),
+    "determinism": ("Code reachable from `# deterministic` entry "
+                    "points stays bitwise reproducible: no unordered "
+                    "iteration into float accumulation or serialized "
+                    "output, no module-level RNG, no wall-clock in "
+                    "results, no reassociating reductions, no "
+                    "completion-order dependence."),
+}
+
+#: SARIF 2.1.0 schema location (GitHub code scanning ingests this).
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _render_sarif(found: Sequence[LintViolation]) -> str:
+    """SARIF 2.1.0 document for GitHub code-scanning upload.
+
+    Suppressed findings are included with an ``inSource`` suppression
+    carrying the annotation's justification, so code scanning shows
+    them as resolved rather than open.
+    """
+    rule_ids = sorted({v.rule for v in found} | set(ALL_RULES))
+    rules: List[Dict[str, object]] = [{
+        "id": rule_id,
+        "shortDescription": {
+            "text": RULE_DESCRIPTIONS.get(rule_id, rule_id)},
+    } for rule_id in rule_ids]
+    results: List[Dict[str, object]] = []
+    for violation in found:
+        uri = violation.path.replace(os.sep, "/")
+        result: Dict[str, object] = {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        }
+        if violation.suppressed:
+            result["suppressions"] = [{
+                "kind": "inSource",
+                "justification": violation.justification,
+            }]
+        results.append(result)
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": ("https://github.com/znn-repro/"
+                                       "znn-repro"),
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
 
 
 def render_violations(found: Sequence[LintViolation],
                       fmt: str = "text") -> str:
     if fmt == "json":
         return json.dumps([v.as_dict() for v in found], indent=2)
+    if fmt == "sarif":
+        return _render_sarif(found)
     return "\n".join(str(v) for v in found)

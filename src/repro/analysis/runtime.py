@@ -48,6 +48,8 @@ from repro.observability.metrics import get_registry
 
 __all__ = [
     "CheckedLock",
+    "DET_THREADS_ENV",
+    "ProbeRun",
     "Violation",
     "assert_clean",
     "checking_enabled",
@@ -57,6 +59,7 @@ __all__ = [
     "make_lock",
     "note_access",
     "reset_violations",
+    "run_determinism_check",
     "track",
     "violations",
 ]
@@ -474,3 +477,141 @@ def _iter_tracked_threads(obj: object) -> Iterator[int]:
     if info is None:
         return iter(())
     return iter(sorted(info.threads))
+
+
+# ---------------------------------------------------------------------------
+# Determinism sanitizer — the runtime half of `repro lint --rules
+# determinism` (docs/static_analysis.md "Determinism checker").
+# ---------------------------------------------------------------------------
+
+#: Environment variable through which the sanitizer perturbs the
+#: probe's worker counts (read by ``repro check-determinism --probe``).
+DET_THREADS_ENV = "REPRO_DET_THREADS"
+
+
+@dataclass(frozen=True)
+class ProbeRun:
+    """One probe execution under a specific perturbation."""
+
+    hash_seed: int
+    threads: int
+    #: Ordered ``stage -> digest`` pairs emitted by the probe.
+    digests: Tuple[Tuple[str, str], ...]
+
+
+def _parse_probe_output(text: str) -> Tuple[Tuple[str, str], ...]:
+    """Extract ordered ``(stage, digest)`` pairs from probe stdout.
+
+    The probe emits one JSON object per line (``{"stage": ...,
+    "digest": ...}``); any other line (progress noise from the
+    subsystems) is ignored.
+    """
+    import json
+
+    pairs: List[Tuple[str, str]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(doc, dict):
+            continue
+        stage = doc.get("stage")
+        digest = doc.get("digest")
+        if isinstance(stage, str) and isinstance(digest, str):
+            pairs.append((stage, digest))
+    return tuple(pairs)
+
+
+def _run_probe(argv: List[str], hash_seed: int, threads: int,
+               timeout: float) -> ProbeRun:
+    import subprocess
+
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env[DET_THREADS_ENV] = str(threads)
+    proc = subprocess.run(argv, capture_output=True, text=True,
+                          env=env, timeout=timeout)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"determinism probe {argv!r} exited "
+            f"{proc.returncode}:\n{proc.stderr}")
+    digests = _parse_probe_output(proc.stdout)
+    if not digests:
+        raise RuntimeError(
+            f"determinism probe {argv!r} emitted no stage digests; "
+            f"stdout was:\n{proc.stdout}")
+    return ProbeRun(hash_seed=hash_seed, threads=threads,
+                    digests=digests)
+
+
+def run_determinism_check(
+        probe_argv: Optional[List[str]] = None,
+        seeds: Tuple[int, int] = (0, 4242),
+        threads: Tuple[int, int] = (1, 2),
+        timeout: float = 900.0) -> Dict[str, object]:
+    """Run the probe twice under perturbed hash seeds and thread
+    schedules and diff the stage digests.
+
+    The bitwise-reproducibility contract says every stage digest —
+    the trained ``state_digest``, the stitched serving volume, the
+    loadtest report bytes — is a function of the *seeds*, never of
+    ``PYTHONHASHSEED`` (set/dict iteration order) or the worker
+    schedule.  A stage whose digest moves between the two runs has
+    leaked one of those into its arithmetic or serialization; the
+    returned document names the first such stage (divergence
+    provenance) so the offender is a grep away.
+
+    *probe_argv* overrides the probe command (tests substitute a fake
+    probe); the default runs ``repro check-determinism --probe`` under
+    the current interpreter.
+    """
+    argv = probe_argv if probe_argv is not None else [
+        sys.executable, "-m", "repro", "check-determinism", "--probe"]
+    reg = get_registry()
+    m_runs = reg.counter("analysis.determinism.probe_runs")
+    m_stages = reg.counter("analysis.determinism.stages")
+    m_div = reg.counter("analysis.determinism.divergences")
+
+    runs: List[ProbeRun] = []
+    for hash_seed, n_threads in zip(seeds, threads):
+        runs.append(_run_probe(argv, hash_seed, n_threads, timeout))
+        m_runs.inc()
+
+    a, b = runs[0], runs[1]
+    stages_a = [stage for stage, _ in a.digests]
+    stages_b = [stage for stage, _ in b.digests]
+    divergences: List[Dict[str, str]] = []
+    if stages_a != stages_b:
+        divergences.append({
+            "stage": "<stage-list>",
+            "run_a": ",".join(stages_a),
+            "run_b": ",".join(stages_b),
+        })
+    else:
+        for (stage, digest_a), (_, digest_b) in zip(a.digests, b.digests):
+            m_stages.inc()
+            if digest_a != digest_b:
+                divergences.append({
+                    "stage": stage,
+                    "run_a": digest_a,
+                    "run_b": digest_b,
+                })
+    for _ in divergences:
+        m_div.inc()
+
+    return {
+        "schema": "repro.determinism-check/v1",
+        "matched": not divergences,
+        "stages": stages_a,
+        "runs": [
+            {"hash_seed": run.hash_seed, "threads": run.threads,
+             "digests": {stage: digest for stage, digest in run.digests}}
+            for run in runs
+        ],
+        "first_divergence": divergences[0] if divergences else None,
+        "divergences": divergences,
+    }

@@ -64,6 +64,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -384,8 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list available rules and exit")
     lint.add_argument("--format", default="text",
-                      choices=("text", "json"),
+                      choices=("text", "json", "sarif"),
                       help="violation output format")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print findings silenced by an in-source "
+                           "suppression or a reasoned escape")
+
+    det = sub.add_parser(
+        "check-determinism",
+        help="run the train/serve/loadgen probe twice under perturbed "
+             "hash seeds and thread schedules and diff stage digests")
+    det.add_argument("--probe", action="store_true",
+                     help="run one probe in-process and print stage "
+                          "digests (used internally by the harness)")
+    det.add_argument("--seeds", default=None,
+                     help="comma-separated PYTHONHASHSEED values for the "
+                          "two runs (default: 0,4242)")
+    det.add_argument("--threads", default=None,
+                     help="comma-separated worker counts for the two "
+                          "runs (default: 1,2)")
+    det.add_argument("--json", action="store_true",
+                     help="print the comparison document as JSON")
     return parser
 
 
@@ -1254,6 +1274,146 @@ def _cmd_fleet(args) -> int:
     return 0 if status in ("ok", "draining") else 69
 
 
+def _determinism_probe() -> int:
+    """One determinism-probe run: train, serve, loadtest a small
+    deterministic recipe and print one ``{"stage", "digest"}`` JSON
+    line per stage digest.
+
+    Worker counts come from ``REPRO_DET_THREADS`` (the sanitizer's
+    perturbation axis); every seed is pinned, so the digests must be
+    identical across probe runs regardless of ``PYTHONHASHSEED`` or
+    the thread schedule.
+    """
+    import hashlib
+    import json
+
+    from repro.analysis.runtime import DET_THREADS_ENV
+    from repro.core import Network, state_digest
+    from repro.data.provider import RandomProvider
+    from repro.graph import build_layered_network
+    from repro.loadgen import (
+        SimConfig,
+        build_report,
+        dump_report,
+        generate_trace,
+        scenario_config,
+        simulate_serving,
+    )
+    from repro.parallel import ModelConfig, ParallelTrainer
+    from repro.serving.tiler import plan_volume, run_plan
+
+    threads = int(os.environ.get(DET_THREADS_ENV, "2") or "2")
+
+    def emit(stage: str, digest: str) -> None:
+        print(json.dumps({"stage": stage, "digest": digest},
+                         sort_keys=True))
+
+    # Stage 1 — training: the golden recipe (IEEE-exact ops only) at
+    # the perturbed worker count; Algorithm 4's fixed-order summation
+    # makes the final state digest worker-count invariant.
+    layered = {"width": 2, "kernel": 3, "transfer": "linear",
+               "final_transfer": "linear", "output_nodes": 1}
+    cfg = ModelConfig(
+        input_shape=(10, 10, 10), spec="CTCT",
+        layered_kwargs=dict(layered), conv_mode="direct",
+        loss="euclidean", seed=2026, learning_rate=1e-5, momentum=0.9)
+    trainer = ParallelTrainer(
+        cfg, RandomProvider, ((10, 10, 10), (6, 6, 6), False, None),
+        workers=threads, batch=2, worker_timeout=120.0)
+    try:
+        report = trainer.run(2)
+        emit("train.state_digest", state_digest(trainer.network))
+        emit("train.losses", hashlib.sha256(
+            json.dumps(list(report.losses)).encode()).hexdigest())
+    finally:
+        trainer.close()
+
+    # Stage 2 — serving: tiled inference over a fixed volume; the
+    # stitched dense output must be bitwise stable.
+    import numpy as np
+
+    fov = (5, 5, 5)  # two chained 3^3 direct convolutions
+    volume = np.ascontiguousarray(
+        np.random.default_rng(123).random((9, 9, 9)))
+    plan = plan_volume(volume.shape, fov, max_voxels=343,
+                      fast_sizes=False)
+    graph = build_layered_network("CTCT", **layered)
+    network = Network(graph, input_shape=plan.input_tile,
+                      conv_mode="direct", deterministic_sums=True,
+                      num_workers=threads, seed=7)
+    try:
+        dense = run_plan(network, volume, plan)
+        emit("serve.dense_volume", hashlib.sha256(
+            dense.tobytes()).hexdigest())
+    finally:
+        network.close()
+
+    # Stage 3 — loadgen: a seeded trace through the discrete-event
+    # simulator; the serialized report must be byte-identical.
+    trace = generate_trace(
+        scenario_config("steady", seed=11, duration=10.0,
+                        base_rate=4.0))
+    result = simulate_serving(trace, SimConfig(workers=2, max_queue=8))
+    counts = {"served": 0, "shed": 0, "deadline": 0, "failed": 0}
+    latencies = []
+    waits = []
+    for outcome in result.outcomes:
+        counts[outcome.status] += 1
+        if outcome.latency is not None:
+            latencies.append(outcome.latency)
+        if outcome.wait is not None:
+            waits.append(outcome.wait)
+    doc = build_report("sim", trace, counts, latencies, waits=waits,
+                       worker_seconds=result.worker_seconds, workers=2)
+    emit("loadtest.report", hashlib.sha256(
+        dump_report(doc).encode()).hexdigest())
+    return 0
+
+
+def _parse_pair(value, what, default):
+    if value is None:
+        return default
+    parts = [p.strip() for p in value.split(",") if p.strip()]
+    if len(parts) != 2:
+        raise SystemExit(f"--{what} needs two comma-separated values, "
+                         f"got {value!r}")
+    return int(parts[0]), int(parts[1])
+
+
+def _cmd_check_determinism(args) -> int:
+    import json
+
+    from repro.analysis.runtime import run_determinism_check
+
+    if args.probe:
+        return _determinism_probe()
+    seeds = _parse_pair(args.seeds, "seeds", (0, 4242))
+    threads = _parse_pair(args.threads, "threads", (1, 2))
+    doc = run_determinism_check(seeds=seeds, threads=threads)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif doc["matched"]:
+        print("repro check-determinism: OK — "
+              f"{len(doc['stages'])} stage digest(s) identical under "
+              f"PYTHONHASHSEED {seeds[0]}→{seeds[1]}, "
+              f"threads {threads[0]}→{threads[1]}")
+        for run in doc["runs"]:
+            for stage, digest in run["digests"].items():
+                print(f"  {stage}: {digest[:16]}…")
+            break
+    else:
+        first = doc["first_divergence"]
+        print("repro check-determinism: DIVERGENCE at stage "
+              f"{first['stage']!r}")
+        print(f"  run A (seed={seeds[0]}, threads={threads[0]}): "
+              f"{first['run_a']}")
+        print(f"  run B (seed={seeds[1]}, threads={threads[1]}): "
+              f"{first['run_b']}")
+        print("  earlier stages matched — the leak is in this stage's "
+              "arithmetic or serialization", file=sys.stderr)
+    return 0 if doc["matched"] else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import ALL_RULES, lint_paths, render_violations
 
@@ -1265,19 +1425,33 @@ def _cmd_lint(args) -> int:
     if args.rules:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
     try:
-        violations = lint_paths(args.paths, rules=rules)
+        violations = lint_paths(args.paths, rules=rules,
+                                include_suppressed=True)
     except (ValueError, OSError, SyntaxError) as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
-    if violations:
-        print(render_violations(violations, fmt=args.format))
-        print(f"{len(violations)} violation(s) found", file=sys.stderr)
-        return 1
-    if args.format == "json":
-        print("[]")
+    active = [v for v in violations if not v.suppressed]
+    suppressed = [v for v in violations if v.suppressed]
+    if args.format == "sarif":
+        shown = violations
+    elif args.show_suppressed:
+        shown = violations
     else:
-        print(f"repro lint: {', '.join(sorted(ALL_RULES))}: clean")
-    return 0
+        shown = active
+    if shown:
+        print(render_violations(shown, fmt=args.format))
+    elif args.format == "json":
+        print("[]")
+    elif args.format == "sarif":
+        print(render_violations([], fmt="sarif"))
+    else:
+        ran = rules if rules is not None else sorted(ALL_RULES)
+        print(f"repro lint: {', '.join(ran)}: clean")
+    summary = f"{len(active)} violation(s)"
+    if suppressed:
+        summary += f", {len(suppressed)} suppressed"
+    print(summary, file=sys.stderr)
+    return 1 if active else 0
 
 
 _COMMANDS = {
@@ -1296,6 +1470,7 @@ _COMMANDS = {
     "infer": _cmd_infer,
     "fleet": _cmd_fleet,
     "lint": _cmd_lint,
+    "check-determinism": _cmd_check_determinism,
 }
 
 

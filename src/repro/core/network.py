@@ -239,6 +239,7 @@ class Network:
         self._await(self._fwd_done, "forward pass")
         return {n.name: np.array(n.fwd_image) for n in self.output_nodes}
 
+    # deterministic
     def train_step(self, inputs: InputsLike,
                    targets: InputsLike) -> float:
         """One round of gradient learning (steps 1–5 of Section III).

@@ -94,6 +94,7 @@ def _digest_state(state: Dict[str, np.ndarray]) -> str:
     return digest.hexdigest()
 
 
+# deterministic
 def state_digest(network: Network) -> str:
     """sha256 over every persistent quantity of *network*, in sorted
     key order with shape and dtype mixed in.

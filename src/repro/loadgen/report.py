@@ -66,6 +66,7 @@ def latency_stats(samples: Sequence[float]) -> Dict[str, float]:
     }
 
 
+# deterministic
 def build_report(mode: str, trace, counts: Dict[str, int],
                  latencies: Sequence[float],
                  waits: Optional[Sequence[float]] = None,
@@ -188,6 +189,7 @@ def validate_loadtest_report(doc: object) -> dict:
     return doc
 
 
+# deterministic
 def dump_report(doc: dict) -> str:
     """Canonical serialisation: sorted keys, stable float repr."""
     return json.dumps(validate_loadtest_report(doc), indent=2,

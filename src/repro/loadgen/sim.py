@@ -152,6 +152,7 @@ _EV_CONTROL = 1
 _EV_ARRIVE = 2
 
 
+# deterministic
 def simulate_serving(trace: Trace, config: SimConfig,
                      policy: Optional[AutoscalePolicy] = None
                      ) -> SimResult:

@@ -251,8 +251,10 @@ class _SmoothWRR:
     each key's count deviates from its weight share by < 1."""
 
     def __init__(self, weights: Dict) -> None:
-        total = float(sum(weights.values()))
         self._keys = sorted(weights)
+        # Sum in sorted-key order so the float total (and with it the
+        # whole schedule) is independent of dict insertion order.
+        total = float(sum(weights[k] for k in self._keys))
         self._share = {k: weights[k] / total for k in self._keys}
         self._credit = {k: 0.0 for k in self._keys}
 
@@ -287,6 +289,7 @@ def _sample_edge(rng: random.Random, config: TraceConfig) -> int:
     return _snap_edge(edge, config.size_min)
 
 
+# deterministic
 def generate_trace(config: TraceConfig) -> Trace:
     """Generate the trace determined by *config* (pure function)."""
     rng = random.Random(config.seed)

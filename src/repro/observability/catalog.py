@@ -95,6 +95,13 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "analysis.lock_order_violations",
     "analysis.race_violations",
     "analysis.tracked_objects",
+    # analysis/determinism.py + runtime.py sanitizer
+    # (docs/static_analysis.md "Determinism checker")
+    "analysis.determinism.findings",
+    "analysis.determinism.suppressed",
+    "analysis.determinism.probe_runs",
+    "analysis.determinism.stages",
+    "analysis.determinism.divergences",
     # parallel/trainer.py (docs/parallel.md)
     "parallel.workers",
     "parallel.rounds",

@@ -133,6 +133,7 @@ class SharedOrderedSum:
 
     # -- reduction -------------------------------------------------------
 
+    # deterministic
     def reduce(self) -> np.ndarray:
         """Sum all slots in index order (Algorithm 4's deterministic
         closing step, across processes).

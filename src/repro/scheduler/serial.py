@@ -71,7 +71,8 @@ class SerialEngine:
 
     def submit(self, task: Task) -> Task:
         task.mark_queued()
-        task.queued_at = time.perf_counter()
+        task.queued_at = (
+            time.perf_counter())  # nondeterministic: queue-wait metric
         self.queue.push(task.priority, task, is_valid=task.is_queued)
         return task
 

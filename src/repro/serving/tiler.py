@@ -156,6 +156,7 @@ def plan_volume(volume_shape: Sequence[int], fov: Sequence[int],
                     tiles=tiles)
 
 
+# deterministic
 def run_plan(network, volume: np.ndarray, plan: TilePlan,
              progress=None) -> np.ndarray:
     """Execute *plan* with *network* (whose input shape must equal the

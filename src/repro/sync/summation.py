@@ -33,6 +33,7 @@ __all__ = ["ConcurrentSum", "NaiveLockedSum", "OrderedSum",
            "reduce_in_order"]
 
 
+# deterministic
 def reduce_in_order(slots: Sequence[np.ndarray]) -> np.ndarray:
     """Sum *slots* in index order: ``((slots[0] + slots[1]) + ...)``.
 
@@ -231,6 +232,7 @@ class OrderedSum:
             self._total = 0
             self._result = None
 
+    # deterministic
     def add(self, value: np.ndarray, index: Optional[int] = None) -> bool:
         """Deposit *value* at *index* (the edge's position among the
         node's contributors); returns True for the completing call,

@@ -195,7 +195,8 @@ class TransformCache:
             evicted = len(self._store) - len(keep)
             self.stats.evicted += evicted
             self._store = keep
-            self._bytes = sum(v.nbytes for v in keep.values())
+            self._bytes = sum(  # nondeterministic: int sum, order-free
+                v.nbytes for v in keep.values())
             self._round += 1
             if evicted:
                 self._m_evicted.inc(evicted)

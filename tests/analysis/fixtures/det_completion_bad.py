@@ -1,0 +1,14 @@
+"""Seeded determinism violation: results consumed in thread
+completion order."""
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+
+# deterministic
+def parallel_losses(tasks: list) -> list:
+    out = []
+    with ThreadPoolExecutor() as pool:
+        futures = [pool.submit(t) for t in tasks]
+        for future in as_completed(futures):  # completion order
+            out.append(future.result())
+    return out

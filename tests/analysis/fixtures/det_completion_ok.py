@@ -1,0 +1,10 @@
+"""Clean twin: results consumed in submission order."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+# deterministic
+def parallel_losses(tasks: list) -> list:
+    with ThreadPoolExecutor() as pool:
+        futures = [pool.submit(t) for t in tasks]
+        return [future.result() for future in futures]

@@ -1,0 +1,14 @@
+"""Seeded determinism violation: reassociating reductions over
+unordered iterables (Algorithm 4 forbids exactly this)."""
+
+import numpy as np
+
+
+# deterministic
+def close_sum(slots: list) -> float:
+    return sum(set(slots))
+
+
+# deterministic
+def gradient_norm(grads: dict) -> float:
+    return float(np.sum([g * g for g in grads.values()]))

@@ -1,0 +1,14 @@
+"""Clean twin: reductions in fixed index / sorted order."""
+
+import numpy as np
+
+
+# deterministic
+def close_sum(slots: list) -> float:
+    return sum(slots)
+
+
+# deterministic
+def gradient_norm(grads: dict) -> float:
+    ordered = [grads[k] for k in sorted(grads)]
+    return float(np.sum(np.array(ordered)))

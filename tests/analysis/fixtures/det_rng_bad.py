@@ -1,0 +1,17 @@
+"""Seeded determinism violation: module-level RNG draws inside a
+deterministic region (state shared with every other caller, no seed
+ownership)."""
+
+import random
+
+import numpy as np
+
+
+# deterministic
+def sample_offsets(n: int) -> list:
+    return [random.random() for _ in range(n)]
+
+
+# deterministic
+def jitter(shape) -> "np.ndarray":
+    return np.random.rand(*shape)

@@ -1,0 +1,17 @@
+"""Clean twin: owned, seeded generators."""
+
+import random
+
+import numpy as np
+
+
+# deterministic
+def sample_offsets(n: int, seed: int = 0) -> list:
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+# deterministic
+def jitter(shape, seed: int = 0) -> "np.ndarray":
+    rng = np.random.default_rng(seed)
+    return rng.random(shape)

@@ -1,0 +1,20 @@
+"""Seeded determinism violations: unordered iteration feeding float
+accumulation and serialized output inside a deterministic region."""
+
+import hashlib
+
+
+# deterministic
+def stitch(contributions: set) -> float:
+    total = 0.0
+    for value in contributions:  # set order is hash-seed dependent
+        total += value
+    return total
+
+
+# deterministic
+def snapshot(state: dict) -> str:
+    h = hashlib.sha256()
+    for key in state.keys():  # dict-view order feeds the digest
+        h.update(str(state[key]).encode())
+    return h.hexdigest()

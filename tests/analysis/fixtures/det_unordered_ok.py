@@ -1,0 +1,19 @@
+"""Clean twin: the same accumulation and digest, iteration sorted."""
+
+import hashlib
+
+
+# deterministic
+def stitch(contributions: set) -> float:
+    total = 0.0
+    for value in sorted(contributions):
+        total += value
+    return total
+
+
+# deterministic
+def snapshot(state: dict) -> str:
+    h = hashlib.sha256()
+    for key in sorted(state.keys()):
+        h.update(str(state[key]).encode())
+    return h.hexdigest()

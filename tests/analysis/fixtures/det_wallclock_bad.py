@@ -1,0 +1,22 @@
+"""Seeded determinism violation: wall-clock reads leaking into the
+result (directly and through a tainted local)."""
+
+import time
+from datetime import datetime
+
+
+# deterministic
+def stamp_result(value: float) -> dict:
+    return {"value": value, "at": time.time()}
+
+
+# deterministic
+def decay(value: float) -> float:
+    started = time.monotonic()
+    elapsed = time.monotonic() - started
+    return value * (1.0 - elapsed)
+
+
+# deterministic
+def label() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,25 @@
+"""Clean twin: clocks only feed metrics/tracing sinks."""
+
+import time
+
+
+class _Hist:
+    def observe(self, value: float) -> None:
+        pass
+
+
+_m_seconds = _Hist()
+
+
+# deterministic
+def stamp_result(value: float) -> dict:
+    t0 = time.time()
+    doc = {"value": value}
+    _m_seconds.observe(time.time() - t0)
+    return doc
+
+
+# deterministic
+def decay(value: float, elapsed: float) -> float:
+    # The caller supplies elapsed time explicitly (simulated clock).
+    return value * (1.0 - elapsed)

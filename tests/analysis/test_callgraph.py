@@ -1,0 +1,228 @@
+"""The interprocedural call graph behind the determinism pass:
+annotation roots, obligation propagation, `# nondeterministic:` cuts,
+and bounded method resolution (docs/static_analysis.md)."""
+
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.linting import SourceFile
+
+
+def graph_of(*sources):
+    files = [SourceFile(f"mod{i}.py", textwrap.dedent(text))
+             for i, text in enumerate(sources)]
+    return build_callgraph(files)
+
+
+def quals(names):
+    return {q.split("::", 1)[1] for q in names}
+
+
+def test_roots_are_annotated_defs():
+    graph = graph_of("""
+        # deterministic
+        def entry():
+            helper()
+
+        def helper():
+            pass
+    """)
+    assert quals(graph.roots()) == {"entry"}
+
+
+def test_obligation_propagates_transitively():
+    graph = graph_of("""
+        # deterministic
+        def entry():
+            a()
+
+        def a():
+            b()
+
+        def b():
+            pass
+
+        def unreachable():
+            pass
+    """)
+    obligated, escaped = graph.reachable(graph.roots())
+    assert quals(obligated) == {"entry", "a", "b"}
+    assert escaped == set()
+
+
+def test_nondeterministic_escape_cuts_propagation():
+    graph = graph_of("""
+        # deterministic
+        def entry():
+            logger()
+            core()
+
+        def logger():  # nondeterministic: diagnostics only
+            timestamped()
+
+        def core():
+            pass
+
+        def timestamped():
+            pass
+    """)
+    obligated, escaped = graph.reachable(graph.roots())
+    # The escape stops the walk: nothing past logger() is obligated.
+    assert quals(obligated) == {"entry", "core"}
+    assert quals(escaped) == {"logger"}
+
+
+def test_cycles_terminate_and_stay_obligated():
+    graph = graph_of("""
+        # deterministic
+        def entry():
+            ping()
+
+        def ping():
+            pong()
+
+        def pong():
+            ping()
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"entry", "ping", "pong"}
+
+
+def test_mutual_recursion_in_classes():
+    graph = graph_of("""
+        class A:
+            # deterministic
+            def run(self):
+                self.step()
+
+            def step(self):
+                self.run()
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"A.run", "A.step"}
+
+
+def test_decorated_defs_are_nodes_and_annotatable():
+    graph = graph_of("""
+        import functools
+
+        # deterministic
+        @functools.lru_cache(maxsize=None)
+        def entry():
+            helper()
+
+        @functools.wraps(entry)
+        def helper():
+            pass
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"entry", "helper"}
+
+
+def test_annotation_between_decorator_and_def():
+    graph = graph_of("""
+        import functools
+
+        @functools.lru_cache(maxsize=None)
+        # deterministic
+        def entry():
+            pass
+    """)
+    assert quals(graph.roots()) == {"entry"}
+
+
+def test_self_method_resolution_through_base_class():
+    graph = graph_of("""
+        class Base:
+            def shared(self):
+                pass
+
+        class Child(Base):
+            # deterministic
+            def run(self):
+                self.shared()
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"Child.run", "Base.shared"}
+
+
+def test_self_attribute_type_resolution():
+    graph = graph_of("""
+        class Worker:
+            def step(self):
+                pass
+
+        class Driver:
+            def __init__(self):
+                self.worker = Worker()
+
+            # deterministic
+            def run(self):
+                self.worker.step()
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"Driver.run", "Worker.step"}
+
+
+def test_annotated_parameter_resolution():
+    graph = graph_of("""
+        class Network:
+            def forward(self):
+                pass
+
+        # deterministic
+        def run_plan(network: Network):
+            network.forward()
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"run_plan", "Network.forward"}
+
+
+def test_cross_module_import_resolution():
+    graph = graph_of(
+        """
+        from mod1 import helper
+
+        # deterministic
+        def entry():
+            helper()
+        """,
+        """
+        def helper():
+            inner()
+
+        def inner():
+            pass
+        """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"entry", "helper", "inner"}
+
+
+def test_constructor_call_obligates_init():
+    graph = graph_of("""
+        class Plan:
+            def __init__(self):
+                self.setup()
+
+            def setup(self):
+                pass
+
+        # deterministic
+        def build():
+            Plan()
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert quals(obligated) == {"build", "Plan.__init__", "Plan.setup"}
+
+
+def test_nested_defs_ride_with_their_parent():
+    graph = graph_of("""
+        # deterministic
+        def entry():
+            def inner():
+                pass
+            inner()
+    """)
+    obligated, _ = graph.reachable(graph.roots())
+    assert "entry" in quals(obligated)
+    assert any(q.endswith("inner") for q in quals(obligated))

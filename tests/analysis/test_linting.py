@@ -31,6 +31,11 @@ def rules_hit(path, rules=None):
     ("blocking_bad.py", "blocking_ok.py", "blocking-under-lock"),
     ("swap_only_bad.py", "swap_only_ok.py", "swap-only-critical-section"),
     ("metrics_name_bad.py", "metrics_name_ok.py", "metrics-name"),
+    ("det_unordered_bad.py", "det_unordered_ok.py", "determinism"),
+    ("det_rng_bad.py", "det_rng_ok.py", "determinism"),
+    ("det_wallclock_bad.py", "det_wallclock_ok.py", "determinism"),
+    ("det_reduction_bad.py", "det_reduction_ok.py", "determinism"),
+    ("det_completion_bad.py", "det_completion_ok.py", "determinism"),
 ])
 def test_rule_catches_seeded_bug_and_passes_clean_twin(bad, ok, rule):
     assert rule in rules_hit(bad), f"{rule} missed its seeded fixture"

@@ -24,6 +24,20 @@ class TestGeneration:
                                  base_rate=2.0)
         assert generate_trace(config) == generate_trace(config)
 
+    def test_mix_insertion_order_is_immaterial(self):
+        # Regression: the smooth-WRR total was summed in dict
+        # insertion order, so two configs with the same weights but
+        # different literal order could (float reassociation) diverge.
+        a = generate_trace(TraceConfig(
+            seed=9, duration=30.0, base_rate=3.0,
+            model_mix={"default": 3.0, "alt": 1.0},
+            priority_mix={1: 1.0, 2: 2.0, 3: 1.0}))
+        b = generate_trace(TraceConfig(
+            seed=9, duration=30.0, base_rate=3.0,
+            model_mix={"alt": 1.0, "default": 3.0},
+            priority_mix={3: 1.0, 1: 1.0, 2: 2.0}))
+        assert a == b
+
     def test_different_seeds_differ(self):
         a = generate_trace(TraceConfig(seed=1, duration=50.0,
                                        base_rate=2.0))

@@ -544,3 +544,132 @@ class TestLoadtestCli:
         with pytest.raises(SystemExit):
             main(["loadtest", "--scenario", "steady", "--duration",
                   "1", "--autoscale", "1:2"])
+
+
+class TestLintExitCodes:
+    """`repro lint` exits non-zero only on *unsuppressed* findings."""
+
+    ACTIVE = ("# deterministic\n"
+              "def entry(slots: set) -> float:\n"
+              "    return sum(slots)\n")
+    SUPPRESSED = ("# deterministic\n"
+                  "def entry() -> float:\n"
+                  "    return helper()\n"
+                  "\n"
+                  "def helper():  # nondeterministic: diagnostics\n"
+                  "    return sum({1.0, 2.0})\n")
+
+    def test_exit_one_on_active_finding(self, capsys, tmp_path):
+        path = tmp_path / "active.py"
+        path.write_text(self.ACTIVE)
+        assert main(["lint", "--rules", "determinism", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "reassociating-reduction" in captured.out
+        assert "1 violation(s)" in captured.err
+
+    def test_exit_zero_when_all_findings_suppressed(self, capsys,
+                                                    tmp_path):
+        path = tmp_path / "suppressed.py"
+        path.write_text(self.SUPPRESSED)
+        assert main(["lint", "--rules", "determinism", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "clean" in captured.out
+        assert "1 suppressed" in captured.err
+
+    def test_show_suppressed_lists_but_still_exits_zero(self, capsys,
+                                                        tmp_path):
+        path = tmp_path / "suppressed.py"
+        path.write_text(self.SUPPRESSED)
+        assert main(["lint", "--rules", "determinism",
+                     "--show-suppressed", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[suppressed: diagnostics]" in out
+
+    def test_exit_zero_on_clean_file(self, capsys, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("def fine() -> int:\n    return 1\n")
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_sarif_embeds_suppressions_and_exits_zero(self, capsys,
+                                                      tmp_path):
+        import json
+
+        path = tmp_path / "suppressed.py"
+        path.write_text(self.SUPPRESSED)
+        assert main(["lint", "--rules", "determinism",
+                     "--format", "sarif", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["suppressions"][0]["justification"] \
+            == "diagnostics"
+
+    def test_sarif_on_active_finding_exits_one(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "active.py"
+        path.write_text(self.ACTIVE)
+        assert main(["lint", "--rules", "determinism",
+                     "--format", "sarif", str(path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "determinism"
+
+
+class TestCheckDeterminismCli:
+    """`repro check-determinism` rendering and exit codes (the probe
+    itself is exercised in tests/analysis/test_sanitizer.py)."""
+
+    @staticmethod
+    def _doc(matched):
+        doc = {
+            "schema": "repro.determinism-check/v1",
+            "matched": matched,
+            "stages": ["train", "serve"],
+            "runs": [
+                {"hash_seed": 0, "threads": 1,
+                 "digests": {"train": "aa", "serve": "bb"}},
+                {"hash_seed": 4242, "threads": 2,
+                 "digests": {"train": "aa",
+                             "serve": "bb" if matched else "xx"}},
+            ],
+            "first_divergence": None if matched else {
+                "stage": "serve", "run_a": "bb", "run_b": "xx"},
+            "divergences": [] if matched else [
+                {"stage": "serve", "run_a": "bb", "run_b": "xx"}],
+        }
+        return doc
+
+    def test_matched_exits_zero(self, capsys, monkeypatch):
+        import repro.analysis.runtime as runtime
+
+        monkeypatch.setattr(runtime, "run_determinism_check",
+                            lambda **kwargs: self._doc(True))
+        assert main(["check-determinism"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "2 stage digest(s)" in out
+
+    def test_divergence_exits_one_with_provenance(self, capsys,
+                                                  monkeypatch):
+        import repro.analysis.runtime as runtime
+
+        monkeypatch.setattr(runtime, "run_determinism_check",
+                            lambda **kwargs: self._doc(False))
+        assert main(["check-determinism"]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out and "'serve'" in out
+
+    def test_json_output(self, capsys, monkeypatch):
+        import json
+
+        import repro.analysis.runtime as runtime
+
+        monkeypatch.setattr(runtime, "run_determinism_check",
+                            lambda **kwargs: self._doc(True))
+        assert main(["check-determinism", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["matched"] is True
+
+    def test_bad_seed_pair_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check-determinism", "--seeds", "1,2,3"])

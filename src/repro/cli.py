@@ -46,6 +46,13 @@ Commands
 ``gradcheck``
     Finite-difference verification of a spec-file network's gradients
     (use after adding custom ops).
+``specialize``
+    Plan ZNNi per-layer direct/FFT backends and the throughput-optimal
+    serving tile for a spec (arXiv:1606.05688, part a): sweep 5-smooth
+    candidate tiles under a memory budget, price them with the
+    analytic FLOP formulas or a measured ``repro profile`` cost model,
+    and emit a ``repro.specialize/v1`` plan for ``serve --specialize``
+    (see docs/serving.md "Per-layer specialization").
 ``serve``
     Serve dense inference for a trained checkpoint over HTTP: tiling
     planner + warm dense-twin cache + bounded queue with backpressure
@@ -292,6 +299,41 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("direct", "fft"))
     gc.add_argument("--seed", type=int, default=0)
 
+    spz = sub.add_parser("specialize",
+                         help="plan ZNNi per-layer direct/FFT backends "
+                              "and the serving tile for a spec")
+    spz.add_argument("--spec", required=True,
+                     help="[layered] spec file to plan for")
+    spz.add_argument("--checkpoint", default=None,
+                     help=".npz checkpoint (default: random weights; "
+                          "the plan depends only on shapes)")
+    spz.add_argument("--name", default="default",
+                     help="model name recorded in the plan "
+                          "(default: default)")
+    spz.add_argument("--volume", default="48", metavar="SHAPE",
+                     help="target volume shape, e.g. 48 or 32,64,64 "
+                          "(default 48)")
+    spz.add_argument("--cost-model", default=None, metavar="FILE",
+                     help="price candidates with this repro profile "
+                          "cost_model.json (default: analytic FLOP "
+                          "formulas at rate 1.0)")
+    spz.add_argument("--tile-voxels", type=int, default=None,
+                     help="input-tile voxel budget (default 2^21)")
+    spz.add_argument("--memory-mb", type=float, default=None,
+                     help="peak working-set budget in MiB; exits 65 "
+                          "when no candidate fits")
+    spz.add_argument("--out", default=None, metavar="FILE",
+                     help="write the repro.specialize/v1 plan JSON "
+                          "here (feed to repro serve --specialize)")
+    spz.add_argument("--no-measure", action="store_true",
+                     help="skip the measured-throughput pass (plan "
+                          "only, fully deterministic output)")
+    spz.add_argument("--seed", type=int, default=0,
+                     help="seed for the measurement volume")
+    spz.add_argument("--json", action="store_true",
+                     help="print the plan document as JSON instead of "
+                          "a table")
+
     srv = sub.add_parser("serve",
                          help="serve dense inference for a checkpoint "
                               "over HTTP")
@@ -333,6 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "planner (default 2^21)")
     srv.add_argument("--conv-mode", default="fft",
                      choices=("direct", "fft"))
+    srv.add_argument("--specialize", default=None, metavar="FILE",
+                     help="apply this repro.specialize/v1 plan (from "
+                          "repro specialize --out): per-layer conv "
+                          "backends and tile for covered requests")
     srv.add_argument("--max-models", type=int, default=4,
                      help="warm dense-twin cache capacity")
     srv.add_argument("--request-retries", type=int, default=0,
@@ -1088,6 +1134,83 @@ def _cmd_gradcheck(args) -> int:
     return 1
 
 
+def _cmd_specialize(args) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from repro.serving import (ModelRegistry, ModelSpec, PlanInfeasible,
+                               plan_specialization)
+    from repro.serving.specialize import CostModel
+    from repro.utils.shapes import voxels
+
+    dims = [int(v) for v in args.volume.replace(",", " ").split()]
+    shape = tuple(dims) if len(dims) > 1 else (dims[0],) * 3
+    spec = ModelSpec.from_files(args.name, args.spec,
+                                checkpoint=args.checkpoint,
+                                conv_mode="direct")
+    cost = (CostModel.from_file(args.cost_model)
+            if args.cost_model else None)
+    memory_bytes = (int(args.memory_mb * (1 << 20))
+                    if args.memory_mb is not None else None)
+    try:
+        plan = plan_specialization(spec, shape, cost_model=cost,
+                                   tile_voxels=args.tile_voxels,
+                                   memory_bytes=memory_bytes)
+    except PlanInfeasible as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 65  # EX_DATAERR: no plan satisfies the constraints
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(plan.to_json())
+    measured = None
+    if not args.no_measure:
+        # Serve one seeded volume under the plan and report the
+        # achieved dense-output throughput next to the prediction.
+        registry = ModelRegistry(max_models=2)
+        registry.register(spec)
+        registry.set_plan(plan)
+        volume = np.random.default_rng(args.seed).standard_normal(shape)
+        warm = registry.warm(args.name, plan.input_tile,
+                             conv_modes=plan.conv_mode_map)
+        warm.run(volume)  # untimed warm-up pass (engine + spectra)
+        start = time.perf_counter()
+        dense = warm.run(volume)
+        elapsed = time.perf_counter() - start
+        measured = dense.size / elapsed
+        registry.close()
+    if args.json:
+        doc = plan.to_doc()
+        if measured is not None:
+            doc["measured_voxels_per_second"] = measured
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        analytic = plan.cost_model == "analytic"
+        print(f"model {args.name!r}: spec {spec.spec}, fov {plan.fov}, "
+              f"volume {plan.volume_shape}")
+        print(f"plan: tile {plan.input_tile} "
+              f"({voxels(plan.input_tile)} voxels), "
+              f"{plan.num_tiles} tile(s), working set "
+              f"{plan.working_set_bytes / (1 << 20):.1f} MiB, "
+              f"{plan.candidates} candidates "
+              f"(cost model: {plan.cost_model})")
+        print(f"{'layer':>5}  mode")
+        for index, mode in plan.layer_modes:
+            print(f"{index:>5}  {mode}")
+        unit = ("voxels/unit-cost" if analytic else "voxels/s")
+        print(f"predicted: {plan.predicted_voxels_per_second:.3g} "
+              f"{unit}"
+              + (" (analytic: FLOP-denominated, not wall-clock)"
+                 if analytic else ""))
+        if measured is not None:
+            print(f"measured:  {measured:.3g} voxels/s "
+                  f"(seed {args.seed}, one warmed run)")
+    if args.out:
+        print(f"plan written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import os
     import signal
@@ -1109,6 +1232,18 @@ def _cmd_serve(args) -> int:
     spec = ModelSpec.from_files(args.name, args.spec,
                                 checkpoint=args.checkpoint,
                                 conv_mode=args.conv_mode)
+    plans = []
+    if args.specialize:
+        from repro.serving import SpecializationPlan
+
+        splan = SpecializationPlan.from_file(args.specialize)
+        if splan.model != spec.name:
+            print(f"plan {args.specialize} targets model "
+                  f"{splan.model!r} but this server registers "
+                  f"{spec.name!r}; rerun repro specialize with "
+                  f"--name {spec.name}", file=sys.stderr)
+            return 2
+        plans.append(splan)
     if args.fleet > 0:
         from repro.serving import FleetServer
 
@@ -1119,10 +1254,13 @@ def _cmd_serve(args) -> int:
             inflight_per_worker=args.inflight_per_worker,
             tile_voxels=args.tile_voxels or DEFAULT_TILE_VOXELS,
             max_models=args.max_models,
-            max_attempts=args.request_attempts)
+            max_attempts=args.request_attempts,
+            plans=plans)
     else:
         registry = ModelRegistry(max_models=args.max_models)
         registry.register(spec)
+        for splan in plans:
+            registry.set_plan(splan)
         retry_policy = (RetryPolicy(max_retries=args.request_retries)
                         if args.request_retries else None)
         inference = InferenceServer(
@@ -1136,6 +1274,11 @@ def _cmd_serve(args) -> int:
     print(f"model {args.name!r}: spec {spec.spec}, "
           f"fov {fov} ({args.conv_mode}"
           f"{', random weights' if not args.checkpoint else ''})")
+    for splan in plans:
+        n_fft = sum(1 for _, m in splan.layer_modes if m == "fft")
+        print(f"specialized: tile {splan.input_tile}, "
+              f"{n_fft}/{len(splan.layer_modes)} conv layers on fft "
+              f"(plan {args.specialize})")
     if args.fleet > 0:
         print(f"serving on {http.url} "
               f"(fleet of {args.fleet} worker processes, "
@@ -1466,6 +1609,7 @@ _COMMANDS = {
     "slo": _cmd_slo,
     "loadtest": _cmd_loadtest,
     "gradcheck": _cmd_gradcheck,
+    "specialize": _cmd_specialize,
     "serve": _cmd_serve,
     "infer": _cmd_infer,
     "fleet": _cmd_fleet,

@@ -62,6 +62,7 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "serving.requests.deadline_missed",
     "serving.requests.retried",
     "serving.requests.shed",
+    "serving.requests.specialized",
     "serving.queue_wait_seconds",
     "serving.run_seconds",
     "serving.latency_seconds",

@@ -37,6 +37,13 @@ from repro.serving.pipeline import (
     admission_limit,
 )
 from repro.serving.registry import ModelRegistry, ModelSpec, WarmModel
+from repro.serving.specialize import (
+    CostModel,
+    SpecializationPlan,
+    enumerate_candidate_tiles,
+    evaluate_candidate,
+    plan_specialization,
+)
 from repro.serving.supervisor import (
     Supervisor,
     SupervisorConfig,
@@ -44,9 +51,11 @@ from repro.serving.supervisor import (
 )
 from repro.serving.tiler import (
     DEFAULT_TILE_VOXELS,
+    PlanInfeasible,
     TilePlan,
     choose_tile_shape,
     largest_fast_len,
+    normalize_conv_modes,
     plan_volume,
     run_plan,
 )
@@ -79,10 +88,17 @@ __all__ = [
     "ModelRegistry",
     "ModelSpec",
     "WarmModel",
+    "CostModel",
+    "SpecializationPlan",
+    "enumerate_candidate_tiles",
+    "evaluate_candidate",
+    "plan_specialization",
     "DEFAULT_TILE_VOXELS",
+    "PlanInfeasible",
     "TilePlan",
     "choose_tile_shape",
     "largest_fast_len",
+    "normalize_conv_modes",
     "plan_volume",
     "run_plan",
 ]

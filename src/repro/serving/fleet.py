@@ -192,6 +192,11 @@ class FleetServer:
         Optional ``REPRO_FAULTS``-style plan string installed *inside
         every worker process* (chaos testing; see
         :mod:`repro.resilience.faults`).
+    plans:
+        Optional iterable of
+        :class:`~repro.serving.specialize.SpecializationPlan` — ZNNi
+        per-layer direct/FFT plans applied in every worker (and every
+        respawned worker) for the models they target.
     """
 
     def __init__(self, specs: Iterable[ModelSpec], num_workers: int = 3,
@@ -204,7 +209,8 @@ class FleetServer:
                  max_attempts: int = 3,
                  worker_faults: Optional[str] = None,
                  supervisor_config: Optional[SupervisorConfig] = None,
-                 pool_name: str = "fleet") -> None:
+                 pool_name: str = "fleet",
+                 plans=None) -> None:
         if num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {num_workers}")
@@ -214,6 +220,16 @@ class FleetServer:
         self.specs = {spec.name: spec for spec in specs}
         if not self.specs:
             raise ValueError("fleet needs at least one model spec")
+        #: Per-model ZNNi specialization plans, shipped to every worker
+        #: (docs/serving.md "Per-layer specialization").  Keyed by
+        #: model name; a plan for an unregistered model is a config
+        #: error surfaced here, not inside a worker process.
+        self.plans = {plan.model: plan for plan in (plans or ())}
+        for name in self.plans:
+            if name not in self.specs:
+                raise ValueError(
+                    f"specialization plan targets unknown model "
+                    f"{name!r}")
         #: Field of view per model, resolved once — the router sizes
         #: output blocks without ever building a network.
         self._fovs = {name: spec.fov
@@ -230,6 +246,7 @@ class FleetServer:
         self.ring = HashRing(range(num_workers))
         self._worker_config = WorkerConfig(
             specs=tuple(self.specs.values()),
+            plans=tuple(self.plans[name] for name in sorted(self.plans)),
             threads=threads_per_worker, max_batch=max_batch,
             inflight=inflight_per_worker, tile_voxels=tile_voxels,
             max_models=max_models,

@@ -266,6 +266,7 @@ class InferenceServer:
         self._m_failed = reg.counter("serving.requests.failed")
         self._m_missed = reg.counter("serving.requests.deadline_missed")
         self._m_retried = reg.counter("serving.requests.retried")
+        self._m_specialized = reg.counter("serving.requests.specialized")
         self._h_queue_wait = reg.histogram("serving.queue_wait_seconds")
         self._h_run = reg.histogram("serving.run_seconds")
         self._h_latency = reg.histogram("serving.latency_seconds")
@@ -585,6 +586,17 @@ class InferenceServer:
         attempts = 0
         while True:
             try:
+                splan = self.registry.plan_for(request.model)
+                if splan is not None and splan.covers(request.volume.shape):
+                    # ZNNi per-layer specialization: serve under the
+                    # plan's tile and per-edge backend map (the warm
+                    # model attaches the mode map to its TilePlan, so
+                    # run_plan re-verifies the pairing).
+                    warm = self.registry.warm(
+                        request.model, splan.input_tile,
+                        conv_modes=splan.conv_mode_map)
+                    self._m_specialized.inc()
+                    return warm.run(request.volume)
                 plan = plan_volume(request.volume.shape,
                                    self.registry.fov(request.model),
                                    max_voxels=self.tile_voxels)

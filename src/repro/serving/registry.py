@@ -28,7 +28,7 @@ all inference goes through :meth:`WarmModel.run`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -40,9 +40,11 @@ from repro.core.tiling import tile_plan
 from repro.graph.builders import build_layered_network, pool_to_filter_spec
 from repro.graph.specfile import load_layered_kwargs
 from repro.observability.metrics import get_registry
+from repro.serving.specialize import SpecializationPlan
 from repro.serving.tiler import (
     DEFAULT_TILE_VOXELS,
     TilePlan,
+    normalize_conv_modes,
     plan_volume,
     run_plan,
 )
@@ -100,16 +102,22 @@ class WarmModel:
     """
 
     def __init__(self, spec: ModelSpec, input_tile,
-                 num_workers: int = 1, prewarm: bool = True) -> None:
+                 num_workers: int = 1, prewarm: bool = True,
+                 conv_modes: Optional[Mapping[str, str]] = None) -> None:
         self.spec = spec
         self.input_tile = as_shape3(input_tile, name="input_tile")
         self.fov = spec.fov
+        #: Per-edge backend override (a specialization plan's mode map);
+        #: None serves every conv edge in ``spec.conv_mode``.
+        self.conv_modes = normalize_conv_modes(conv_modes)
         kwargs = dict(spec.builder_kwargs)
         kwargs.pop("sparsity_schedule", None)
         graph = build_layered_network(pool_to_filter_spec(spec.spec),
                                       skip_kernels=True, **kwargs)
+        mode = (dict(self.conv_modes) if self.conv_modes is not None
+                else spec.conv_mode)
         self.network = Network(graph, input_shape=self.input_tile,
-                               conv_mode=spec.conv_mode,
+                               conv_mode=mode,
                                num_workers=num_workers,
                                seed=spec.seed,
                                deterministic_sums=True)
@@ -121,11 +129,16 @@ class WarmModel:
         self._lock = make_lock("serving.warm_model")
         # Kernels are frozen at serving time: pin their spectra so they
         # survive the per-forward next_round() eviction, then compute
-        # them all once with a throwaway pass.
-        self.network.cache.pin_kind("ker")
-        if prewarm:
-            self.network.forward(
-                np.zeros(self.input_tile, dtype=np.float64))
+        # them all once with a throwaway pass.  Pin only when the mode
+        # map actually uses FFT somewhere — an all-direct twin computes
+        # no spectra, so pinning and the throwaway pass would be pure
+        # build-time waste.
+        uses_fft = "fft" in self.network.conv_modes.values()
+        if uses_fft:
+            self.network.cache.pin_kind("ker")
+            if prewarm:
+                self.network.forward(
+                    np.zeros(self.input_tile, dtype=np.float64))
 
     def run(self, volume: np.ndarray, plan: Optional[TilePlan] = None,
             progress=None) -> np.ndarray:
@@ -155,7 +168,8 @@ class WarmModel:
         return TilePlan(volume_shape=shape, fov=self.fov,
                         input_tile=self.input_tile,
                         output_tile=self.output_tile,
-                        dense_shape=dense_shape, tiles=tiles)
+                        dense_shape=dense_shape, tiles=tiles,
+                        conv_modes=self.conv_modes)
 
     def close(self) -> None:
         with self._lock:
@@ -165,13 +179,20 @@ class WarmModel:
 class ModelRegistry:
     """Named model specs plus an LRU cache of warm models.
 
-    The cache key is ``(model name, input tile shape)``: the same model
-    served at two tile shapes is two warm entries (networks have static
-    shapes).  ``max_models`` bounds the number of warm twins held;
-    building past the cap evicts the least-recently-used entry and
-    closes its network.  All mutation happens under one lock — a build
-    can take a while, but serialising builds also deduplicates them,
-    and steady-state requests only pay a dict hit.
+    The cache key is ``(model name, input tile shape, mode signature)``:
+    the same model served at two tile shapes — or under two
+    specialization mode maps — is two warm entries (networks have
+    static shapes and static per-edge backends).  ``max_models`` bounds
+    the number of warm twins held; building past the cap evicts the
+    least-recently-used entry and closes its network.  All mutation
+    happens under one lock — a build can take a while, but serialising
+    builds also deduplicates them, and steady-state requests only pay a
+    dict hit.
+
+    A model may additionally carry one
+    :class:`~repro.serving.specialize.SpecializationPlan`
+    (:meth:`set_plan`); the pipeline and :meth:`prewarm_all` then build
+    its warm twin at the plan's tile with the plan's per-edge modes.
     """
 
     def __init__(self, max_models: int = 4, num_workers: int = 1,
@@ -183,7 +204,8 @@ class ModelRegistry:
         self.prewarm = prewarm
         self._lock = make_lock("serving.registry")
         self._specs: Dict[str, ModelSpec] = {}  # guarded-by: _lock
-        self._warm: Dict[Tuple[str, Shape3], WarmModel] = {}  # guarded-by: _lock
+        self._plans: Dict[str, SpecializationPlan] = {}  # guarded-by: _lock
+        self._warm: Dict[Tuple[str, Shape3, Optional[tuple]], WarmModel] = {}  # guarded-by: _lock
         reg = get_registry()
         self._m_hit = reg.counter("serving.model_cache.hit")
         self._m_miss = reg.counter("serving.model_cache.miss")
@@ -192,18 +214,48 @@ class ModelRegistry:
 
     def register(self, spec: ModelSpec) -> ModelSpec:
         """Add (or replace) a model spec; replacing invalidates any
-        warm twins built from the old spec."""
+        warm twins built from the old spec — and any specialization
+        plan, which was costed for the old spec's graph."""
         with self._lock:
             previous = self._specs.get(spec.name)
             self._specs[spec.name] = spec
             stale = []
             if previous is not None and previous != spec:
+                self._plans.pop(spec.name, None)
                 stale = [k for k in self._warm if k[0] == spec.name]
                 for key in stale:
                     self._warm.pop(key).close()
                     self._m_evicted.inc()
                 self._m_entries.set(len(self._warm))
         return spec
+
+    def set_plan(self, plan: SpecializationPlan) -> SpecializationPlan:
+        """Attach a specialization plan to its (registered) model.
+
+        The pipeline serves every ``plan.covers()``-compatible request
+        for that model under the plan's tile and per-edge modes from
+        now on; requests the plan cannot cover (a volume smaller than
+        the plan's tile) fall back to the generic single-mode path.
+        """
+        with self._lock:
+            if plan.model not in self._specs:
+                raise KeyError(
+                    f"unknown model {plan.model!r}; registered: "
+                    f"{sorted(self._specs)}")
+            self._plans[plan.model] = plan
+        return plan
+
+    def plan_for(self, name: str) -> Optional[SpecializationPlan]:
+        with self._lock:
+            return self._plans.get(name)
+
+    def plans(self) -> list:
+        """Every attached plan (model-name-sorted copy) — the fleet
+        restart contract's companion to :meth:`specs`: plans are
+        picklable, so a respawned worker re-specializes exactly as the
+        dead one did."""
+        with self._lock:
+            return [self._plans[name] for name in sorted(self._plans)]
 
     def model_names(self):
         with self._lock:
@@ -226,10 +278,19 @@ class ModelRegistry:
 
         Returns ``{model name: input tile}``.  A restarted fleet worker
         calls this before reporting ready, so the first request it
-        serves after a crash pays no cold-build latency.
+        serves after a crash pays no cold-build latency.  Models with a
+        specialization plan covering *volume_shape* prewarm at the
+        plan's tile and per-edge modes — the twin the pipeline will
+        actually use.
         """
         tiles = {}
         for name in self.model_names():
+            splan = self.plan_for(name)
+            if splan is not None and splan.covers(volume_shape):
+                self.warm(name, splan.input_tile,
+                          conv_modes=splan.conv_mode_map)
+                tiles[name] = splan.input_tile
+                continue
             plan = plan_volume(volume_shape, self.fov(name),
                                max_voxels=tile_voxels)
             self.warm(name, plan.input_tile)
@@ -248,10 +309,13 @@ class ModelRegistry:
     def fov(self, name: str) -> Shape3:
         return self.spec(name).fov
 
-    def warm(self, name: str, input_tile) -> WarmModel:
-        """The warm twin of *name* at *input_tile*, building on miss."""
+    def warm(self, name: str, input_tile,
+             conv_modes: Optional[Mapping[str, str]] = None) -> WarmModel:
+        """The warm twin of *name* at *input_tile* (and, optionally, a
+        specialization mode map), building on miss."""
         tile = as_shape3(input_tile, name="input_tile")
-        key = (name, tile)
+        signature = normalize_conv_modes(conv_modes)
+        key = (name, tile, signature)
         with self._lock:
             model = self._warm.get(key)
             if model is not None:
@@ -267,7 +331,7 @@ class ModelRegistry:
                     f"{sorted(self._specs)}")
             self._m_miss.inc()
             model = WarmModel(spec, tile, num_workers=self.num_workers,
-                              prewarm=self.prewarm)
+                              prewarm=self.prewarm, conv_modes=signature)
             while len(self._warm) >= self.max_models:
                 _, evicted = self._pop_lru_locked()
                 evicted.close()
@@ -276,7 +340,7 @@ class ModelRegistry:
             self._m_entries.set(len(self._warm))
             return model
 
-    def _pop_lru_locked(self) -> Tuple[Tuple[str, Shape3], WarmModel]:
+    def _pop_lru_locked(self) -> Tuple[tuple, WarmModel]:
         key = next(iter(self._warm))
         return key, self._warm.pop(key)
 

@@ -1,0 +1,716 @@
+"""Per-layer inference specialization (ZNNi, arXiv:1606.05688 part a).
+
+ZNNi's observation: inference throughput is maximised by choosing the
+convolution algorithm and the output-patch size **per layer**, not once
+per network — the direct/FFT crossover moves with depth because image
+and inverse FFTs amortise over a layer's ``f * f'`` edges differently
+at each shape (Mathieu/Henaff/LeCun, arXiv:1312.5851).  This module is
+the serving-side planner:
+
+* enumerate candidate 5-smooth input tiles between the dense twin's
+  field of view and the request volume (:func:`enumerate_candidate_tiles`);
+* for each candidate, walk the twin's layer stack, price every conv
+  layer under both backends with the paper's Table I/II FLOP formulas
+  divided by a throughput rate — measured per edge from a ``repro
+  profile`` cost model (``repro.cost_model/v1``) when one is given,
+  the uniform analytic rate otherwise — and keep the cheaper backend
+  per layer (:func:`evaluate_candidate`);
+* account the candidate's peak working set from the twin's buffer
+  shapes (forward images, plus pinned kernel / cached image / summed
+  output half-spectra for FFT layers) and reject candidates over the
+  memory budget;
+* return the throughput-optimal :class:`SpecializationPlan`
+  (:func:`plan_specialization`), a pure function of
+  ``(spec, cost model, budgets, volume)`` whose JSON serialisation is
+  byte-identical across runs.
+
+Cost accounting (per input tile, forward pass only — serving never
+runs backward):
+
+* direct conv layer: ``f * f' * n_out^3 * k^3`` FLOPs (Table II);
+* FFT conv layer at transform shape ``T`` (the layer's input shape —
+  serving builds warm models without transform padding):
+  ``C·|T|·log2|T| · (f + f')`` for the ``f`` image FFTs and ``f'``
+  inverse FFTs plus ``4·|T| · f·f'`` pointwise products.  Kernel
+  spectra are **excluded**: the warm-model registry pins them, so in
+  steady state they are transformed once per process, not per tile;
+* filtering / transfer / dropout layers: Table I forward FLOPs at the
+  layer's input shape, priced at the overall measured rate.
+
+Memory accounting (bytes, per candidate tile):
+
+* ``8 · |tile|`` for the request's input block, plus ``8 · f' · |out|``
+  for every layer's forward image (the twin holds all of them);
+* per FFT conv layer: ``16 · |rfft(T)| · (f·f' + f + f')`` — pinned
+  kernel spectra, cached image spectra and the per-node spectral
+  accumulators (half-spectra are complex128).
+
+The determinism contract is layered (docs/serving.md):
+
+* *plan purity* — same (spec, cost model, budgets, volume) in, byte
+  identical plan JSON out;
+* *bitwise given a plan* — serving under a fixed plan is bitwise
+  reproducible across runs, thread counts and tile order;
+* *all-direct plans* are bitwise identical to the unspecialized
+  direct-mode whole-volume output at **any** tile shape (fixed
+  tap-order accumulation is translation covariant), which the golden
+  serving digests pin;
+* plans that flip an edge to FFT match the direct reference only to
+  rounding (an FFT convolution is not bitwise a direct one), and are
+  covered by tolerance + reproducibility tests instead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.builders import LayeredSpec, pool_to_filter_spec
+from repro.observability.profile import validate_cost_model
+from repro.pram.costs import (
+    direct_conv_task_cost,
+    fft_cost,
+    filter_task_cost,
+    pointwise_product_cost,
+    transfer_task_cost,
+)
+from repro.serving.tiler import (
+    DEFAULT_TILE_VOXELS,
+    PlanInfeasible,
+    largest_fast_len,
+    normalize_conv_modes,
+)
+from repro.tensor.fourier import rfft_shape
+from repro.utils.shapes import Shape3, as_shape3, valid_conv_shape, voxels
+
+__all__ = [
+    "SPECIALIZE_SCHEMA",
+    "PlanInfeasible",
+    "CostModel",
+    "SpecializationPlan",
+    "enumerate_candidate_tiles",
+    "evaluate_candidate",
+    "plan_specialization",
+]
+
+SPECIALIZE_SCHEMA = "repro.specialize/v1"
+
+#: Candidate tile lengths kept per axis (largest-first, deterministic
+#: thinning).  6 per axis caps the sweep at 216 candidates while always
+#: retaining the whole-volume and fov endpoints.
+MAX_AXIS_CANDIDATES = 6
+
+_BYTES_REAL = 8  # float64 voxel
+_BYTES_COMPLEX = 16  # complex128 half-spectrum voxel
+
+
+class CostModel:
+    """Throughput rates (FLOP/s) for pricing the analytic FLOP counts.
+
+    With no measured document every backend runs at the uniform rate
+    1.0, so costs reduce to the paper's pure FLOP comparison.  With a
+    ``repro.cost_model/v1`` document (``repro profile``), a layer is
+    priced at the achieved rate of its own edges' forward entries when
+    present, falling back to the backend's global forward rate, then to
+    the overall forward rate — measured data refines, never blocks.
+
+    When every edge of a layer additionally carries a profiled
+    ``image_shape``, :meth:`layer_sample` exposes the layer's *measured
+    wall-clock per forward* at that shape.  The planner prefers it over
+    rate pricing because the per-edge FLOP attribution double-counts
+    shared work (each FFT edge is billed a full image transform even
+    when the transform cache shares it across the layer's edges), which
+    skews a blended rate near the crossover; measured seconds scaled by
+    the analytic layer-formula ratio cancel that mismatch.
+    """
+
+    def __init__(self, doc: Optional[dict] = None,
+                 source: str = "analytic") -> None:
+        self.source = source
+        # (edge, backend) -> [flops, seconds]; backend -> [flops, seconds]
+        self._edge: Dict[Tuple[str, str], List[float]] = {}
+        self._backend: Dict[str, List[float]] = {}
+        # (edge, backend) -> [seconds, count, image_shape or None]
+        self._fwd: Dict[Tuple[str, str], List] = {}
+        self._overall = [0.0, 0.0]
+        if doc is not None:
+            validate_cost_model(doc)
+            for entry in doc["entries"]:
+                if entry.get("op") != "fwd":
+                    continue
+                flops = float(entry.get("flops", 0.0))
+                seconds = float(entry.get("seconds", 0.0))
+                if flops <= 0.0 or seconds <= 0.0:
+                    continue
+                edge = str(entry["edge"])
+                backend = str(entry["backend"])
+                self._add(self._edge.setdefault((edge, backend),
+                                                [0.0, 0.0]), flops, seconds)
+                self._add(self._backend.setdefault(backend, [0.0, 0.0]),
+                          flops, seconds)
+                self._add(self._overall, flops, seconds)
+                shape = entry.get("image_shape")
+                shape = tuple(int(v) for v in shape) if shape else None
+                sample = self._fwd.setdefault((edge, backend),
+                                              [0.0, 0, shape])
+                sample[0] += seconds
+                sample[1] += int(entry.get("count", 0)) or 1
+                if sample[2] != shape:
+                    sample[2] = None  # conflicting shapes: unusable
+
+    @staticmethod
+    def _add(bucket: List[float], flops: float, seconds: float) -> None:
+        bucket[0] += flops
+        bucket[1] += seconds
+
+    @classmethod
+    def from_file(cls, path: str) -> "CostModel":
+        from repro.observability.profile import load_cost_model
+
+        return cls(load_cost_model(path), source=str(path))
+
+    @property
+    def measured(self) -> bool:
+        return self._overall[1] > 0.0
+
+    def base_rate(self) -> float:
+        """Rate for non-conv layers: the overall measured forward
+        throughput, or 1.0 (pure FLOPs) without measurements."""
+        if self._overall[1] > 0.0:
+            return self._overall[0] / self._overall[1]
+        return 1.0
+
+    def rate(self, edges: Sequence[str], backend: str) -> float:
+        """Achieved FLOP/s for *edges* under *backend* (see class
+        docstring for the fallback ladder)."""
+        flops = seconds = 0.0
+        for edge in edges:
+            bucket = self._edge.get((edge, backend))
+            if bucket is not None:
+                flops += bucket[0]
+                seconds += bucket[1]
+        if seconds > 0.0:
+            return flops / seconds
+        bucket = self._backend.get(backend)
+        if bucket is not None and bucket[1] > 0.0:
+            return bucket[0] / bucket[1]
+        return self.base_rate()
+
+    def layer_sample(self, edges: Sequence[str], backend: str
+                     ) -> Optional[Tuple[float, Shape3]]:
+        """``(seconds per forward, profiled image shape)`` summed over
+        *edges* under *backend*, or None unless *every* edge has a
+        measured forward entry and all entries agree on the shape.
+
+        The sum of per-edge mean wall-clocks is the layer's true
+        steady-state forward cost at that shape — transform-cache
+        sharing included, because the edge that pays the shared image
+        FFT and the edges that hit the cache are summed as measured.
+        """
+        seconds = 0.0
+        shape: Optional[Shape3] = None
+        for edge in edges:
+            sample = self._fwd.get((edge, backend))
+            if sample is None or sample[1] <= 0 or sample[2] is None:
+                return None
+            if shape is None:
+                shape = sample[2]
+            elif sample[2] != shape:
+                return None
+            seconds += sample[0] / sample[1]
+        if shape is None or seconds <= 0.0:
+            return None
+        return seconds, shape
+
+
+def _as_cost_model(cost_model) -> CostModel:
+    if cost_model is None:
+        return CostModel()
+    if isinstance(cost_model, CostModel):
+        return cost_model
+    return CostModel(cost_model, source="doc")
+
+
+# ---------------------------------------------------------------------------
+# The dense twin's layer stack, from the spec alone (no graph build).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Layer:
+    """One layer of the dense twin, as the cost walk sees it."""
+
+    kind: str  # conv | transfer | filter | dropout
+    index: int  # 1-based position in the (P->M) spec string
+    f_in: int
+    f_out: int
+    kernel: Optional[Shape3]  # conv only
+    window: Optional[Shape3]  # filter only
+    sparsity: Shape3
+    edges: Tuple[str, ...]
+
+
+def _twin_layers(spec: str, builder_kwargs: Mapping[str, object]
+                 ) -> Tuple[_Layer, ...]:
+    """Layer stack of the dense-equivalent twin of *spec*, mirroring
+    :func:`repro.graph.builders.build_layered_network` with
+    ``skip_kernels=True`` — including its edge naming, so measured
+    cost-model entries and the emitted mode map key by the same
+    names the runtime graph uses."""
+    kwargs = dict(builder_kwargs)
+    schedule = kwargs.pop("sparsity_schedule", None)
+    kwargs.pop("skip_kernels", None)
+    filter_spec = pool_to_filter_spec(spec)
+    parsed = LayeredSpec(filter_spec, skip_kernels=True, **kwargs)
+    explicit = None
+    if schedule is not None:
+        explicit = [as_shape3(s, name="sparsity") for s in schedule]
+        if len(explicit) != parsed.spec.count("C"):
+            raise ValueError(
+                "sparsity_schedule must have one entry per C layer")
+    layers: List[_Layer] = []
+    width = parsed.input_nodes
+    sparsity: Shape3 = (1, 1, 1)
+    ci = wi = 0
+    for li, c in enumerate(parsed.spec, start=1):
+        if c == "C":
+            conv_sparsity = explicit[ci] if explicit is not None else sparsity
+            f_out = parsed.widths[ci]
+            edges = tuple(f"conv_L{li}_{ii}_{j}"
+                          for j in range(f_out) for ii in range(width))
+            layers.append(_Layer("conv", li, width, f_out,
+                                 parsed.kernels[ci], None, conv_sparsity,
+                                 edges))
+            width = f_out
+            ci += 1
+        elif c == "T":
+            edges = tuple(f"xfer_L{li}_{j}" for j in range(width))
+            layers.append(_Layer("transfer", li, width, width,
+                                 None, None, sparsity, edges))
+        elif c == "M":
+            w = parsed.windows[wi]
+            edges = tuple(f"filt_L{li}_{j}" for j in range(width))
+            layers.append(_Layer("filter", li, width, width,
+                                 None, w, sparsity, edges))
+            sparsity = tuple(
+                s * wd for s, wd in zip(sparsity, w))  # type: ignore[assignment]
+            wi += 1
+        elif c == "D":
+            edges = tuple(f"drop_L{li}_{j}" for j in range(width))
+            layers.append(_Layer("dropout", li, width, width,
+                                 None, None, sparsity, edges))
+    return tuple(layers)
+
+
+def _layer_output_shape(layer: _Layer, in_shape: Shape3) -> Shape3:
+    if layer.kind == "conv":
+        return valid_conv_shape(in_shape, layer.kernel, layer.sparsity)
+    if layer.kind == "filter":
+        return valid_conv_shape(in_shape, layer.window, layer.sparsity)
+    return in_shape
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration.
+# ---------------------------------------------------------------------------
+
+def _axis_candidates(length: int, floor: int, fast_sizes: bool,
+                     cap: int) -> List[int]:
+    """Candidate tile lengths for one axis, largest first.
+
+    Always contains the whole axis (degenerate fallback) and the fov
+    floor; in between, every 5-smooth length (budget-friendly FFT
+    transform sizes), deterministically thinned to *cap* values while
+    keeping both endpoints.
+    """
+    values = {length, floor}
+    if fast_sizes:
+        n = length
+        while len(values) < 4 * cap:
+            fast = largest_fast_len(n, floor)
+            if fast is None:
+                break
+            values.add(fast)
+            n = fast - 1
+    ordered = sorted(values, reverse=True)
+    if len(ordered) > cap:
+        last = len(ordered) - 1
+        picks = sorted({round(i * last / (cap - 1)) for i in range(cap)})
+        ordered = [ordered[i] for i in picks]
+    return ordered
+
+
+def enumerate_candidate_tiles(volume_shape: Sequence[int],
+                              fov: Sequence[int],
+                              tile_voxels: Optional[int] = None,
+                              fast_sizes: bool = True,
+                              per_axis: int = MAX_AXIS_CANDIDATES
+                              ) -> Tuple[Shape3, ...]:
+    """The specializer's candidate input tiles for *volume_shape*.
+
+    Per axis: the whole axis, the fov floor, and the 5-smooth lengths
+    in between (thinned to *per_axis* values); the cross product is
+    filtered by the *tile_voxels* input budget.  Degenerate axes
+    (volume at or barely above the fov) contribute only themselves, so
+    small volumes fall back to a single whole-volume candidate.  Raises
+    :class:`PlanInfeasible` when the volume is below the fov or the
+    budget cannot even cover a fov-sized tile.
+    """
+    v = as_shape3(volume_shape, name="volume_shape")
+    f = as_shape3(fov, name="fov")
+    if any(vd < fd for vd, fd in zip(v, f)):
+        raise PlanInfeasible(
+            f"volume {v} smaller than the field of view {f}")
+    if tile_voxels is None:
+        tile_voxels = DEFAULT_TILE_VOXELS
+    if voxels(f) > tile_voxels:
+        raise PlanInfeasible(
+            f"tile budget of {tile_voxels} voxels cannot cover the "
+            f"field of view {f} ({voxels(f)} voxels)")
+    if per_axis < 2:
+        raise ValueError(f"per_axis must be >= 2, got {per_axis}")
+    axes = [_axis_candidates(vd, fd, fast_sizes, per_axis)
+            for vd, fd in zip(v, f)]
+    tiles: List[Shape3] = []
+    for a in axes[0]:
+        for b in axes[1]:
+            for c in axes[2]:
+                if a * b * c <= tile_voxels:
+                    tiles.append((a, b, c))
+    if not tiles:
+        # Endpoint combinations can all overshoot the voxel budget even
+        # though the fov tile itself fits: fall back to the tiler's
+        # shrink-largest-axis walk, which is budget-feasible by the
+        # check above.
+        from repro.serving.tiler import choose_tile_shape
+
+        tiles.append(choose_tile_shape(v, f, max_voxels=tile_voxels,
+                                       fast_sizes=fast_sizes))
+    return tuple(tiles)
+
+
+# ---------------------------------------------------------------------------
+# Candidate evaluation: predicted seconds + working set.
+# ---------------------------------------------------------------------------
+
+def _tile_count(volume: Shape3, fov: Shape3, tile: Shape3) -> int:
+    """Tiles :func:`repro.core.tiling.tile_plan` emits for this
+    geometry: per axis ``ceil(dense / output)`` (the final tile shifts
+    back instead of running ragged)."""
+    count = 1
+    for vd, fd, td in zip(volume, fov, tile):
+        dense = vd - fd + 1
+        out = td - fd + 1
+        count *= -(-dense // out)
+    return count
+
+
+def _layer_seconds(model: CostModel, edges: Sequence[str], backend: str,
+                   flops: float, layer_flops) -> float:
+    """Predicted seconds for one conv layer under *backend*.
+
+    Preferred path: the layer's measured wall-clock per forward
+    (:meth:`CostModel.layer_sample`) scaled by the analytic
+    layer-formula ratio between the candidate shape and the profiled
+    shape — *layer_flops* is that formula, so the per-edge FLOP
+    attribution (which double-counts cache-shared FFT transforms)
+    never enters.  Fallback: the rate ladder over the same FLOPs.
+    """
+    sample = model.layer_sample(edges, backend)
+    if sample is not None:
+        seconds, shape = sample
+        reference = layer_flops(shape)
+        if reference > 0.0:
+            return flops * seconds / reference
+    return flops / model.rate(edges, backend)
+
+
+def evaluate_candidate(spec: str, builder_kwargs: Mapping[str, object],
+                       volume_shape: Sequence[int], tile: Sequence[int],
+                       cost_model=None) -> dict:
+    """Price one candidate input *tile*: per-layer backend choice,
+    predicted seconds over the whole volume, and peak working set.
+
+    Pure and deterministic — this is the single cost function both
+    :func:`plan_specialization` and the property-test minimality check
+    evaluate, so the planner provably returns the argmin of exactly
+    what this computes.
+    """
+    model = _as_cost_model(cost_model)
+    v = as_shape3(volume_shape, name="volume_shape")
+    t = as_shape3(tile, name="tile")
+    layers = _twin_layers(spec, builder_kwargs)
+    base_rate = model.base_rate()
+    shape = t
+    tile_seconds = 0.0
+    working_set = _BYTES_REAL * voxels(t)
+    conv_modes: Dict[str, str] = {}
+    layer_rows: List[dict] = []
+    fov_accum = [1, 1, 1]
+    for layer in layers:
+        out_shape = _layer_output_shape(layer, shape)
+        working_set += _BYTES_REAL * layer.f_out * voxels(out_shape)
+        if layer.kind == "conv":
+            edges = layer.f_in * layer.f_out
+
+            def direct_layer_flops(x, layer=layer, edges=edges):
+                return edges * direct_conv_task_cost(x, layer.kernel,
+                                                     layer.sparsity)
+
+            def fft_layer_flops(x, layer=layer, edges=edges):
+                return (fft_cost(x) * (layer.f_in + layer.f_out)
+                        + pointwise_product_cost(x) * edges)
+
+            direct_flops = direct_layer_flops(shape)
+            # Serving warm models transform at the layer's input shape
+            # (no fast-size padding); kernel spectra are pinned at warm
+            # time, hence absent from the steady-state FLOPs.
+            fft_flops = fft_layer_flops(shape)
+            direct_seconds = _layer_seconds(
+                model, layer.edges, "direct", direct_flops,
+                direct_layer_flops)
+            fft_seconds = _layer_seconds(
+                model, layer.edges, "fft", fft_flops, fft_layer_flops)
+            # Ties prefer direct: bitwise-deterministic and free of
+            # spectra bookkeeping (same tolerance-free tie rule as the
+            # training autotuner).
+            mode = "fft" if fft_seconds < direct_seconds else "direct"
+            if mode == "fft":
+                working_set += (_BYTES_COMPLEX * voxels(rfft_shape(shape))
+                                * (edges + layer.f_in + layer.f_out))
+            for edge in layer.edges:
+                conv_modes[edge] = mode
+            tile_seconds += min(direct_seconds, fft_seconds)
+            layer_rows.append({
+                "layer": layer.index,
+                "mode": mode,
+                "f_in": layer.f_in,
+                "f_out": layer.f_out,
+                "kernel": list(layer.kernel),
+                "sparsity": list(layer.sparsity),
+                "input_shape": list(shape),
+                "direct_seconds": direct_seconds,
+                "fft_seconds": fft_seconds,
+            })
+        elif layer.kind == "filter":
+            tile_seconds += (layer.f_in
+                             * filter_task_cost(shape, layer.window)
+                             / base_rate)
+        else:  # transfer / dropout: n^3 pointwise
+            tile_seconds += (layer.f_in * transfer_task_cost(shape)
+                             / base_rate)
+        if layer.kind == "conv":
+            ke = tuple((k - 1) * s + 1
+                       for k, s in zip(layer.kernel, layer.sparsity))
+        elif layer.kind == "filter":
+            ke = tuple((w - 1) * s + 1
+                       for w, s in zip(layer.window, layer.sparsity))
+        else:
+            ke = (1, 1, 1)
+        fov_accum = [fa + k - 1 for fa, k in zip(fov_accum, ke)]
+        shape = out_shape
+    fov: Shape3 = tuple(fov_accum)  # type: ignore[assignment]
+    num_tiles = _tile_count(v, fov, t)
+    predicted_seconds = tile_seconds * num_tiles
+    dense_voxels = voxels(tuple(vd - fd + 1 for vd, fd in zip(v, fov)))
+    return {
+        "input_tile": t,
+        "fov": fov,
+        "num_tiles": num_tiles,
+        "conv_modes": conv_modes,
+        "layers": layer_rows,
+        "tile_seconds": tile_seconds,
+        "predicted_seconds": predicted_seconds,
+        "predicted_voxels_per_second": (
+            dense_voxels / predicted_seconds if predicted_seconds > 0.0
+            else math.inf),
+        "working_set_bytes": int(working_set),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The plan.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpecializationPlan:
+    """The chosen per-layer backend map and tile for one model.
+
+    Frozen and built from tuples only, so it is hashable, picklable
+    (fleet workers carry plans across process respawns) and
+    JSON-stable.  ``conv_modes`` is the sorted ``(edge, mode)`` map the
+    warm model must be built with; ``predicted_*`` fields are the cost
+    model's forecast for ``volume_shape``, recorded for observability
+    (they are *inputs* to the decision, not promises).
+    """
+
+    model: str
+    volume_shape: Shape3
+    fov: Shape3
+    input_tile: Shape3
+    num_tiles: int
+    conv_modes: Tuple[Tuple[str, str], ...]
+    layer_modes: Tuple[Tuple[int, str], ...]
+    predicted_tile_seconds: float
+    predicted_seconds: float
+    predicted_voxels_per_second: float
+    working_set_bytes: int
+    tile_voxels: int
+    memory_bytes: Optional[int]
+    cost_model: str
+    candidates: int
+
+    @property
+    def conv_mode_map(self) -> Dict[str, str]:
+        return dict(self.conv_modes)
+
+    @property
+    def output_tile(self) -> Shape3:
+        return tuple(t - f + 1  # type: ignore[return-value]
+                     for t, f in zip(self.input_tile, self.fov))
+
+    def uses_fft(self) -> bool:
+        return any(mode == "fft" for _, mode in self.conv_modes)
+
+    def covers(self, volume_shape: Sequence[int]) -> bool:
+        """Can a volume of this shape be served under this plan?  (The
+        tile must fit the volume on every axis; the tile grid itself
+        adapts per request.)"""
+        try:
+            shape = as_shape3(volume_shape, name="volume_shape")
+        except (TypeError, ValueError):
+            return False
+        return all(vd >= td for vd, td in zip(shape, self.input_tile))
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": SPECIALIZE_SCHEMA,
+            "model": self.model,
+            "volume_shape": list(self.volume_shape),
+            "fov": list(self.fov),
+            "input_tile": list(self.input_tile),
+            "num_tiles": self.num_tiles,
+            "conv_modes": {edge: mode for edge, mode in self.conv_modes},
+            "layer_modes": [[index, mode]
+                            for index, mode in self.layer_modes],
+            "predicted_tile_seconds": self.predicted_tile_seconds,
+            "predicted_seconds": self.predicted_seconds,
+            "predicted_voxels_per_second": self.predicted_voxels_per_second,
+            "working_set_bytes": self.working_set_bytes,
+            "tile_voxels": self.tile_voxels,
+            "memory_bytes": self.memory_bytes,
+            "cost_model": self.cost_model,
+            "candidates": self.candidates,
+        }
+
+    # deterministic
+    def to_json(self) -> str:
+        """Canonical serialisation: sorted keys, fixed separators —
+        byte-identical for equal plans (the purity contract)."""
+        return json.dumps(self.to_doc(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "SpecializationPlan":
+        if not isinstance(doc, dict):
+            raise ValueError(f"plan document must be a dict, got "
+                             f"{type(doc).__name__}")
+        if doc.get("schema") != SPECIALIZE_SCHEMA:
+            raise ValueError(
+                f"schema must be {SPECIALIZE_SCHEMA!r}, got "
+                f"{doc.get('schema')!r}")
+        modes = normalize_conv_modes(doc["conv_modes"])
+        assert modes is not None
+        memory = doc.get("memory_bytes")
+        return cls(
+            model=str(doc["model"]),
+            volume_shape=tuple(doc["volume_shape"]),
+            fov=tuple(doc["fov"]),
+            input_tile=tuple(doc["input_tile"]),
+            num_tiles=int(doc["num_tiles"]),
+            conv_modes=modes,
+            layer_modes=tuple((int(i), str(m))
+                              for i, m in doc["layer_modes"]),
+            predicted_tile_seconds=float(doc["predicted_tile_seconds"]),
+            predicted_seconds=float(doc["predicted_seconds"]),
+            predicted_voxels_per_second=float(
+                doc["predicted_voxels_per_second"]),
+            working_set_bytes=int(doc["working_set_bytes"]),
+            tile_voxels=int(doc["tile_voxels"]),
+            memory_bytes=None if memory is None else int(memory),
+            cost_model=str(doc["cost_model"]),
+            candidates=int(doc["candidates"]),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "SpecializationPlan":
+        with open(path) as fh:
+            return cls.from_doc(json.load(fh))
+
+
+# deterministic
+def plan_specialization(spec, volume_shape: Sequence[int],
+                        cost_model=None,
+                        tile_voxels: Optional[int] = None,
+                        memory_bytes: Optional[int] = None,
+                        fast_sizes: bool = True) -> SpecializationPlan:
+    """Choose the throughput-optimal per-layer backend map and input
+    tile for serving *spec* on volumes of *volume_shape*.
+
+    *spec* is a :class:`repro.serving.registry.ModelSpec`;
+    *cost_model* is None (analytic: the paper's FLOP formulas at rate
+    1.0), a validated ``repro.cost_model/v1`` dict, or a
+    :class:`CostModel`.  *tile_voxels* caps the input tile (the
+    tiler's budget); *memory_bytes* additionally caps the estimated
+    peak working set of the whole twin.  Raises
+    :class:`PlanInfeasible` when no candidate satisfies both.
+
+    A pure function of its arguments: candidates are enumerated and
+    priced deterministically, and ties break toward fewer tiles, then
+    the larger tile, then lexicographically — so repeated runs emit
+    byte-identical plan JSON.
+    """
+    if tile_voxels is None:
+        tile_voxels = DEFAULT_TILE_VOXELS
+    model = _as_cost_model(cost_model)
+    candidates = enumerate_candidate_tiles(
+        volume_shape, spec.fov, tile_voxels=tile_voxels,
+        fast_sizes=fast_sizes)
+    best = None
+    best_key = None
+    over_budget = 0
+    for tile in candidates:
+        result = evaluate_candidate(spec.spec, spec.builder_kwargs,
+                                    volume_shape, tile, model)
+        if (memory_bytes is not None
+                and result["working_set_bytes"] > memory_bytes):
+            over_budget += 1
+            continue
+        key = (result["predicted_seconds"], result["num_tiles"],
+               -voxels(tile), tile)
+        if best_key is None or key < best_key:
+            best, best_key = result, key
+    if best is None:
+        raise PlanInfeasible(
+            f"no candidate tile fits the memory budget of "
+            f"{memory_bytes} bytes ({over_budget} candidates tried; "
+            f"smallest working sets exceed it)")
+    layer_modes = tuple((row["layer"], row["mode"])
+                        for row in best["layers"])
+    return SpecializationPlan(
+        model=spec.name,
+        volume_shape=as_shape3(volume_shape, name="volume_shape"),
+        fov=best["fov"],
+        input_tile=best["input_tile"],
+        num_tiles=best["num_tiles"],
+        conv_modes=normalize_conv_modes(best["conv_modes"]),  # type: ignore[arg-type]
+        layer_modes=layer_modes,
+        predicted_tile_seconds=best["tile_seconds"],
+        predicted_seconds=best["predicted_seconds"],
+        predicted_voxels_per_second=best["predicted_voxels_per_second"],
+        working_set_bytes=best["working_set_bytes"],
+        tile_voxels=tile_voxels,
+        memory_bytes=memory_bytes,
+        cost_model=model.source,
+        candidates=len(candidates),
+    )

@@ -80,6 +80,7 @@ from repro.resilience.faults import (
     worker_family,
 )
 from repro.serving.registry import ModelRegistry, ModelSpec
+from repro.serving.specialize import SpecializationPlan
 from repro.serving.tiler import DEFAULT_TILE_VOXELS
 
 __all__ = [
@@ -121,6 +122,10 @@ class WorkerConfig:
     """
 
     specs: Tuple[ModelSpec, ...]
+    #: Per-model ZNNi specialization plans (docs/serving.md "Per-layer
+    #: specialization"); applied after registration, so respawned
+    #: workers serve the same specialized tile/mode mix as the first.
+    plans: Tuple[SpecializationPlan, ...] = ()
     threads: int = 1
     max_batch: int = 4
     inflight: int = 4
@@ -201,6 +206,8 @@ def serve_worker_main(worker_id: int, config: WorkerConfig,
                              num_workers=1, prewarm=config.prewarm)
     for spec in config.specs:
         registry.register(spec)
+    for splan in config.plans:
+        registry.set_plan(splan)
     if config.prewarm_shape is not None:
         registry.prewarm_all(config.prewarm_shape,
                              tile_voxels=config.tile_voxels)

@@ -24,7 +24,7 @@ re-computing a few voxels instead of running a ragged partial tile
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,8 +35,10 @@ from repro.utils.shapes import Shape3, as_shape3, voxels
 
 __all__ = [
     "DEFAULT_TILE_VOXELS",
+    "PlanInfeasible",
     "largest_fast_len",
     "choose_tile_shape",
+    "normalize_conv_modes",
     "TilePlan",
     "plan_volume",
     "run_plan",
@@ -46,6 +48,21 @@ __all__ = [
 #: tile image, a comfortable per-request working set that still keeps
 #: FFT transforms well inside L3 on the paper's machines.
 DEFAULT_TILE_VOXELS = 1 << 21
+
+
+class PlanInfeasible(ValueError):
+    """No tile plan satisfies the request's geometry or budget.
+
+    Raised when the volume is smaller than the field of view on some
+    axis (no output voxel exists), when the voxel budget is below
+    ``prod(fov)`` (every tile must cover the fov, so the budget is
+    unsatisfiable — silently returning a fov-sized, over-budget tile
+    would hide the violation), or when a candidate tile would yield a
+    non-positive output extent (``tile < fov`` on an axis: the halo
+    math would produce negative core extents).  A subclass of
+    :class:`ValueError` so pre-existing callers that caught the old
+    geometry errors keep working.
+    """
 
 
 def largest_fast_len(n: int, floor: int = 1) -> Optional[int]:
@@ -68,17 +85,23 @@ def choose_tile_shape(volume_shape: Sequence[int], fov: Sequence[int],
     Per axis the tile is at least ``fov`` (the minimum input producing
     any output) and at most the volume.  With *fast_sizes* the planner
     prefers 5-smooth sizes; axes are shrunk largest-first until the
-    tile fits *max_voxels* (fov is a hard floor — a budget smaller
-    than ``prod(fov)`` is unsatisfiable and the fov-sized tile is
-    returned).
+    tile fits *max_voxels*.  fov is a hard floor, so a budget smaller
+    than ``prod(fov)`` is unsatisfiable and raises
+    :class:`PlanInfeasible` (it used to silently return an over-budget
+    fov-sized tile, which hid real memory-budget violations).
     """
     v = as_shape3(volume_shape, name="volume_shape")
     f = as_shape3(fov, name="fov")
     if any(vd < fd for vd, fd in zip(v, f)):
-        raise ValueError(
+        raise PlanInfeasible(
             f"volume {v} smaller than the field of view {f}")
     if max_voxels is None:
         max_voxels = DEFAULT_TILE_VOXELS
+    if voxels(f) > max_voxels:
+        raise PlanInfeasible(
+            f"tile budget of {max_voxels} voxels cannot cover the "
+            f"field of view {f} ({voxels(f)} voxels); every tile must "
+            f"be at least fov-sized")
 
     def best(n: int, floor: int) -> int:
         if not fast_sizes:
@@ -107,6 +130,14 @@ class TilePlan:
     reads ``input_tile`` voxels starting at its input corner and writes
     ``output_tile`` voxels of the dense output starting at its output
     corner (corners coincide because output = input − fov + 1).
+
+    ``conv_modes``, when set, is the per-conv-edge backend map the plan
+    was made for (ZNNi per-layer specialization,
+    :mod:`repro.serving.specialize`) as a sorted ``(edge, mode)``
+    tuple; :func:`run_plan` then refuses a network whose modes
+    disagree — running a plan costed for one backend mix on another
+    silently voids both the throughput prediction and the determinism
+    contract.
     """
 
     volume_shape: Shape3
@@ -115,10 +146,26 @@ class TilePlan:
     output_tile: Shape3
     dense_shape: Shape3
     tiles: List[Tuple[Shape3, Shape3]] = field(repr=False)
+    conv_modes: Optional[Tuple[Tuple[str, str], ...]] = None
+
+    def __post_init__(self) -> None:
+        if any(o < 1 for o in self.output_tile):
+            raise PlanInfeasible(
+                f"input tile {self.input_tile} is below the field of "
+                f"view {self.fov}: output tile {self.output_tile} has "
+                f"a non-positive extent")
 
     @property
     def num_tiles(self) -> int:
         return len(self.tiles)
+
+    @property
+    def conv_mode_map(self) -> Optional[dict]:
+        """``conv_modes`` as the dict :class:`repro.core.Network`
+        accepts, or None when the plan is mode-agnostic."""
+        if self.conv_modes is None:
+            return None
+        return dict(self.conv_modes)
 
     @property
     def tile_input_voxels(self) -> int:
@@ -137,11 +184,34 @@ class TilePlan:
         return 1.0 - voxels(self.volume_shape) / total if total else 0.0
 
 
+def normalize_conv_modes(conv_modes: Optional[Mapping[str, str]]
+                         ) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Per-edge mode mapping -> the canonical sorted, hashable tuple
+    used by :class:`TilePlan` and warm-model cache keys (None passes
+    through: mode-agnostic)."""
+    if conv_modes is None:
+        return None
+    pairs = conv_modes.items() if hasattr(conv_modes, "items") \
+        else conv_modes
+    items = sorted((str(k), str(v)) for k, v in pairs)
+    for _, mode in items:
+        if mode not in ("direct", "fft"):
+            raise ValueError(
+                f"conv modes must be direct|fft, got {mode!r}")
+    return tuple(items)
+
+
 def plan_volume(volume_shape: Sequence[int], fov: Sequence[int],
                 max_voxels: Optional[int] = None,
-                fast_sizes: bool = True) -> TilePlan:
+                fast_sizes: bool = True,
+                conv_modes: Optional[Mapping[str, str]] = None) -> TilePlan:
     """Plan a seam-free tiling of *volume_shape* for a network of field
-    of view *fov*."""
+    of view *fov*.
+
+    *conv_modes* optionally records the per-conv-edge backend map the
+    plan is intended for (see :class:`TilePlan.conv_modes`); the tile
+    search itself is mode-independent.
+    """
     v = as_shape3(volume_shape, name="volume_shape")
     f = as_shape3(fov, name="fov")
     input_tile = choose_tile_shape(v, f, max_voxels=max_voxels,
@@ -153,7 +223,8 @@ def plan_volume(volume_shape: Sequence[int], fov: Sequence[int],
                     input_tile=input_tile,  # type: ignore[arg-type]
                     output_tile=output_tile,  # type: ignore[arg-type]
                     dense_shape=dense_shape,  # type: ignore[arg-type]
-                    tiles=tiles)
+                    tiles=tiles,
+                    conv_modes=normalize_conv_modes(conv_modes))
 
 
 # deterministic
@@ -176,6 +247,14 @@ def run_plan(network, volume: np.ndarray, plan: TilePlan,
         raise ValueError(
             f"network input {tuple(in_shape)} does not match plan tile "
             f"{plan.input_tile}")
+    if plan.conv_modes is not None:
+        actual = getattr(network, "conv_modes", {})
+        for edge, mode in plan.conv_modes:
+            if actual.get(edge) != mode:
+                raise ValueError(
+                    f"plan expects edge {edge!r} in {mode!r} mode but "
+                    f"the network runs it in {actual.get(edge)!r}; "
+                    f"build the warm model from the plan's mode map")
     out_name = network.output_nodes[0].name
     o = plan.output_tile
     dense = np.empty(plan.dense_shape, dtype=np.float64)

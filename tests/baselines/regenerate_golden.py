@@ -1,27 +1,42 @@
-"""Regenerate the golden training-determinism digests.
+"""Regenerate the golden training- and serving-determinism digests.
 
 Run from the repository root after any change that *intentionally*
-alters training arithmetic::
+alters training or serving arithmetic::
 
     PYTHONPATH=src python tests/baselines/regenerate_golden.py
 
-The golden model deliberately uses only IEEE-exact operations — direct
+The golden models deliberately use only IEEE-exact operations — direct
 convolution (fixed tap order), linear transfers, euclidean loss, plain
-SGD with momentum — so the digest is reproducible across machines; no
-``tanh``/``exp`` whose libm rounding could differ between platforms.
+SGD with momentum — so the digests are reproducible across machines;
+no ``tanh``/``exp`` whose libm rounding could differ between
+platforms.
 
-The script re-verifies the worker-count invariance (``workers=2`` must
-produce the same digest as ``workers=1``) before overwriting
-``golden_digests.json``; ``test_golden_determinism.py`` then pins the
-stored values in CI.
+Before overwriting ``golden_digests.json`` the script re-verifies two
+invariances:
+
+* worker-count: ``workers=2`` training must produce the same digest as
+  ``workers=1`` (``test_golden_determinism.py`` pins it in CI);
+* specialization: the ZNNi-specialized serving path — tiled, with
+  per-layer plan modes — must produce output bitwise identical to the
+  unspecialized whole-volume pass (``test_golden_serving.py`` pins
+  it).  The golden serving plan is all-direct by construction (kernel
+  3 sits below the analytic FFT crossover), which is exactly the case
+  where bitwise equality is the contract (docs/serving.md "Per-layer
+  specialization").
 """
 
+import hashlib
 import json
 import os
+import tempfile
+
+import numpy as np
 
 from repro.core import state_digest
 from repro.data.provider import RandomProvider
+from repro.graph import dump_layered_spec
 from repro.parallel import ModelConfig, ParallelTrainer
+from repro.serving import ModelRegistry, ModelSpec, plan_specialization
 
 GOLDEN_INPUT = (10, 10, 10)
 GOLDEN_OUTPUT = (6, 6, 6)
@@ -41,6 +56,55 @@ PROVIDER_ARGS = (GOLDEN_INPUT, GOLDEN_OUTPUT, False, None)
 
 DIGEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "golden_digests.json")
+
+# The golden *serving* model: same IEEE-exact recipe as the training
+# golden (CTCT, kernel 3, linear transfers, direct conv), random
+# weights from the spec's fixed seed.  Kernel 3 keeps every layer
+# below the analytic FFT crossover, so the specialization plan is
+# all-direct and the bitwise contract applies.
+SERVING_SPEC = "CTCT"
+SERVING_KWARGS = {"kernel": 3, "transfer": "linear",
+                  "final_transfer": "linear", "output_nodes": 1}
+SERVING_WIDTH = 2
+SERVING_VOLUME = (14, 14, 14)
+#: Forces a multi-tile plan on the 14^3 volume (fov 5 -> 10^3 dense).
+SERVING_TILE_VOXELS = 1000
+SERVING_SEED = 2026
+
+
+def serving_model_spec(root: str) -> "ModelSpec":
+    path = os.path.join(root, "golden_serving.spec")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dump_layered_spec(SERVING_SPEC, SERVING_WIDTH,
+                                   **SERVING_KWARGS))
+    return ModelSpec.from_files("golden", path, conv_mode="direct")
+
+
+def dense_digest(dense) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(dense).tobytes()).hexdigest()
+
+
+def serving_run():
+    """(specialized dense, unspecialized dense, plan) of the golden
+    serving run; the two dense outputs must be bitwise identical."""
+    with tempfile.TemporaryDirectory() as root:
+        spec = serving_model_spec(root)
+        volume = np.random.default_rng(SERVING_SEED).standard_normal(
+            SERVING_VOLUME)
+        plan = plan_specialization(spec, SERVING_VOLUME,
+                                   tile_voxels=SERVING_TILE_VOXELS)
+        registry = ModelRegistry(max_models=2)
+        try:
+            registry.register(spec)
+            registry.set_plan(plan)
+            specialized = registry.warm(
+                spec.name, plan.input_tile,
+                conv_modes=plan.conv_mode_map).run(volume)
+            reference = registry.warm(spec.name, SERVING_VOLUME).run(volume)
+        finally:
+            registry.close()
+    return specialized, reference, plan
 
 
 def golden_run(workers: int):
@@ -63,16 +127,36 @@ def main() -> None:
         raise SystemExit(
             "worker-count invariance is broken; refusing to write "
             f"golden digests (w1={digest} w2={digest_w2})")
+    specialized, reference, plan = serving_run()
+    if plan.uses_fft() or plan.num_tiles < 2:
+        raise SystemExit(
+            f"golden serving plan must be all-direct and tiled, got "
+            f"modes {dict(plan.layer_modes)} over {plan.num_tiles} "
+            f"tile(s); the bitwise contract would not apply")
+    if not np.array_equal(specialized, reference):
+        raise SystemExit(
+            "specialized serving output diverged from the "
+            "unspecialized whole-volume pass; refusing to write "
+            "golden digests")
     payload = {
         "_comment": "regenerate with tests/baselines/regenerate_golden.py",
         "final_state_digest": digest,
         "losses": losses,
+        "serving": {
+            "dense_digest": dense_digest(reference),
+            "plan_sha256": hashlib.sha256(
+                plan.to_json().encode()).hexdigest(),
+            "num_tiles": plan.num_tiles,
+            "volume_shape": list(SERVING_VOLUME),
+            "tile_voxels": SERVING_TILE_VOXELS,
+        },
     }
     with open(DIGEST_PATH, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {DIGEST_PATH}")
     print(f"  final_state_digest: {digest}")
+    print(f"  serving dense_digest: {payload['serving']['dense_digest']}")
 
 
 if __name__ == "__main__":

@@ -5,9 +5,11 @@ import pytest
 
 from repro.serving.tiler import (
     DEFAULT_TILE_VOXELS,
+    PlanInfeasible,
     TilePlan,
     choose_tile_shape,
     largest_fast_len,
+    normalize_conv_modes,
     plan_volume,
 )
 from repro.tensor.fourier import next_fast_len
@@ -55,13 +57,26 @@ class TestChooseTileShape:
         assert np.prod(tile) <= 1000
         assert all(t >= 5 for t in tile)
 
-    def test_fov_is_hard_floor(self):
-        tile = choose_tile_shape((50, 50, 50), (9, 9, 9), max_voxels=1)
+    def test_budget_below_fov_raises(self):
+        # fov is a hard floor, so a budget under prod(fov) is
+        # unsatisfiable: the planner must refuse, not silently return
+        # an over-budget fov-sized tile.
+        with pytest.raises(PlanInfeasible, match="budget"):
+            choose_tile_shape((50, 50, 50), (9, 9, 9), max_voxels=1)
+
+    def test_budget_exactly_fov_is_feasible(self):
+        tile = choose_tile_shape((50, 50, 50), (9, 9, 9),
+                                 max_voxels=9 * 9 * 9)
         assert tile == (9, 9, 9)
 
     def test_volume_smaller_than_fov_raises(self):
-        with pytest.raises(ValueError, match="field of view"):
+        with pytest.raises(PlanInfeasible, match="field of view"):
             choose_tile_shape((4, 10, 10), (5, 5, 5))
+
+    def test_plan_infeasible_is_a_value_error(self):
+        # Pre-existing callers catch ValueError; the typed refusal must
+        # keep matching.
+        assert issubclass(PlanInfeasible, ValueError)
 
     def test_anisotropic_fov(self):
         tile = choose_tile_shape((40, 40, 40), (1, 7, 7), max_voxels=500)
@@ -118,3 +133,34 @@ class TestPlanVolume:
         plan = plan_volume((1, 20, 20), (1, 5, 5))
         assert plan.volume_shape == (1, 20, 20)
         assert plan.dense_shape == (1, 16, 16)
+
+    def test_externally_built_sub_fov_tile_raises(self):
+        # TilePlan itself guards the geometry: a hand-built plan with
+        # tile < fov (negative output extent) is refused at
+        # construction, not at stitch time.
+        with pytest.raises(PlanInfeasible, match="non-positive"):
+            TilePlan(volume_shape=(16, 16, 16), fov=(5, 5, 5),
+                     input_tile=(4, 16, 16), output_tile=(0, 12, 12),
+                     dense_shape=(12, 12, 12), tiles=[])
+
+
+class TestConvModes:
+    def test_normalize_sorts_and_freezes(self):
+        modes = normalize_conv_modes({"b": "fft", "a": "direct"})
+        assert modes == (("a", "direct"), ("b", "fft"))
+        # Pairs round-trip through the tuple form unchanged.
+        assert normalize_conv_modes(modes) == modes
+        assert normalize_conv_modes(None) is None
+
+    def test_normalize_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="direct|fft"):
+            normalize_conv_modes({"a": "spectral"})
+
+    def test_plan_volume_records_modes(self):
+        plan = plan_volume((16, 16, 16), (5, 5, 5),
+                           conv_modes={"conv_a": "fft"})
+        assert plan.conv_modes == (("conv_a", "fft"),)
+        assert plan.conv_mode_map == {"conv_a": "fft"}
+        agnostic = plan_volume((16, 16, 16), (5, 5, 5))
+        assert agnostic.conv_modes is None
+        assert agnostic.conv_mode_map is None

@@ -8,11 +8,12 @@ be).
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.serving.tiler import (choose_tile_shape, largest_fast_len,
-                                 plan_volume)
+from repro.serving.tiler import (PlanInfeasible, choose_tile_shape,
+                                 largest_fast_len, plan_volume)
 from repro.tensor.fourier import next_fast_len
 from repro.utils.shapes import voxels
 
@@ -48,26 +49,37 @@ class TestChooseTileShape:
     @settings(max_examples=60)
     def test_bounds_and_budget(self, geom, max_voxels, fast_sizes):
         volume, fov = unpack(geom)
+        if max_voxels is not None and voxels(fov) > max_voxels:
+            # Budget below the fov floor: refusal is the contract.
+            with pytest.raises(PlanInfeasible):
+                choose_tile_shape(volume, fov, max_voxels=max_voxels,
+                                  fast_sizes=fast_sizes)
+            return
         tile = choose_tile_shape(volume, fov, max_voxels=max_voxels,
                                  fast_sizes=fast_sizes)
         for t, f, v in zip(tile, fov, volume):
             assert f <= t <= v
-        if max_voxels is not None and voxels(fov) <= max_voxels:
+        if max_voxels is not None:
             assert voxels(tile) <= max_voxels
 
     @given(geom=geometry)
     @settings(max_examples=30)
-    def test_unsatisfiable_budget_returns_fov_tile(self, geom):
+    def test_unsatisfiable_budget_raises(self, geom):
         volume, fov = unpack(geom)
-        # A budget below prod(fov) cannot be met; fov is the hard floor.
-        tile = choose_tile_shape(volume, fov, max_voxels=voxels(fov) - 1,
-                                 fast_sizes=False)
-        assert tile == fov
+        # A budget below prod(fov) cannot be met — fov is the hard
+        # floor — so the planner raises instead of silently returning
+        # an over-budget fov tile (the old behaviour hid real
+        # memory-budget violations).
+        with pytest.raises(PlanInfeasible, match="budget"):
+            choose_tile_shape(volume, fov, max_voxels=voxels(fov) - 1,
+                              fast_sizes=False)
 
     @given(geom=geometry, max_voxels=budget)
     @settings(max_examples=40)
     def test_fast_sizes_are_5_smooth_when_possible(self, geom, max_voxels):
         volume, fov = unpack(geom)
+        if max_voxels is not None and voxels(fov) > max_voxels:
+            max_voxels = voxels(fov)  # keep the budget feasible
         tile = choose_tile_shape(volume, fov, max_voxels=max_voxels,
                                  fast_sizes=True)
         for t, f, v in zip(tile, fov, volume):
@@ -83,6 +95,8 @@ class TestPlanVolume:
     @settings(max_examples=60)
     def test_seam_free_coverage(self, geom, max_voxels, fast_sizes):
         volume, fov = unpack(geom)
+        if max_voxels is not None and voxels(fov) > max_voxels:
+            max_voxels = voxels(fov)  # keep the budget feasible
         plan = plan_volume(volume, fov, max_voxels=max_voxels,
                            fast_sizes=fast_sizes)
         assert plan.dense_shape == tuple(
@@ -109,6 +123,8 @@ class TestPlanVolume:
     @settings(max_examples=40)
     def test_recompute_fraction_bounds(self, geom, max_voxels):
         volume, fov = unpack(geom)
+        if max_voxels is not None and voxels(fov) > max_voxels:
+            max_voxels = voxels(fov)  # keep the budget feasible
         plan = plan_volume(volume, fov, max_voxels=max_voxels)
         assert 0.0 <= plan.recompute_fraction < 1.0
         assert plan.num_tiles >= 1
